@@ -1,0 +1,111 @@
+// Shared helpers for the experiment benches. Each bench binary regenerates
+// one table or figure of the paper (see DESIGN.md, experiment index) and
+// prints the corresponding rows/series to stdout.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "traffic/generator.hpp"
+
+namespace htnoc::bench {
+
+/// The attack configuration used across the network-behaviour benches:
+/// a single TASP on the column-0 northbound feeder into router 0, tuned to
+/// the victim application's destination (Sec. V-B2 setup).
+inline sim::AttackSpec paper_attack(Cycle enable_at) {
+  sim::AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.tasp.kind = trojan::TargetKind::kDest;
+  a.tasp.target_dest = 0;
+  a.enable_killsw_at = enable_at;
+  return a;
+}
+
+/// Infected-link sets for the Fig. 10 sweep. All lie on destination-router-0
+/// paths and leave the mesh connected when the rerouting policy disables
+/// them bidirectionally. 48 mesh links total, so the sets correspond to
+/// roughly 0 / 5 / 10 / 15 percent.
+inline std::vector<LinkRef> infected_links(int percent) {
+  switch (percent) {
+    case 0: return {};
+    case 5: return {{2, Direction::kWest}, {8, Direction::kNorth}};
+    case 10:
+      return {{2, Direction::kWest},
+              {8, Direction::kNorth},
+              {5, Direction::kWest},
+              {9, Direction::kWest},
+              {3, Direction::kWest}};
+    case 15:
+      return {{2, Direction::kWest},
+              {8, Direction::kNorth},
+              {5, Direction::kWest},
+              {9, Direction::kWest},
+              {3, Direction::kWest},
+              {6, Direction::kWest},
+              {10, Direction::kWest}};
+    default: throw ContractViolation("unsupported infection percentage");
+  }
+}
+
+struct CompletionResult {
+  bool done = false;
+  Cycle cycles = 0;
+  double avg_latency = 0.0;
+  std::uint64_t delivered = 0;
+};
+
+/// Run `profile` to completion of `requests` request packets under the
+/// given mitigation mode and infected-link set.
+inline CompletionResult run_completion(const std::string& profile_name,
+                                       sim::MitigationMode mode,
+                                       const std::vector<LinkRef>& infected,
+                                       std::uint64_t requests,
+                                       Cycle budget = 2000000,
+                                       std::uint64_t seed = 1,
+                                       double rate_scale = 1.0) {
+  sim::SimConfig sc;
+  sc.mode = mode;
+  for (const LinkRef& l : infected) {
+    sim::AttackSpec a;
+    a.link = l;
+    a.tasp.kind = trojan::TargetKind::kDest;
+    a.tasp.target_dest = 0;
+    a.enable_killsw_at = 1000;
+    sc.attacks.push_back(a);
+  }
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  auto profile = traffic::profile_by_name(profile_name);
+  profile.injection_rate *= rate_scale;
+  traffic::AppTrafficModel model(net.geometry(), profile);
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = seed;
+  gp.total_requests = requests;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  simulator.set_drop_callback([&](PacketId id) { gen.requeue(id); });
+
+  CompletionResult res;
+  while (!gen.done() && res.cycles < budget) {
+    gen.step();
+    simulator.step();
+    ++res.cycles;
+  }
+  res.done = gen.done();
+  res.avg_latency = gen.stats().avg_latency();
+  res.delivered = gen.stats().packets_delivered;
+  return res;
+}
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("(reproduction; see EXPERIMENTS.md for paper-vs-measured notes)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace htnoc::bench

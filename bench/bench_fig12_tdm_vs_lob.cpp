@@ -1,0 +1,132 @@
+// Figure 12 — comparison of two defenses against the same single-TASP
+// attack on the Blackscholes-class application:
+//  (a) TDM QoS with two domains: D2 hosts the targeted app, D1 background
+//      work. The DoS collapses D2 but is contained there.
+//  (b) our threat detector + s2s L-Ob: minimal degradation, the trojan is
+//      sidestepped with 1-3 cycle obfuscation penalties.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "stats/stats.hpp"
+
+namespace {
+
+using namespace htnoc;
+
+sim::AttackSpec app_targeted_attack(Cycle enable_at) {
+  // The trojan hunts the target *application* by its memory footprint
+  // (Sec. V-B2 "sniffing packets for the target application").
+  sim::AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.tasp.kind = trojan::TargetKind::kMem;
+  a.tasp.target_mem = traffic::blackscholes_profile().mem_base;
+  a.tasp.mem_mask = 0xF0000000u;
+  a.enable_killsw_at = enable_at;
+  return a;
+}
+
+void run_tdm_case() {
+  sim::SimConfig sc;
+  sc.noc.tdm_enabled = true;
+  sc.mode = sim::MitigationMode::kNone;
+  sc.attacks.push_back(app_targeted_attack(1500));
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+
+  auto bg = traffic::fft_profile();
+  bg.injection_rate = 0.008;
+  traffic::AppTrafficModel m1(net.geometry(), bg);
+  traffic::TrafficGenerator::Params p1;
+  p1.seed = 10;
+  p1.domain = TdmDomain::kD1;
+  traffic::TrafficGenerator g1(net, m1, p1, disp);
+
+  auto app = traffic::blackscholes_profile();
+  app.injection_rate = 0.008;
+  traffic::AppTrafficModel m2(net.geometry(), app);
+  traffic::TrafficGenerator::Params p2;
+  p2.seed = 20;
+  p2.domain = TdmDomain::kD2;
+  traffic::TrafficGenerator g2(net, m2, p2, disp);
+
+  std::printf("\n--- (a) TDM, two domains, TASP targets the D2 app ---\n");
+  std::printf("t_after_attack,d1_throughput,d2_throughput,input_util,"
+              "blocked_routers\n");
+  std::uint64_t d1_prev = 0;
+  std::uint64_t d2_prev = 0;
+  for (Cycle c = 0; c < 3500; ++c) {
+    g1.step();
+    g2.step();
+    simulator.step();
+    if (c >= 1000 && (c - 1000) % 250 == 0) {
+      const auto u = net.sample_utilization();
+      std::printf("%lld,%llu,%llu,%d,%d\n",
+                  static_cast<long long>(c) - 1500,
+                  static_cast<unsigned long long>(
+                      g1.stats().packets_delivered - d1_prev),
+                  static_cast<unsigned long long>(
+                      g2.stats().packets_delivered - d2_prev),
+                  u.input_port_flits, u.routers_with_blocked_port);
+      d1_prev = g1.stats().packets_delivered;
+      d2_prev = g2.stats().packets_delivered;
+    }
+  }
+  std::printf("summary: D2 (target domain) collapses after t=0; D1 keeps "
+              "its throughput — the threat is contained to the attacked "
+              "domain's resources\n");
+}
+
+void run_lob_case() {
+  sim::SimConfig sc;
+  sc.mode = sim::MitigationMode::kLOb;
+  sc.attacks.push_back(app_targeted_attack(1500));
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 30;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+
+  std::printf("\n--- (b) threat detector + s2s L-Ob ---\n");
+  std::printf("t_after_attack,throughput,input_util,blocked_routers,"
+              "all_cores_full\n");
+  std::uint64_t prev = 0;
+  for (Cycle c = 0; c < 3500; ++c) {
+    gen.step();
+    simulator.step();
+    if (c >= 1000 && (c - 1000) % 250 == 0) {
+      const auto u = net.sample_utilization();
+      std::printf("%lld,%llu,%d,%d,%d\n", static_cast<long long>(c) - 1500,
+                  static_cast<unsigned long long>(
+                      gen.stats().packets_delivered - prev),
+                  u.input_port_flits, u.routers_with_blocked_port,
+                  u.routers_all_cores_full);
+      prev = gen.stats().packets_delivered;
+    }
+  }
+  const auto& lob = simulator.lob(4, direction_port(Direction::kNorth));
+  std::printf("summary: trojan injected %llu faults; L-Ob succeeded %llu "
+              "times (%llu via the per-flow method log); network "
+              "degradation stays within the 1-3 cycle obfuscation "
+              "penalties\n",
+              static_cast<unsigned long long>(
+                  simulator.tasp(0).stats().injections),
+              static_cast<unsigned long long>(lob.stats().successes),
+              static_cast<unsigned long long>(lob.stats().log_hits));
+}
+
+}  // namespace
+
+int main() {
+  using namespace htnoc;
+  bench::print_header("Figure 12", "TDM containment vs s2s L-Ob mitigation");
+  run_tdm_case();
+  run_lob_case();
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Figure 2 — how the three fault sources on a single link change packet
+// latency as a function of hop distance:
+//   transient fault  -> one retransmission penalty on the faulty hop,
+//   permanent fault  -> reroute around the link (+hops),
+//   TASP HT          -> trojan-defined delay (unbounded without mitigation;
+//                       small with s2s L-Ob).
+//
+// We send isolated probe packets from increasing distances toward router 0
+// across the instrumented first x-dimension link and report the latency per
+// configuration.
+#include <cstdio>
+#include <optional>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace htnoc;
+
+/// Latency of one probe packet src_router -> router 0, or nullopt if it
+/// never arrives within the budget.
+std::optional<Cycle> probe_latency(sim::SimConfig sc, RouterId src_router,
+                                   bool pre_reroute) {
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  if (pre_reroute) {
+    // Permanent-fault case: the link is already classified and disabled;
+    // measure the steady-state rerouted latency.
+    net.disable_link({4, Direction::kNorth});
+    net.disable_link({0, Direction::kSouth});
+    net.use_updown_routing();
+  }
+  std::optional<Cycle> latency;
+  net.set_delivery_callback(
+      [&](Cycle, const PacketInfo&, Cycle lat) { latency = lat; });
+
+  // Let the kill switch (if any) engage before probing.
+  simulator.run(10);
+
+  PacketInfo info;
+  info.id = net.next_packet_id();
+  info.src_core = net.geometry().core_at(src_router, 0);
+  info.dest_core = 0;
+  info.src_router = src_router;
+  info.dest_router = 0;
+  info.length = 1;
+  info.inject_cycle = net.now();
+  if (!net.try_inject(info, {})) return std::nullopt;
+  for (int i = 0; i < 3000 && !latency.has_value(); ++i) simulator.step();
+  return latency;
+}
+
+const char* fmt(std::optional<Cycle> lat, char* buf) {
+  if (!lat.has_value()) {
+    std::snprintf(buf, 16, "stalled");
+  } else {
+    std::snprintf(buf, 16, "%llu", static_cast<unsigned long long>(*lat));
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace htnoc;
+  bench::print_header("Figure 2",
+                      "latency vs distance per fault type on one link");
+
+  // All x-y routes into router 0 from rows 1-3 funnel through the column-0
+  // northbound link r4->N, so that is the instrumented link; the probe
+  // sources below all cross it, at hop distances 1 through 6.
+  const RouterId sources[] = {4, 5, 8, 10, 13, 15};
+
+  std::printf("%-10s %-10s %-12s %-12s %-12s %-12s\n", "src", "hops",
+              "clean", "transient", "permanent", "tasp+L-Ob");
+  char b1[16], b2[16], b3[16], b4[16];
+  for (const RouterId src : sources) {
+    NocConfig noc;
+    const MeshGeometry geom(noc.mesh_width, noc.mesh_height, noc.concentration);
+
+    // Clean baseline.
+    sim::SimConfig clean;
+    clean.noc = noc;
+    const auto lat_clean = probe_latency(std::move(clean), src, false);
+
+    // Deterministic "transient" event: exactly one two-bit upset on the
+    // probed link (a trojan with an enormous min_gap strikes once), so the
+    // packet pays exactly one retransmission penalty.
+    sim::SimConfig trans;
+    trans.noc = noc;
+    sim::AttackSpec once;
+    once.link = {4, Direction::kNorth};
+    once.tasp.kind = trojan::TargetKind::kDest;
+    once.tasp.target_dest = 0;
+    once.tasp.min_gap = 1000000;  // strike exactly once: a transient event
+    once.enable_killsw_at = 0;
+    trans.attacks.push_back(once);
+    trans.mode = sim::MitigationMode::kNone;
+    const auto lat_trans = probe_latency(std::move(trans), src, false);
+
+    // Permanent fault: link disabled, up*/down* reroute (+hops).
+    sim::SimConfig perm;
+    perm.noc = noc;
+    const auto lat_perm = probe_latency(std::move(perm), src, true);
+
+    // TASP with L-Ob mitigation: a few retransmissions then obfuscation.
+    sim::SimConfig tasp;
+    tasp.noc = noc;
+    sim::AttackSpec a;
+    a.link = {4, Direction::kNorth};
+    a.tasp.kind = trojan::TargetKind::kDest;
+    a.tasp.target_dest = 0;
+    a.enable_killsw_at = 0;
+    tasp.attacks.push_back(a);
+    tasp.mode = sim::MitigationMode::kLOb;
+    const auto lat_tasp = probe_latency(std::move(tasp), src, false);
+
+    std::printf("r%-9d %-10d %-12s %-12s %-12s %-12s\n", src,
+                geom.hop_distance(src, 0), fmt(lat_clean, b1),
+                fmt(lat_trans, b2), fmt(lat_perm, b3), fmt(lat_tasp, b4));
+  }
+
+  // The unmitigated TASP case from the figure: latency is unbounded.
+  sim::SimConfig doomed;
+  sim::AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.tasp.kind = trojan::TargetKind::kDest;
+  a.tasp.target_dest = 0;
+  a.enable_killsw_at = 0;
+  doomed.attacks.push_back(a);
+  doomed.mode = sim::MitigationMode::kNone;
+  const auto lat = probe_latency(std::move(doomed), 4, false);
+  std::printf("\nTASP without mitigation, src r4: %s (retransmission loop "
+              "never ends — the DoS)\n\n",
+              lat.has_value() ? "delivered?!" : "stalled");
+  return lat.has_value() ? 1 : 0;
+}

@@ -1,0 +1,82 @@
+// Figure 8 — power/area context for the TASP trojan:
+//   left:  router dynamic & leakage power breakdown with a single TASP,
+//   right: NoC area split (wire / active / trojan) and the worst case of a
+//          TASP on every one of the 48 mesh links vs NoC dynamic power.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "power/blocks.hpp"
+
+int main() {
+  using namespace htnoc;
+  using namespace htnoc::power;
+  bench::print_header("Figure 8", "TASP power relative to router and NoC");
+
+  const NocConfig cfg;
+  const RouterBreakdown rb = router_breakdown(cfg);
+  const BlockEstimate tasp = tasp_block(trojan::TargetKind::kDest);
+
+  const double rdyn = rb.total.dynamic_uw() + tasp.dynamic_uw();
+  std::printf("\nRouter dynamic power (paper: buffer 71%%, crossbar 18%%, "
+              "SA 4%%, clock 6%%, TASP 1%%):\n");
+  std::printf("  %-18s %10.1f uW  %5.1f%%\n", "buffers",
+              rb.buffers.dynamic_uw(), 100.0 * rb.buffers.dynamic_uw() / rdyn);
+  std::printf("  %-18s %10.1f uW  %5.1f%%\n", "crossbar",
+              rb.crossbar.dynamic_uw(), 100.0 * rb.crossbar.dynamic_uw() / rdyn);
+  std::printf("  %-18s %10.1f uW  %5.1f%%\n", "switch allocator",
+              rb.switch_allocator.dynamic_uw(),
+              100.0 * rb.switch_allocator.dynamic_uw() / rdyn);
+  std::printf("  %-18s %10.1f uW  %5.1f%%\n", "vc allocator",
+              rb.vc_allocator.dynamic_uw(),
+              100.0 * rb.vc_allocator.dynamic_uw() / rdyn);
+  std::printf("  %-18s %10.1f uW  %5.1f%%\n", "ecc codecs",
+              rb.ecc.dynamic_uw(), 100.0 * rb.ecc.dynamic_uw() / rdyn);
+  std::printf("  %-18s %10.1f uW  %5.1f%%\n", "clock",
+              rb.clock.dynamic_uw(), 100.0 * rb.clock.dynamic_uw() / rdyn);
+  std::printf("  %-18s %10.1f uW  %5.2f%%\n", "single TASP HT",
+              tasp.dynamic_uw(), 100.0 * tasp.dynamic_uw() / rdyn);
+
+  const double rleak = rb.total.leakage_nw() + tasp.leakage_nw();
+  std::printf("\nRouter leakage power (paper: buffer 88%%, crossbar 9%%, "
+              "SA 3%%, TASP ~0%%):\n");
+  std::printf("  %-18s %10.1f nW  %5.1f%%\n", "buffers",
+              rb.buffers.leakage_nw(), 100.0 * rb.buffers.leakage_nw() / rleak);
+  std::printf("  %-18s %10.1f nW  %5.1f%%\n", "crossbar",
+              rb.crossbar.leakage_nw(),
+              100.0 * rb.crossbar.leakage_nw() / rleak);
+  std::printf("  %-18s %10.1f nW  %5.1f%%\n", "allocators",
+              rb.switch_allocator.leakage_nw() + rb.vc_allocator.leakage_nw(),
+              100.0 *
+                  (rb.switch_allocator.leakage_nw() +
+                   rb.vc_allocator.leakage_nw()) /
+                  rleak);
+  std::printf("  %-18s %10.1f nW  %5.1f%%\n", "ecc codecs",
+              rb.ecc.leakage_nw(), 100.0 * rb.ecc.leakage_nw() / rleak);
+  std::printf("  %-18s %10.1f nW  %5.2f%%\n", "single TASP HT",
+              tasp.leakage_nw(), 100.0 * tasp.leakage_nw() / rleak);
+
+  const NocBreakdown nb = noc_breakdown(cfg);
+  std::printf("\nNoC area (paper: global wire 86%%, active 13%%, TASP ~1%% "
+              "of the chart):\n");
+  std::printf("  %-18s %12.0f um2  %5.2f%%\n", "global wires",
+              nb.global_wire_area_um2,
+              100.0 * nb.global_wire_area_um2 / nb.total_area_um2());
+  std::printf("  %-18s %12.0f um2  %5.2f%%\n", "active (routers)",
+              nb.routers.area_um2(),
+              100.0 * nb.routers.area_um2() / nb.total_area_um2());
+  std::printf("  %-18s %12.0f um2  %7.4f%%\n", "TASP on all 48 links",
+              nb.tasp_all_links.area_um2(),
+              100.0 * nb.tasp_all_links.area_um2() / nb.total_area_um2());
+
+  const double noc_dyn =
+      nb.routers.dynamic_uw() + nb.tasp_all_links.dynamic_uw();
+  std::printf("\nNoC dynamic power (paper: routers 99.44%%, TASP on all 48 "
+              "links 0.56%%):\n");
+  std::printf("  %-18s %12.1f uW  %6.2f%%\n", "routers",
+              nb.routers.dynamic_uw(),
+              100.0 * nb.routers.dynamic_uw() / noc_dyn);
+  std::printf("  %-18s %12.1f uW  %6.2f%%\n\n", "TASP x48",
+              nb.tasp_all_links.dynamic_uw(),
+              100.0 * nb.tasp_all_links.dynamic_uw() / noc_dyn);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Google-benchmark microbenchmarks of the hot primitives: SECDED
+// encode/decode, obfuscation transforms, the trojan's DPI comparator, and
+// whole-network simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "noc/obfuscation.hpp"
+
+namespace {
+
+using namespace htnoc;
+
+void BM_SecdedEncode(benchmark::State& state) {
+  const auto& codec = ecc::secded();
+  std::uint64_t d = 0x0123456789ABCDEFULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(d));
+    d = d * 6364136223846793005ULL + 1;
+  }
+}
+BENCHMARK(BM_SecdedEncode);
+
+void BM_SecdedDecodeClean(benchmark::State& state) {
+  const auto& codec = ecc::secded();
+  const Codeword72 cw = codec.encode(0xDEADBEEF12345678ULL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(cw));
+  }
+}
+BENCHMARK(BM_SecdedDecodeClean);
+
+void BM_SecdedDecodeDoubleError(benchmark::State& state) {
+  const auto& codec = ecc::secded();
+  Codeword72 cw = codec.encode(0xDEADBEEF12345678ULL);
+  cw.flip(3);
+  cw.flip(40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(cw));
+  }
+}
+BENCHMARK(BM_SecdedDecodeDoubleError);
+
+void BM_ObfuscationRoundTrip(benchmark::State& state) {
+  const auto method = static_cast<ObfMethod>(state.range(0));
+  ObfuscationTag tag;
+  tag.method = method;
+  tag.granularity = ObfGranularity::kFlit;
+  std::uint64_t w = 0xA5A55A5ADEADBEEFULL;
+  for (auto _ : state) {
+    const std::uint64_t o = obf::apply(w, tag, 0x1234567890ABCDEFULL);
+    benchmark::DoNotOptimize(obf::undo(o, tag, 0x1234567890ABCDEFULL));
+    w += 0x9E3779B97F4A7C15ULL;
+  }
+}
+BENCHMARK(BM_ObfuscationRoundTrip)
+    ->Arg(static_cast<int>(ObfMethod::kInvert))
+    ->Arg(static_cast<int>(ObfMethod::kShuffle))
+    ->Arg(static_cast<int>(ObfMethod::kScramble));
+
+void BM_TaspInspection(benchmark::State& state) {
+  trojan::TaspParams p;
+  p.kind = trojan::TargetKind::kFull;
+  trojan::Tasp t(p);
+  t.set_kill_switch(true);
+  wire::HeaderFields h;
+  h.dest = 7;
+  LinkPhit phit;
+  phit.flit.wire = wire::pack_header(h);
+  phit.codeword = ecc::secded().encode(phit.flit.wire);
+  Cycle now = 0;
+  for (auto _ : state) {
+    t.on_traverse(++now, phit);
+    benchmark::DoNotOptimize(phit);
+  }
+}
+BENCHMARK(BM_TaspInspection);
+
+void BM_NetworkStepIdle(benchmark::State& state) {
+  NocConfig cfg;
+  Network net(cfg);
+  for (auto _ : state) {
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkStepIdle);
+
+void BM_NetworkStepLoaded(benchmark::State& state) {
+  NocConfig cfg;
+  Network net(cfg);
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 1;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  for (auto _ : state) {
+    gen.step();
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pkts_delivered"] =
+      static_cast<double>(gen.stats().packets_delivered);
+}
+BENCHMARK(BM_NetworkStepLoaded);
+
+void BM_NetworkStepUnderAttack(benchmark::State& state) {
+  sim::SimConfig sc;
+  sc.mode = sim::MitigationMode::kLOb;
+  sc.attacks.push_back(bench::paper_attack(0));
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 2;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  for (auto _ : state) {
+    gen.step();
+    simulator.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkStepUnderAttack);
+
+}  // namespace
+
+BENCHMARK_MAIN();

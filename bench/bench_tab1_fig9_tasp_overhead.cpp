@@ -1,0 +1,65 @@
+// Table I and Figure 9 — synthesized area, dynamic power, leakage and
+// timing of each TASP target-comparator variant (Full, Dest, Src, Dest_Src,
+// Mem, VC), our gate-equivalent model side by side with the paper's
+// Synopsys DC / TSMC 40 nm numbers.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "power/blocks.hpp"
+
+int main() {
+  using namespace htnoc;
+  using namespace htnoc::power;
+  bench::print_header("Table I / Figure 9",
+                      "TASP target variants: area, power, timing");
+
+  std::printf("\n%-10s %6s | %10s %10s | %10s %10s | %10s %10s | %8s %8s\n",
+              "variant", "bits", "area(um2)", "paper", "dyn(uW)", "paper",
+              "leak(nW)", "paper", "t(ns)", "paper");
+  for (const TaspReference& ref : tasp_paper_reference()) {
+    const BlockEstimate b = tasp_block(ref.kind);
+    std::printf("%-10s %6u | %10.2f %10.2f | %10.2f %10.2f | %10.2f %10.2f "
+                "| %8.3f %8.2f\n",
+                trojan::to_string(ref.kind).c_str(),
+                trojan::target_width(ref.kind), b.area_um2(), ref.area_um2,
+                b.dynamic_uw(), ref.dynamic_uw, b.leakage_nw(), ref.leakage_nw,
+                b.delay_ns(), ref.timing_ns);
+  }
+
+  // The thread/process-id comparator the paper lists but does not
+  // synthesize — model-only row for completeness.
+  {
+    const BlockEstimate b = tasp_block(trojan::TargetKind::kThread);
+    std::printf("%-10s %6u | %10.2f %10s | %10.2f %10s | %10.2f %10s "
+                "| %8.3f %8s\n",
+                "thread", trojan::target_width(trojan::TargetKind::kThread),
+                b.area_um2(), "n/a", b.dynamic_uw(), "n/a", b.leakage_nw(),
+                "n/a", b.delay_ns(), "n/a");
+  }
+
+  std::printf("\nFigure 9 (area vs target selection):\n");
+  for (const TaspReference& ref : tasp_paper_reference()) {
+    const BlockEstimate b = tasp_block(ref.kind);
+    const int bar = static_cast<int>(b.area_um2());
+    std::printf("  %-10s %6.1f um2 |", trojan::to_string(ref.kind).c_str(),
+                b.area_um2());
+    for (int i = 0; i < bar; ++i) std::printf("#");
+    std::printf("\n");
+  }
+
+  // Payload-counter width trade-off (the Y parameter of Fig. 3).
+  std::printf("\nPayload counter width (Y) vs area, dest variant:\n");
+  for (const int y : {2, 4, 8, 16, 32}) {
+    const BlockEstimate b = tasp_block(trojan::TargetKind::kDest, y);
+    std::printf("  Y=%-3d  %7.2f um2  %7.2f nW leakage\n", y, b.area_um2(),
+                b.leakage_nw());
+  }
+
+  std::printf("\nAll variants fit the 0.5 ns cycle at 2 GHz: ");
+  bool all_meet = true;
+  for (const TaspReference& ref : tasp_paper_reference()) {
+    all_meet = all_meet && tasp_block(ref.kind).meets_timing();
+  }
+  std::printf("%s\n\n", all_meet ? "yes" : "NO");
+  return all_meet ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Table II — area, power and timing of the proposed mitigation hardware
+// (threat source detector + L-Ob s2s obfuscation blocks), and its overhead
+// relative to the router micro-architecture. Paper: +2% area, +6% power.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "power/blocks.hpp"
+
+int main() {
+  using namespace htnoc;
+  using namespace htnoc::power;
+  bench::print_header("Table II", "mitigation hardware overhead");
+
+  const NocConfig cfg;
+  const MitigationOverhead m = mitigation_overhead(cfg);
+  const RouterBreakdown rb = router_breakdown(cfg);
+
+  std::printf("\n%-28s %10s %10s %10s %8s\n", "block", "area(um2)", "dyn(uW)",
+              "leak(nW)", "t(ns)");
+  const auto row = [](const char* name, const BlockEstimate& b) {
+    std::printf("%-28s %10.2f %10.2f %10.2f %8.3f\n", name, b.area_um2(),
+                b.dynamic_uw(), b.leakage_nw(), b.delay_ns());
+  };
+  row("threat source detector", m.threat_detector);
+  row("L-Ob (per output port)", m.lob_per_port);
+  row("total per router (det+4xL-Ob)", m.total_per_router);
+  row("router (for reference)", rb.total);
+
+  std::printf("\noverhead vs router:  area %+.2f%%   power %+.2f%%\n",
+              100.0 * m.area_fraction_of_router,
+              100.0 * m.power_fraction_of_router);
+  std::printf("paper reports:       area +2%%      power +6%%\n");
+  std::printf("\nboth blocks meet the 2 GHz timing budget: %s\n\n",
+              m.threat_detector.meets_timing() && m.lob_per_port.meets_timing()
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

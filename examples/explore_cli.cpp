@@ -1,0 +1,228 @@
+// Interactive experiment explorer: compose your own attack/defense scenario
+// from the command line without writing code.
+//
+//   $ ./explore_cli --app facesim --mode lob --attack 4:N --target dest=0 \
+//                   --cycles 5000
+//   $ ./explore_cli --help
+//
+// Prints a time series of throughput and saturation metrics plus a final
+// summary — the fastest way to poke at the system's behaviour space.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include <iostream>
+
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+#include "traffic/generator.hpp"
+
+namespace {
+
+using namespace htnoc;
+
+struct Options {
+  std::string app = "blackscholes";
+  std::string mode = "none";
+  std::string routing = "xy";
+  std::string scheme = "output";
+  std::vector<LinkRef> attack_links;
+  trojan::TargetKind target_kind = trojan::TargetKind::kDest;
+  std::uint64_t target_value = 0;
+  Cycle killsw_at = 1000;
+  Cycle cycles = 4000;
+  bool tdm = false;
+  bool report = false;
+  std::uint64_t seed = 1;
+  double rate_scale = 1.0;
+};
+
+void usage() {
+  std::printf(
+      "explore_cli — compose a TASP attack/defense scenario\n\n"
+      "  --app NAME        blackscholes|facesim|ferret|fft (default "
+      "blackscholes)\n"
+      "  --mode M          none|lob|reroute (default none)\n"
+      "  --routing R       xy|west_first (default xy)\n"
+      "  --scheme S        output|per_vc retransmission buffers (default "
+      "output)\n"
+      "  --attack R:D      implant a TASP on router R's link in direction "
+      "D (N|S|E|W); repeatable\n"
+      "  --target K=V      dest|src|vc|mem|full =value (default dest=0)\n"
+      "  --killsw CYC      enable the kill switch at cycle CYC (default "
+      "1000)\n"
+      "  --cycles N        simulate N cycles (default 4000)\n"
+      "  --rate X          scale the app's injection rate by X\n"
+      "  --tdm             enable two-domain TDM QoS\n"
+      "  --report          print the full per-router pipeline report\n"
+      "  --seed N          traffic seed\n");
+}
+
+Direction parse_dir(char c) {
+  switch (c) {
+    case 'N': return Direction::kNorth;
+    case 'S': return Direction::kSouth;
+    case 'E': return Direction::kEast;
+    case 'W': return Direction::kWest;
+    default: throw ContractViolation(std::string("bad direction ") + c);
+  }
+}
+
+trojan::TargetKind parse_kind(const std::string& k) {
+  if (k == "dest") return trojan::TargetKind::kDest;
+  if (k == "src") return trojan::TargetKind::kSrc;
+  if (k == "vc") return trojan::TargetKind::kVc;
+  if (k == "mem") return trojan::TargetKind::kMem;
+  if (k == "full") return trojan::TargetKind::kFull;
+  if (k == "dest_src") return trojan::TargetKind::kDestSrc;
+  throw ContractViolation("bad target kind " + k);
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw ContractViolation(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return false;
+    if (arg == "--app") {
+      opt.app = next();
+    } else if (arg == "--mode") {
+      opt.mode = next();
+    } else if (arg == "--routing") {
+      opt.routing = next();
+    } else if (arg == "--scheme") {
+      opt.scheme = next();
+    } else if (arg == "--attack") {
+      const std::string v = next();
+      const auto colon = v.find(':');
+      if (colon == std::string::npos || colon + 2 != v.size()) {
+        throw ContractViolation("--attack expects R:D, got " + v);
+      }
+      opt.attack_links.push_back(
+          {static_cast<RouterId>(std::stoi(v.substr(0, colon))),
+           parse_dir(v[colon + 1])});
+    } else if (arg == "--target") {
+      const std::string v = next();
+      const auto eq = v.find('=');
+      if (eq == std::string::npos) {
+        throw ContractViolation("--target expects K=V, got " + v);
+      }
+      opt.target_kind = parse_kind(v.substr(0, eq));
+      opt.target_value = std::stoull(v.substr(eq + 1), nullptr, 0);
+    } else if (arg == "--killsw") {
+      opt.killsw_at = std::stoull(next());
+    } else if (arg == "--cycles") {
+      opt.cycles = std::stoull(next());
+    } else if (arg == "--rate") {
+      opt.rate_scale = std::stod(next());
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(next());
+    } else if (arg == "--tdm") {
+      opt.tdm = true;
+    } else if (arg == "--report") {
+      opt.report = true;
+    } else {
+      throw ContractViolation("unknown flag " + arg);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    if (!parse_args(argc, argv, opt)) {
+      usage();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n\n", e.what());
+    usage();
+    return 2;
+  }
+
+  sim::SimConfig sc;
+  sc.noc.tdm_enabled = opt.tdm;
+  sc.noc.retrans_scheme = retransmission_scheme_from_string(opt.scheme);
+  sc.mode = opt.mode == "lob"       ? sim::MitigationMode::kLOb
+            : opt.mode == "reroute" ? sim::MitigationMode::kReroute
+                                    : sim::MitigationMode::kNone;
+  if (opt.attack_links.empty()) {
+    opt.attack_links.push_back({4, Direction::kNorth});
+  }
+  for (const LinkRef& l : opt.attack_links) {
+    sim::AttackSpec a;
+    a.link = l;
+    a.tasp.kind = opt.target_kind;
+    a.tasp.target_dest = static_cast<RouterId>(opt.target_value);
+    a.tasp.target_src = static_cast<RouterId>(opt.target_value);
+    a.tasp.target_vc = static_cast<VcId>(opt.target_value);
+    a.tasp.target_mem = static_cast<std::uint32_t>(opt.target_value);
+    a.enable_killsw_at = opt.killsw_at;
+    sc.attacks.push_back(a);
+  }
+
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  if (opt.routing == "west_first") net.use_west_first_routing();
+
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  auto profile = traffic::profile_by_name(opt.app);
+  profile.injection_rate *= opt.rate_scale;
+  traffic::AppTrafficModel model(net.geometry(), profile);
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = opt.seed;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  simulator.set_drop_callback([&](PacketId id) { gen.requeue(id); });
+
+  std::printf("app=%s mode=%s routing=%s scheme=%s trojans=%zu "
+              "target=%s killsw@%llu\n\n",
+              opt.app.c_str(), opt.mode.c_str(), opt.routing.c_str(),
+              opt.scheme.c_str(), simulator.num_trojans(),
+              trojan::to_string(opt.target_kind).c_str(),
+              static_cast<unsigned long long>(opt.killsw_at));
+  std::printf("%8s %10s %10s %8s %10s %12s\n", "cycle", "delivered",
+              "thru/250c", "blocked", "cores_full", "trojan_hits");
+
+  const Cycle report_every = 250;
+  std::uint64_t prev = 0;
+  for (Cycle c = 0; c < opt.cycles; ++c) {
+    gen.step();
+    simulator.step();
+    if ((c + 1) % report_every == 0) {
+      const auto u = net.sample_utilization();
+      std::uint64_t hits = 0;
+      for (std::size_t t = 0; t < simulator.num_trojans(); ++t) {
+        hits += simulator.tasp(t).stats().injections;
+      }
+      std::printf("%8llu %10llu %10llu %8d %10d %12llu\n",
+                  static_cast<unsigned long long>(c + 1),
+                  static_cast<unsigned long long>(
+                      gen.stats().packets_delivered),
+                  static_cast<unsigned long long>(
+                      gen.stats().packets_delivered - prev),
+                  u.routers_with_blocked_port, u.routers_all_cores_full,
+                  static_cast<unsigned long long>(hits));
+      prev = gen.stats().packets_delivered;
+    }
+  }
+
+  std::printf("\nsummary: %llu delivered, avg latency %.1f, backlog %zu, "
+              "links disabled %d, packets purged %llu\n",
+              static_cast<unsigned long long>(gen.stats().packets_delivered),
+              gen.stats().avg_latency(), gen.backlog_size(),
+              simulator.stats().links_disabled,
+              static_cast<unsigned long long>(
+                  simulator.stats().packets_purged));
+  if (opt.report) {
+    std::printf("\n");
+    stats::print_network_report(std::cout, net);
+  }
+  return 0;
+}

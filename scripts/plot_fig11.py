@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Plot Figure 11 (DoS progression) from bench_fig11_dos_progression output.
+
+Usage:
+    build/bench/bench_fig11_dos_progression | scripts/plot_fig11.py out.png
+
+Optional tooling: requires matplotlib; the bench's stdout tables are the
+primary artifact and this script only prettifies them.
+"""
+import sys
+
+
+def parse(stream):
+    """Split the bench output into named CSV sections."""
+    sections = {}
+    label = None
+    for line in stream:
+        line = line.strip()
+        if line.startswith("--- "):
+            label = line.strip("- ").strip()
+            sections[label] = []
+        elif label and "," in line and not line.startswith(("#", "cycle")):
+            try:
+                sections[label].append([int(x) for x in line.split(",")])
+            except ValueError:
+                pass
+    return {k: v for k, v in sections.items() if v}
+
+
+def main():
+    out = sys.argv[1] if len(sys.argv) > 1 else "fig11.png"
+    sections = parse(sys.stdin)
+    if not sections:
+        sys.exit("no CSV sections found on stdin — pipe the bench output in")
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(2, len(sections), figsize=(6 * len(sections), 7),
+                             squeeze=False)
+    for col, (label, rows) in enumerate(sections.items()):
+        t = [r[0] for r in rows]
+        ax = axes[0][col]
+        ax.plot(t, [r[1] for r in rows], label="input port")
+        ax.plot(t, [r[2] for r in rows], label="output port")
+        ax.plot(t, [r[3] for r in rows], label="injection port")
+        ax.set_title(label, fontsize=9)
+        ax.set_ylabel("buffer utilization (flits)")
+        ax.legend(fontsize=8)
+
+        ax2 = axes[1][col]
+        ax2.plot(t, [r[4] for r in rows], label="all cores full")
+        ax2.plot(t, [r[5] for r in rows], label="> 50% cores full")
+        ax2.plot(t, [r[6] for r in rows], label="≥1 port blocked")
+        ax2.set_xlabel("cycles after TASP enabled")
+        ax2.set_ylabel("routers (of 16)")
+        ax2.legend(fontsize=8)
+
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Build, test and regenerate every paper table/figure in one go.
+#
+#   scripts/run_all.sh [build-dir]
+#
+# Outputs: <build-dir>, test_output.txt, bench_output.txt in the repo root.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -G Ninja -S "$repo_root"
+cmake --build "$build_dir"
+
+ctest --test-dir "$build_dir" -j "$(nproc)" 2>&1 | tee "$repo_root/test_output.txt"
+
+{
+  for b in "$build_dir"/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      "$b"
+    fi
+  done
+} 2>&1 | tee "$repo_root/bench_output.txt"
+
+echo "done: test_output.txt and bench_output.txt written to $repo_root"

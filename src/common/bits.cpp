@@ -1,0 +1,14 @@
+#include "common/bits.hpp"
+
+namespace htnoc {
+
+std::string to_bit_string(const Codeword72& cw) {
+  std::string s;
+  s.reserve(Codeword72::kBits);
+  for (unsigned bit = Codeword72::kBits; bit-- > 0;) {
+    s.push_back(cw.get(bit) ? '1' : '0');
+  }
+  return s;
+}
+
+}  // namespace htnoc

@@ -1,0 +1,79 @@
+// Bit-manipulation helpers and the 72-bit link codeword used on every wire.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/expect.hpp"
+
+namespace htnoc {
+
+/// Extract `width` bits of `value` starting at bit `pos` (LSB = 0).
+[[nodiscard]] constexpr std::uint64_t extract_bits(std::uint64_t value, unsigned pos,
+                                                   unsigned width) noexcept {
+  if (width >= 64) return value >> pos;
+  return (value >> pos) & ((std::uint64_t{1} << width) - 1);
+}
+
+/// Replace `width` bits of `value` starting at `pos` with `field`.
+[[nodiscard]] constexpr std::uint64_t deposit_bits(std::uint64_t value, unsigned pos,
+                                                   unsigned width,
+                                                   std::uint64_t field) noexcept {
+  const std::uint64_t mask =
+      (width >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  return (value & ~(mask << pos)) | ((field & mask) << pos);
+}
+
+/// A 72-bit SECDED codeword as carried on a link: 64 data + 8 check bits.
+/// Bit 0..63 live in `lo`; bit 64..71 live in the low byte of `hi`.
+struct Codeword72 {
+  std::uint64_t lo = 0;
+  std::uint8_t hi = 0;
+
+  static constexpr unsigned kBits = 72;
+
+  [[nodiscard]] constexpr bool get(unsigned bit) const noexcept {
+    return bit < 64 ? ((lo >> bit) & 1) != 0 : ((hi >> (bit - 64)) & 1) != 0;
+  }
+
+  constexpr void set(unsigned bit, bool v) noexcept {
+    if (bit < 64) {
+      lo = v ? (lo | (std::uint64_t{1} << bit)) : (lo & ~(std::uint64_t{1} << bit));
+    } else {
+      const auto m = static_cast<std::uint8_t>(1u << (bit - 64));
+      hi = v ? static_cast<std::uint8_t>(hi | m) : static_cast<std::uint8_t>(hi & ~m);
+    }
+  }
+
+  constexpr void flip(unsigned bit) noexcept {
+    if (bit < 64) {
+      lo ^= (std::uint64_t{1} << bit);
+    } else {
+      hi = static_cast<std::uint8_t>(hi ^ (1u << (bit - 64)));
+    }
+  }
+
+  [[nodiscard]] constexpr int popcount() const noexcept {
+    return std::popcount(lo) + std::popcount(static_cast<unsigned>(hi));
+  }
+
+  [[nodiscard]] constexpr bool operator==(const Codeword72&) const noexcept = default;
+
+  /// Hamming distance to another codeword (number of differing wires).
+  [[nodiscard]] constexpr int distance(const Codeword72& o) const noexcept {
+    return std::popcount(lo ^ o.lo) +
+           std::popcount(static_cast<unsigned>(hi ^ o.hi));
+  }
+};
+
+/// Render as 72-character binary string, MSB (bit 71) first. For diagnostics.
+[[nodiscard]] std::string to_bit_string(const Codeword72& cw);
+
+/// Parity (XOR-reduction) of a 64-bit word.
+[[nodiscard]] constexpr bool parity64(std::uint64_t x) noexcept {
+  return (std::popcount(x) & 1) != 0;
+}
+
+}  // namespace htnoc

@@ -1,0 +1,52 @@
+#include "common/config.hpp"
+
+#include "common/expect.hpp"
+
+namespace htnoc {
+
+void NocConfig::validate() const {
+  HTNOC_EXPECT(mesh_width >= 2 && mesh_width <= 64);
+  HTNOC_EXPECT(mesh_height >= 2 && mesh_height <= 64);
+  HTNOC_EXPECT(concentration >= 1 && concentration <= 16);
+  HTNOC_EXPECT(vcs_per_port >= 1 && vcs_per_port <= 16);
+  HTNOC_EXPECT(buffer_depth >= 1 && buffer_depth <= 64);
+  HTNOC_EXPECT(retrans_depth >= 1 && retrans_depth <= 64);
+  HTNOC_EXPECT(retrans_per_vc_depth >= 1 && retrans_per_vc_depth <= 64);
+  HTNOC_EXPECT(stage_bw_rc >= 1 && stage_va >= 1 && stage_sa >= 1 &&
+               stage_st >= 1 && stage_lt >= 1);
+  HTNOC_EXPECT(injection_queue_depth >= 1);
+  // TDM needs an even VC split between the two domains.
+  if (tdm_enabled) HTNOC_EXPECT(vcs_per_port % 2 == 0);
+}
+
+RetransmissionScheme retransmission_scheme_from_string(const std::string& s) {
+  if (s == "output") return RetransmissionScheme::kOutputBuffer;
+  if (s == "per_vc") return RetransmissionScheme::kPerVcBuffer;
+  throw ContractViolation("unknown retransmission scheme: " + s);
+}
+
+std::string to_string(RetransmissionScheme s) {
+  switch (s) {
+    case RetransmissionScheme::kOutputBuffer: return "output";
+    case RetransmissionScheme::kPerVcBuffer: return "per_vc";
+  }
+  return "?";
+}
+
+EccScheme ecc_scheme_from_string(const std::string& s) {
+  if (s == "secded") return EccScheme::kSecded;
+  if (s == "parity") return EccScheme::kParity;
+  if (s == "none") return EccScheme::kNone;
+  throw ContractViolation("unknown ecc scheme: " + s);
+}
+
+std::string to_string(EccScheme s) {
+  switch (s) {
+    case EccScheme::kSecded: return "secded";
+    case EccScheme::kParity: return "parity";
+    case EccScheme::kNone: return "none";
+  }
+  return "?";
+}
+
+}  // namespace htnoc

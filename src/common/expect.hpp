@@ -1,0 +1,48 @@
+// Lightweight precondition / invariant checking in the spirit of the
+// C++ Core Guidelines' Expects()/Ensures(). Violations throw so tests can
+// assert on them; hot paths may use HTNOC_ASSUME in release builds.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace htnoc {
+
+/// Thrown when a precondition or invariant stated with HTNOC_EXPECT fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const std::source_location loc) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          loc.file_name() + ":" + std::to_string(loc.line()) +
+                          " in " + loc.function_name());
+}
+}  // namespace detail
+
+}  // namespace htnoc
+
+#define HTNOC_EXPECT(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::htnoc::detail::contract_fail("precondition", #cond,                  \
+                                     std::source_location::current());       \
+  } while (false)
+
+#define HTNOC_ENSURE(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::htnoc::detail::contract_fail("postcondition", #cond,                 \
+                                     std::source_location::current());       \
+  } while (false)
+
+#define HTNOC_INVARIANT(cond)                                                \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::htnoc::detail::contract_fail("invariant", #cond,                     \
+                                     std::source_location::current());       \
+  } while (false)

@@ -1,0 +1,19 @@
+#include "common/log.hpp"
+
+namespace htnoc {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  const char* tag = "";
+  switch (lvl) {
+    case LogLevel::kError: tag = "[error] "; break;
+    case LogLevel::kWarn: tag = "[warn]  "; break;
+    case LogLevel::kInfo: tag = "[info]  "; break;
+    case LogLevel::kDebug: tag = "[debug] "; break;
+    case LogLevel::kTrace: tag = "[trace] "; break;
+  }
+  std::cerr << tag << msg << '\n';
+}
+
+}  // namespace htnoc

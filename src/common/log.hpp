@@ -1,0 +1,64 @@
+// Minimal leveled logger. Quiet by default so benches and tests stay clean;
+// examples turn it up for narrative output.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace htnoc {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Process-wide log threshold (a deliberate, documented exception to the
+/// no-globals rule: log level is configuration, not program state).
+class Log {
+ public:
+  static LogLevel level() noexcept { return level_; }
+  static void set_level(LogLevel lvl) noexcept { level_ = lvl; }
+  static bool enabled(LogLevel lvl) noexcept {
+    return static_cast<int>(lvl) <= static_cast<int>(level_);
+  }
+  static void write(LogLevel lvl, const std::string& msg);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (Log::enabled(LogLevel::kError))
+    Log::write(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (Log::enabled(LogLevel::kWarn))
+    Log::write(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (Log::enabled(LogLevel::kInfo))
+    Log::write(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (Log::enabled(LogLevel::kDebug))
+    Log::write(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace htnoc

@@ -1,0 +1,91 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Simulations must be bit-reproducible across runs and platforms, so we do
+// not use std::mt19937 distributions (whose std::uniform_* mappings are not
+// specified portably). xoshiro256** supplies raw 64-bit draws and we build
+// the distributions ourselves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/expect.hpp"
+
+namespace htnoc {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // splitmix64 to fill the state; never all-zero.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Raw 64 uniformly random bits.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    HTNOC_EXPECT(bound > 0);
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      // 128-bit multiply-high.
+      const auto wide = static_cast<unsigned __int128>(r) * bound;
+      const auto lo = static_cast<std::uint64_t>(wide);
+      if (lo >= threshold) return static_cast<std::uint64_t>(wide >> 64);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    HTNOC_EXPECT(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Derive an independent child stream; deterministic in (this state, salt).
+  Rng split(std::uint64_t salt) noexcept {
+    return Rng(next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace htnoc

@@ -1,0 +1,26 @@
+#include "common/types.hpp"
+
+namespace htnoc {
+
+std::string to_string(Direction d) {
+  switch (d) {
+    case Direction::kNorth: return "N";
+    case Direction::kSouth: return "S";
+    case Direction::kEast: return "E";
+    case Direction::kWest: return "W";
+    case Direction::kLocal: return "L";
+  }
+  return "?";
+}
+
+std::string to_string(FlitType t) {
+  switch (t) {
+    case FlitType::kHead: return "head";
+    case FlitType::kBody: return "body";
+    case FlitType::kTail: return "tail";
+    case FlitType::kHeadTail: return "head_tail";
+  }
+  return "?";
+}
+
+}  // namespace htnoc

@@ -1,0 +1,79 @@
+// Fundamental identifiers and enumerations shared by every htnoc module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace htnoc {
+
+/// Simulation time in router clock cycles (2 GHz nominal).
+using Cycle = std::uint64_t;
+
+/// Core (network-interface endpoint) identifier, 0..num_cores-1.
+using NodeId = std::uint16_t;
+
+/// Router identifier, 0..num_routers-1.
+using RouterId = std::uint16_t;
+
+/// Globally unique packet identifier assigned at injection.
+using PacketId = std::uint64_t;
+
+/// Virtual-channel index within a port.
+using VcId = std::uint8_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr RouterId kInvalidRouter = std::numeric_limits<RouterId>::max();
+inline constexpr PacketId kInvalidPacket = std::numeric_limits<PacketId>::max();
+
+/// Flit position within its packet.
+enum class FlitType : std::uint8_t {
+  kHead,      ///< First flit; carries the routing/target header.
+  kBody,      ///< Middle flit.
+  kTail,      ///< Last flit; releases the VC.
+  kHeadTail,  ///< Single-flit packet.
+};
+
+[[nodiscard]] constexpr bool is_head(FlitType t) noexcept {
+  return t == FlitType::kHead || t == FlitType::kHeadTail;
+}
+[[nodiscard]] constexpr bool is_tail(FlitType t) noexcept {
+  return t == FlitType::kTail || t == FlitType::kHeadTail;
+}
+
+/// Packet semantic class used by the request/reply traffic protocol.
+enum class PacketClass : std::uint8_t {
+  kRequest,
+  kReply,
+  kData,
+};
+
+/// TDM quality-of-service domain (SurfNoC-style two-domain evaluation).
+enum class TdmDomain : std::uint8_t {
+  kD1 = 0,
+  kD2 = 1,
+};
+
+/// Mesh port directions. Local ports for the concentration follow.
+enum class Direction : std::uint8_t {
+  kNorth = 0,
+  kSouth = 1,
+  kEast = 2,
+  kWest = 3,
+  kLocal = 4,  ///< First local (core) port; concentrated meshes have several.
+};
+
+[[nodiscard]] constexpr Direction opposite(Direction d) noexcept {
+  switch (d) {
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kSouth: return Direction::kNorth;
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kWest: return Direction::kEast;
+    default: return Direction::kLocal;
+  }
+}
+
+[[nodiscard]] std::string to_string(Direction d);
+[[nodiscard]] std::string to_string(FlitType t);
+
+}  // namespace htnoc

@@ -1,0 +1,17 @@
+#include "ecc/codec.hpp"
+
+namespace htnoc::ecc {
+
+const LinkCodec& codec_for(EccScheme scheme) {
+  static const SecdedCodec secded_codec;
+  static const ParityCodec parity_codec;
+  static const NoneCodec none_codec;
+  switch (scheme) {
+    case EccScheme::kParity: return parity_codec;
+    case EccScheme::kNone: return none_codec;
+    case EccScheme::kSecded:
+    default: return secded_codec;
+  }
+}
+
+}  // namespace htnoc::ecc

@@ -1,0 +1,106 @@
+// The link-codec abstraction: every link guards its 64 data bits with one
+// of three error-control schemes. The paper's platform is SECDED and its
+// trojan is designed against it ("we assume the attacker has knowledge of
+// the ECC between links"); the parity and raw variants quantify how much
+// that knowledge matters:
+//
+//   scheme  | 1-bit fault        | 2-bit fault            | 3-bit fault
+//   --------+--------------------+------------------------+----------------
+//   secded  | corrected inline   | detected -> retransmit | mis-corrected/detected
+//   parity  | detected -> retx   | SILENT corruption      | detected -> retx
+//   none    | silent corruption  | silent corruption      | silent corruption
+//
+// A TASP tuned for SECDED (2-bit payload) therefore corrupts parity links
+// silently instead of DoSing them, while a single-bit payload — harmless
+// against SECDED — already mounts the full DoS against parity.
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "ecc/secded.hpp"
+
+namespace htnoc::ecc {
+
+/// Interface every link code implements. Stateless; one shared instance per
+/// scheme.
+class LinkCodec {
+ public:
+  virtual ~LinkCodec() = default;
+  [[nodiscard]] virtual Codeword72 encode(std::uint64_t data) const = 0;
+  [[nodiscard]] virtual DecodeResult decode(Codeword72 received) const = 0;
+  /// Read the data bits without checking (what an on-link observer taps).
+  [[nodiscard]] virtual std::uint64_t extract_data(const Codeword72& cw) const = 0;
+  /// Wires actually carrying signal under this scheme (faults on unused
+  /// wires are invisible).
+  [[nodiscard]] virtual unsigned used_wires() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// SECDED adapter over the shared Hamming(72,64) tables.
+class SecdedCodec final : public LinkCodec {
+ public:
+  [[nodiscard]] Codeword72 encode(std::uint64_t data) const override {
+    return secded().encode(data);
+  }
+  [[nodiscard]] DecodeResult decode(Codeword72 received) const override {
+    return secded().decode(received);
+  }
+  [[nodiscard]] std::uint64_t extract_data(const Codeword72& cw) const override {
+    return secded().extract_data(cw);
+  }
+  [[nodiscard]] unsigned used_wires() const override { return 72; }
+  [[nodiscard]] std::string name() const override { return "secded"; }
+};
+
+/// Single even-parity bit at wire 64; data on wires 0..63.
+class ParityCodec final : public LinkCodec {
+ public:
+  [[nodiscard]] Codeword72 encode(std::uint64_t data) const override {
+    Codeword72 cw;
+    cw.lo = data;
+    cw.set(64, parity64(data));
+    return cw;
+  }
+  [[nodiscard]] DecodeResult decode(Codeword72 received) const override {
+    DecodeResult r;
+    r.data = received.lo;
+    const bool bad = parity64(received.lo) != received.get(64);
+    r.overall_parity_bad = bad;
+    // Odd-weight errors are detected but never correctable; even-weight
+    // errors (the SECDED-tuned trojan's 2-bit payload!) pass silently.
+    r.status = bad ? DecodeStatus::kDetectedMultiple : DecodeStatus::kClean;
+    return r;
+  }
+  [[nodiscard]] std::uint64_t extract_data(const Codeword72& cw) const override {
+    return cw.lo;
+  }
+  [[nodiscard]] unsigned used_wires() const override { return 65; }
+  [[nodiscard]] std::string name() const override { return "parity"; }
+};
+
+/// Raw wires: no detection at all.
+class NoneCodec final : public LinkCodec {
+ public:
+  [[nodiscard]] Codeword72 encode(std::uint64_t data) const override {
+    Codeword72 cw;
+    cw.lo = data;
+    return cw;
+  }
+  [[nodiscard]] DecodeResult decode(Codeword72 received) const override {
+    DecodeResult r;
+    r.data = received.lo;
+    r.status = DecodeStatus::kClean;
+    return r;
+  }
+  [[nodiscard]] std::uint64_t extract_data(const Codeword72& cw) const override {
+    return cw.lo;
+  }
+  [[nodiscard]] unsigned used_wires() const override { return 64; }
+  [[nodiscard]] std::string name() const override { return "none"; }
+};
+
+/// Shared codec instance for a scheme.
+[[nodiscard]] const LinkCodec& codec_for(EccScheme scheme);
+
+}  // namespace htnoc::ecc

@@ -1,0 +1,59 @@
+// Built-in self-test for a link: drives canonical test patterns through the
+// link's passive fault path and reports wires stuck at a constant value.
+//
+// A dormant or kill-switch-guarded trojan does not answer probes (its
+// comparator never matches synthetic patterns and, per the paper, the
+// killsw specifically exists to survive logic testing) — which is exactly
+// why the threat detector needs a *negative* BIST result to tell a trojan
+// from a permanent fault: repeated faults + clean BIST => targeted attack.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+#include "noc/link.hpp"
+
+namespace htnoc::mitigation {
+
+struct BistReport {
+  bool permanent_fault_found = false;
+  std::vector<unsigned> stuck_wires;  ///< Positions stuck at a constant.
+};
+
+/// Latency budget of one scan, in cycles (pattern count x link round trip).
+inline constexpr Cycle kBistScanLatency = 32;
+
+/// Scan `link` with alternating/all-0/all-1 patterns. Pure with respect to
+/// the network (uses the probe path only).
+[[nodiscard]] inline BistReport bist_scan(const Link& link) {
+  // Two complementary patterns suffice for stuck-at faults: a wire stuck at
+  // v reads v under both.
+  const std::array<Codeword72, 4> patterns = {
+      Codeword72{0x0000000000000000ULL, 0x00},
+      Codeword72{0xFFFFFFFFFFFFFFFFULL, 0xFF},
+      Codeword72{0x5555555555555555ULL, 0x55},
+      Codeword72{0xAAAAAAAAAAAAAAAAULL, 0xAA},
+  };
+
+  BistReport report;
+  for (unsigned pos = 0; pos < Codeword72::kBits; ++pos) {
+    bool always_zero = true;
+    bool always_one = true;
+    for (const Codeword72& p : patterns) {
+      const Codeword72 observed = link.probe(p);
+      if (observed.get(pos)) {
+        always_zero = false;
+      } else {
+        always_one = false;
+      }
+    }
+    if (always_zero || always_one) report.stuck_wires.push_back(pos);
+  }
+  report.permanent_fault_found = !report.stuck_wires.empty();
+  return report;
+}
+
+}  // namespace htnoc::mitigation

@@ -1,0 +1,87 @@
+// Runtime latency auditor — the detection baseline of the paper's related
+// work (JS et al., NOCS'15 [13]): monitor end-to-end packet latencies and
+// raise an alarm when they deviate from a learned baseline.
+//
+// The paper's critique, which bench_ablation quantifies: "using delay to
+// detect an attack is difficult as several factors influence packet latency
+// during normal operation" — bursty-but-benign congestion trips the same
+// alarm, and a trojan that *stops* packets entirely produces no late
+// deliveries to observe at all. Our threat detector sees the fault
+// syndromes directly and has neither problem.
+#pragma once
+
+#include <cstdint>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace htnoc::mitigation {
+
+class LatencyAuditor {
+ public:
+  struct Params {
+    /// EWMA smoothing factor for the learned baseline (per delivery).
+    double baseline_alpha = 0.02;
+    /// Alarm when latency exceeds baseline by this factor...
+    double threshold_factor = 3.0;
+    /// ...for this many consecutive deliveries.
+    int consecutive_required = 8;
+    /// Deliveries to observe before the baseline counts as trained.
+    std::uint64_t warmup_deliveries = 200;
+  };
+
+  struct Stats {
+    std::uint64_t deliveries_observed = 0;
+    std::uint64_t over_threshold = 0;
+    std::uint64_t alarms = 0;
+    Cycle first_alarm_at = 0;
+  };
+
+  LatencyAuditor() : LatencyAuditor(Params{}) {}
+  explicit LatencyAuditor(Params params) : params_(params) {
+    HTNOC_EXPECT(params_.baseline_alpha > 0.0 && params_.baseline_alpha <= 1.0);
+    HTNOC_EXPECT(params_.threshold_factor > 1.0);
+    HTNOC_EXPECT(params_.consecutive_required >= 1);
+  }
+
+  /// Feed one delivered packet's end-to-end latency.
+  void observe(Cycle now, Cycle latency) {
+    ++stats_.deliveries_observed;
+    const auto lat = static_cast<double>(latency);
+    if (stats_.deliveries_observed <= params_.warmup_deliveries) {
+      baseline_ = baseline_ == 0.0
+                      ? lat
+                      : baseline_ + params_.baseline_alpha * (lat - baseline_);
+      return;
+    }
+    if (lat > baseline_ * params_.threshold_factor) {
+      ++stats_.over_threshold;
+      ++consecutive_;
+      if (consecutive_ >= params_.consecutive_required) {
+        if (!alarmed_) {
+          alarmed_ = true;
+          ++stats_.alarms;
+          if (stats_.first_alarm_at == 0) stats_.first_alarm_at = now;
+        }
+      }
+    } else {
+      consecutive_ = 0;
+      if (alarmed_) alarmed_ = false;  // alarm clears when latency recovers
+      // Keep adapting slowly to drift while healthy.
+      baseline_ = baseline_ + params_.baseline_alpha * (lat - baseline_);
+    }
+  }
+
+  [[nodiscard]] bool alarmed() const noexcept { return alarmed_; }
+  [[nodiscard]] double baseline() const noexcept { return baseline_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Params params_;
+  double baseline_ = 0.0;
+  int consecutive_ = 0;
+  bool alarmed_ = false;
+  Stats stats_;
+};
+
+}  // namespace htnoc::mitigation

@@ -1,0 +1,84 @@
+#include "mitigation/lob.hpp"
+
+namespace htnoc::mitigation {
+
+ObfuscationTag LObController::plan(Cycle now, const Flit& flit, int attempt,
+                                   bool escalate, bool partner_available) {
+  (void)now;
+  (void)attempt;
+  const std::uint64_t uid = flit.flit_uid();
+  auto it = flit_states_.find(uid);
+
+  if (!escalate && it == flit_states_.end()) {
+    return {};  // On-demand only: never obfuscate an untroubled flit.
+  }
+
+  if (it == flit_states_.end()) {
+    FlitState st;
+    st.active = true;
+    // Jump to the logged method for this flow when we have one.
+    if (params_.use_success_log) {
+      const auto log_it =
+          success_log_.find(flow_key(flit.src_router, flit.dest_router));
+      if (log_it != success_log_.end()) {
+        st.seq_index = log_it->second;
+        ++stats_.log_hits;
+      }
+    }
+    it = flit_states_.emplace(uid, st).first;
+  }
+
+  // Pick the current sequence entry, skipping scramble when no partner flit
+  // is available in the retransmission buffer.
+  const int n = static_cast<int>(params_.sequence.size());
+  for (int probe = 0; probe < n; ++probe) {
+    const int idx = (it->second.seq_index + probe) % n;
+    const auto& [method, gran] = params_.sequence[static_cast<std::size_t>(idx)];
+    if (method == ObfMethod::kScramble && !partner_available) continue;
+    it->second.seq_index = idx;
+    ObfuscationTag tag;
+    tag.method = method;
+    tag.granularity = gran;
+    if (method == ObfMethod::kReorder) {
+      // Reorder is one-shot scheduling advice with no transmission of its
+      // own (no ACK/NACK will report back); advance the cursor now so the
+      // eventual send uses the next method.
+      it->second.seq_index = (idx + 1) % n;
+      if (it->second.seq_index == 0) ++stats_.method_exhaustions;
+    }
+    ++stats_.obfuscated_attempts;
+    return tag;
+  }
+  // Only scramble entries and no partner: fall back to plain.
+  return {};
+}
+
+void LObController::on_ack(Cycle now, const Flit& flit, const ObfuscationTag& tag) {
+  (void)now;
+  const std::uint64_t uid = flit.flit_uid();
+  const auto it = flit_states_.find(uid);
+  if (tag.active()) {
+    ++stats_.successes;
+    if (params_.use_success_log && it != flit_states_.end()) {
+      success_log_[flow_key(flit.src_router, flit.dest_router)] =
+          it->second.seq_index;
+    }
+  }
+  if (it != flit_states_.end()) flit_states_.erase(it);
+}
+
+void LObController::on_nack(Cycle now, const Flit& flit, const ObfuscationTag& tag) {
+  (void)now;
+  if (!tag.active()) return;  // plain attempt failed; detector will escalate
+  const auto it = flit_states_.find(flit.flit_uid());
+  if (it == flit_states_.end()) return;
+  // The method was tried and beaten; advance to the next one.
+  const int n = static_cast<int>(params_.sequence.size());
+  ++it->second.seq_index;
+  if (it->second.seq_index >= n) {
+    it->second.seq_index = 0;
+    ++stats_.method_exhaustions;
+  }
+}
+
+}  // namespace htnoc::mitigation

@@ -1,0 +1,119 @@
+#include "mitigation/threat_detector.hpp"
+
+#include <algorithm>
+
+namespace htnoc::mitigation {
+
+std::string to_string(LinkThreatClass c) {
+  switch (c) {
+    case LinkThreatClass::kClean: return "clean";
+    case LinkThreatClass::kTransient: return "transient";
+    case LinkThreatClass::kSuspect: return "suspect";
+    case LinkThreatClass::kPermanent: return "permanent";
+    case LinkThreatClass::kTrojan: return "trojan";
+  }
+  return "?";
+}
+
+void RouterThreatDetector::maybe_complete_bist(Cycle now, int port,
+                                               PortState& ps) {
+  if (!ps.bist_pending || now < ps.bist_done_at) return;
+  ps.bist_pending = false;
+  ps.bist_ran = true;
+  if (ps.link != nullptr) {
+    ps.bist_report = bist_scan(*ps.link);
+  }
+  reclassify(port, ps);
+}
+
+void RouterThreatDetector::reclassify(int port, PortState& ps) {
+  LinkThreatClass next = ps.cls;
+  if (ps.bist_ran && ps.bist_report.permanent_fault_found) {
+    next = LinkThreatClass::kPermanent;
+  } else if (ps.bist_ran &&
+             (ps.repeat_fault_flits >= params_.trojan_flit_threshold ||
+              ps.max_moving_fault_count >= params_.trojan_single_flit_count ||
+              ps.max_syndrome_repeat >= params_.trojan_syndrome_repeat)) {
+    next = LinkThreatClass::kTrojan;
+  } else if (ps.repeat_fault_flits > 0) {
+    next = LinkThreatClass::kSuspect;
+  } else if (ps.stats.uncorrectable > 0 || ps.stats.corrected > 0) {
+    next = LinkThreatClass::kTransient;
+  }
+  if (next != ps.cls) {
+    ps.cls = next;
+    if (on_classified_ != nullptr &&
+        (next == LinkThreatClass::kTrojan || next == LinkThreatClass::kPermanent)) {
+      on_classified_(port, next);
+    }
+  }
+}
+
+NackAdvice RouterThreatDetector::on_uncorrectable(const FaultObservation& obs) {
+  PortState& ps = ports_[obs.in_port];
+  ++ps.stats.uncorrectable;
+  maybe_complete_bist(obs.now, obs.in_port, ps);
+
+  // Position-reuse sketch: a trojan with a small payload counter keeps
+  // striking the same wire pairs, so its syndromes repeat.
+  const int reps = ++ps.syndrome_counts[obs.ecc.syndrome];
+  ps.max_syndrome_repeat = std::max(ps.max_syndrome_repeat, reps);
+
+  const std::uint64_t uid = obs.flit.flit_uid();
+  auto it = std::find_if(ps.history.begin(), ps.history.end(),
+                         [&](const HistoryEntry& e) { return e.uid == uid; });
+  if (it == ps.history.end()) {
+    HistoryEntry e;
+    e.uid = uid;
+    e.fault_count = 1;
+    e.last_syndrome = obs.ecc.syndrome;
+    e.last_seen = obs.now;
+    ps.history.push_back(e);
+    if (static_cast<int>(ps.history.size()) > params_.history_depth) {
+      ps.history.pop_front();
+    }
+    it = std::prev(ps.history.end());
+  } else {
+    ++it->fault_count;
+    it->syndrome_moved = it->syndrome_moved || (it->last_syndrome != obs.ecc.syndrome);
+    it->last_syndrome = obs.ecc.syndrome;
+    it->last_seen = obs.now;
+    if (it->fault_count == params_.escalate_after) ++ps.repeat_fault_flits;
+    if (it->syndrome_moved) {
+      ps.max_moving_fault_count =
+          std::max(ps.max_moving_fault_count, it->fault_count);
+    }
+  }
+
+  NackAdvice advice;
+  if (it->fault_count >= params_.escalate_after) {
+    // "If the flit has been retransmitted before ... notify BIST ... if the
+    // flit was also obfuscated previously, notify the upstream module so
+    // that the next method can be used."
+    advice.escalate_obfuscation = true;
+    ++ps.stats.escalations_advised;
+    if (!ps.bist_pending && !ps.bist_ran) {
+      ps.bist_pending = true;
+      ps.bist_done_at = obs.now + params_.bist_latency;
+      ++ps.stats.bist_scans;
+      advice.request_bist = true;
+    }
+  }
+  reclassify(obs.in_port, ps);
+  return advice;
+}
+
+void RouterThreatDetector::on_corrected(const FaultObservation& obs) {
+  PortState& ps = ports_[obs.in_port];
+  ++ps.stats.corrected;
+  maybe_complete_bist(obs.now, obs.in_port, ps);
+  reclassify(obs.in_port, ps);
+}
+
+void RouterThreatDetector::on_clean(const FaultObservation& obs) {
+  PortState& ps = ports_[obs.in_port];
+  ++ps.stats.clean;
+  maybe_complete_bist(obs.now, obs.in_port, ps);
+}
+
+}  // namespace htnoc::mitigation

@@ -1,0 +1,135 @@
+// The receiver-side threat detector (paper Sec. IV-B, Fig. 6).
+//
+// For every faulty flit it records the syndrome and the packet's
+// characteristics, then follows the paper's decision flow:
+//   * first fault on a flit           -> plain retransmission (could be a
+//                                        transient);
+//   * repeat fault on the same flit   -> dispatch BIST (repetitive
+//                                        transients are unlikely) and tell
+//                                        the upstream L-Ob to obfuscate the
+//                                        next attempt;
+//   * BIST finds stuck wires          -> classify the link PERMANENT;
+//   * repeats persist, BIST clean     -> classify the link TROJAN.
+//
+// The per-link classification is what the mitigation policy consumes: the
+// L-Ob policy keeps using the link through obfuscation; the rerouting
+// (Ariadne) policy disables it and reconfigures routing.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "mitigation/bist.hpp"
+#include "noc/hooks.hpp"
+#include "noc/link.hpp"
+
+namespace htnoc::mitigation {
+
+enum class LinkThreatClass : std::uint8_t {
+  kClean,      ///< No faults observed.
+  kTransient,  ///< Isolated, non-repeating faults.
+  kSuspect,    ///< Repeat fault seen; BIST in flight.
+  kPermanent,  ///< BIST confirmed stuck wires.
+  kTrojan,     ///< Targeted repeats with clean BIST.
+};
+
+std::string to_string(LinkThreatClass c);
+
+struct ThreatDetectorParams {
+  int history_depth = 16;        ///< Fault-history CAM entries per port.
+  int escalate_after = 2;        ///< Faults on one flit before L-Ob advice.
+  int trojan_flit_threshold = 2; ///< Distinct repeat-fault flits => trojan.
+  /// Alternative single-flit evidence: one flit faulting this many times at
+  /// *moving* locations (with a clean BIST) is targeted, not transient —
+  /// needed when the very first wedged flit starves the link of further
+  /// targets.
+  int trojan_single_flit_count = 4;
+  /// Position-reuse evidence (paper Sec. III-B: "if faults are injected
+  /// frequently onto the same wires, the compromised link may draw
+  /// attention"): the same syndrome recurring this many times on one port,
+  /// with a clean BIST, flags a trojan whose payload counter (small Y) is
+  /// cycling through too few locations. Random transients virtually never
+  /// repeat a 7-bit syndrome this often.
+  int trojan_syndrome_repeat = 6;
+  Cycle bist_latency = kBistScanLatency;
+};
+
+/// One router's threat detector, observing all of its input ports.
+class RouterThreatDetector final : public ThreatDetector {
+ public:
+  struct PortStats {
+    std::uint64_t uncorrectable = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t clean = 0;
+    std::uint64_t escalations_advised = 0;
+    std::uint64_t bist_scans = 0;
+  };
+
+  explicit RouterThreatDetector(ThreatDetectorParams params = {})
+      : params_(params) {}
+
+  /// Give the detector the link feeding input port `port`, enabling BIST.
+  void set_port_link(int port, const Link* link) {
+    ports_[port].link = link;
+  }
+
+  /// Optional notification when a port's link is first classified TROJAN or
+  /// PERMANENT (the rerouting policy hooks this to disable links).
+  using ClassificationCallback =
+      std::function<void(int port, LinkThreatClass cls)>;
+  void set_classification_callback(ClassificationCallback cb) {
+    on_classified_ = std::move(cb);
+  }
+
+  [[nodiscard]] LinkThreatClass classification(int port) const {
+    const auto it = ports_.find(port);
+    return it == ports_.end() ? LinkThreatClass::kClean : it->second.cls;
+  }
+  [[nodiscard]] PortStats port_stats(int port) const {
+    const auto it = ports_.find(port);
+    return it == ports_.end() ? PortStats{} : it->second.stats;
+  }
+
+  // --- ThreatDetector interface ---
+  NackAdvice on_uncorrectable(const FaultObservation& obs) override;
+  void on_corrected(const FaultObservation& obs) override;
+  void on_clean(const FaultObservation& obs) override;
+
+ private:
+  struct HistoryEntry {
+    std::uint64_t uid = 0;
+    int fault_count = 0;
+    std::uint8_t last_syndrome = 0;
+    bool syndrome_moved = false;  ///< Fault location changed between repeats.
+    Cycle last_seen = 0;
+  };
+
+  struct PortState {
+    const Link* link = nullptr;
+    std::deque<HistoryEntry> history;
+    int repeat_fault_flits = 0;
+    /// Highest fault count seen on one flit whose fault location moved.
+    int max_moving_fault_count = 0;
+    /// Syndrome-frequency sketch for the position-reuse heuristic (small,
+    /// bounded: 7-bit syndromes).
+    std::map<std::uint8_t, int> syndrome_counts;
+    int max_syndrome_repeat = 0;
+    bool bist_pending = false;
+    Cycle bist_done_at = 0;
+    bool bist_ran = false;
+    BistReport bist_report;
+    LinkThreatClass cls = LinkThreatClass::kClean;
+    PortStats stats;
+  };
+
+  void maybe_complete_bist(Cycle now, int port, PortState& ps);
+  void reclassify(int port, PortState& ps);
+
+  ThreatDetectorParams params_;
+  std::map<int, PortState> ports_;
+  ClassificationCallback on_classified_;
+};
+
+}  // namespace htnoc::mitigation

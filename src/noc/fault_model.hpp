@@ -1,0 +1,121 @@
+// Pluggable link fault injectors. Figure 2 of the paper distinguishes three
+// fault sources on a link: transient (random, correctable or not), permanent
+// (stuck-at wires, must be rerouted around), and hardware-trojan (targeted,
+// deliberately uncorrectable-but-detectable). The first two live here; the
+// TASP trojan implements the same interface in src/trojan/tasp.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+
+namespace htnoc {
+
+/// Interface every on-link fault source implements. on_traverse may mutate
+/// the codeword of the phit crossing the link and may keep internal state
+/// (the trojan's FSM advances here). probe() applies only the *passive*,
+/// deterministic faults (stuck-at wires) so BIST test patterns behave as on
+/// real hardware: a dormant or untargeted trojan does not reveal itself.
+class LinkFaultInjector {
+ public:
+  virtual ~LinkFaultInjector() = default;
+  virtual void on_traverse(Cycle now, LinkPhit& phit) = 0;
+  virtual void probe(Codeword72& cw) const { (void)cw; }
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Random transient faults: each traversing phit is struck with probability
+/// `phit_fault_prob`; a struck phit has 1, 2 or 3 random bits flipped with
+/// the given conditional weights (defaults: mostly single-bit upsets).
+class TransientFaultInjector final : public LinkFaultInjector {
+ public:
+  struct Params {
+    double phit_fault_prob = 1e-4;
+    double weight_1bit = 0.95;
+    double weight_2bit = 0.04;
+    double weight_3bit = 0.01;
+  };
+
+  TransientFaultInjector(Params p, std::uint64_t seed) : params_(p), rng_(seed) {}
+
+  void on_traverse(Cycle now, LinkPhit& phit) override {
+    (void)now;
+    if (!rng_.next_bool(params_.phit_fault_prob)) return;
+    const double total =
+        params_.weight_1bit + params_.weight_2bit + params_.weight_3bit;
+    const double u = rng_.next_double() * total;
+    int flips = 1;
+    if (u >= params_.weight_1bit + params_.weight_2bit) {
+      flips = 3;
+    } else if (u >= params_.weight_1bit) {
+      flips = 2;
+    }
+    // Flip `flips` distinct random wire positions.
+    unsigned first = 72;  // sentinel: none yet
+    for (int i = 0; i < flips; ++i) {
+      unsigned pos;
+      do {
+        pos = static_cast<unsigned>(rng_.next_below(Codeword72::kBits));
+      } while (pos == first);
+      if (i == 0) first = pos;
+      phit.codeword.flip(pos);
+    }
+    ++faults_injected_;
+  }
+
+  [[nodiscard]] std::string name() const override { return "transient"; }
+  [[nodiscard]] std::uint64_t faults_injected() const noexcept {
+    return faults_injected_;
+  }
+
+ private:
+  Params params_;
+  Rng rng_;
+  std::uint64_t faults_injected_ = 0;
+};
+
+/// Deterministic stuck-at faults on a set of wires. Visible to BIST probes.
+class PermanentFaultInjector final : public LinkFaultInjector {
+ public:
+  /// wire position -> stuck value
+  explicit PermanentFaultInjector(std::map<unsigned, bool> stuck)
+      : stuck_(std::move(stuck)) {
+    for (const auto& [pos, val] : stuck_) {
+      (void)val;
+      HTNOC_EXPECT(pos < Codeword72::kBits);
+    }
+  }
+
+  void on_traverse(Cycle now, LinkPhit& phit) override {
+    (void)now;
+    bool changed = false;
+    for (const auto& [pos, val] : stuck_) {
+      if (phit.codeword.get(pos) != val) {
+        phit.codeword.set(pos, val);
+        changed = true;
+      }
+    }
+    if (changed) ++faults_injected_;
+  }
+
+  void probe(Codeword72& cw) const override {
+    for (const auto& [pos, val] : stuck_) cw.set(pos, val);
+  }
+
+  [[nodiscard]] std::string name() const override { return "permanent"; }
+  [[nodiscard]] std::uint64_t faults_injected() const noexcept {
+    return faults_injected_;
+  }
+
+ private:
+  std::map<unsigned, bool> stuck_;
+  std::uint64_t faults_injected_ = 0;
+};
+
+}  // namespace htnoc

@@ -1,0 +1,85 @@
+#include "noc/flit.hpp"
+
+#include "common/expect.hpp"
+
+namespace htnoc {
+
+std::vector<Flit> packetize(const PacketInfo& info,
+                            const std::vector<std::uint64_t>& payload) {
+  HTNOC_EXPECT(info.length >= 1);
+  HTNOC_EXPECT(static_cast<int>(payload.size()) + 1 >= info.length);
+
+  // Thread id defaults to the source core (one pinned thread per core).
+  const std::uint8_t thread =
+      info.thread == PacketInfo::kAutoThread
+          ? static_cast<std::uint8_t>(info.src_core & 0x3F)
+          : static_cast<std::uint8_t>(info.thread & 0x3F);
+
+  std::vector<Flit> flits;
+  flits.reserve(static_cast<std::size_t>(info.length));
+  for (int i = 0; i < info.length; ++i) {
+    Flit f;
+    f.packet = info.id;
+    f.seq = i;
+    f.src_core = info.src_core;
+    f.dest_core = info.dest_core;
+    f.src_router = info.src_router;
+    f.dest_router = info.dest_router;
+    f.thread = thread;
+    f.mem_addr = info.mem_addr;
+    f.pclass = info.pclass;
+    f.domain = info.domain;
+    f.length = info.length;
+    f.inject_cycle = info.inject_cycle;
+
+    if (info.length == 1) {
+      f.type = FlitType::kHeadTail;
+    } else if (i == 0) {
+      f.type = FlitType::kHead;
+    } else if (i == info.length - 1) {
+      f.type = FlitType::kTail;
+    } else {
+      f.type = FlitType::kBody;
+    }
+
+    if (f.is_head()) {
+      wire::HeaderFields h;
+      h.src = info.src_router;
+      h.dest = info.dest_router;
+      h.vc = 0;  // VC class is assigned per hop; wire carries injection class.
+      h.mem_addr = info.mem_addr;
+      h.length = static_cast<unsigned>(info.length);
+      h.pclass = info.pclass;
+      h.thread = thread;
+      h.pid_low = info.id;
+      h.type = f.type;
+      f.wire = wire::pack_header(h);
+    } else {
+      f.wire = wire::stamp_type(payload[static_cast<std::size_t>(i - 1)], f.type);
+    }
+    flits.push_back(f);
+  }
+  return flits;
+}
+
+std::string to_string(ObfMethod m) {
+  switch (m) {
+    case ObfMethod::kNone: return "none";
+    case ObfMethod::kInvert: return "invert";
+    case ObfMethod::kShuffle: return "shuffle";
+    case ObfMethod::kScramble: return "scramble";
+    case ObfMethod::kReorder: return "reorder";
+  }
+  return "?";
+}
+
+std::string to_string(ObfGranularity g) {
+  switch (g) {
+    case ObfGranularity::kFlit: return "flit";
+    case ObfGranularity::kHeader: return "header";
+    case ObfGranularity::kPayload: return "payload";
+  }
+  return "?";
+}
+
+}  // namespace htnoc

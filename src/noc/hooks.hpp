@@ -1,0 +1,85 @@
+// Interfaces through which the mitigation layer (threat detector, L-Ob
+// controller) plugs into the router datapath. The NoC substrate only knows
+// these interfaces; the real implementations live in src/mitigation and are
+// wired in by the simulator, keeping the layering acyclic (noc <- mitigation).
+#pragma once
+
+#include "common/types.hpp"
+#include "ecc/secded.hpp"
+#include "noc/flit.hpp"
+
+namespace htnoc {
+
+/// Everything the receiving router knows about one faulty/clean arrival:
+/// the decode report (syndrome), the flit's packet characteristics, how it
+/// was obfuscated and which transmission attempt this was. Mirrors the
+/// fields the paper's threat detector records (Sec. IV-B).
+struct FaultObservation {
+  Cycle now = 0;
+  RouterId receiver = kInvalidRouter;
+  int in_port = 0;
+  Flit flit;
+  ecc::DecodeResult ecc;
+  ObfuscationTag obf;
+  int attempt = 0;
+};
+
+/// What the threat detector piggybacks on a NACK for the upstream router.
+struct NackAdvice {
+  /// Enable (or advance to the next) switch-to-switch obfuscation method on
+  /// the retransmission — the fault pattern looks targeted, not random.
+  bool escalate_obfuscation = false;
+  /// A BIST scan of the link has been dispatched (repetitive faults might be
+  /// a permanent wire failure).
+  bool request_bist = false;
+};
+
+/// Receiver-side threat detection (Fig. 6 decision flow).
+class ThreatDetector {
+ public:
+  virtual ~ThreatDetector() = default;
+  /// ECC detected an uncorrectable error; decide the NACK advice.
+  virtual NackAdvice on_uncorrectable(const FaultObservation& obs) = 0;
+  /// ECC corrected a single-bit error (transient-fault bookkeeping).
+  virtual void on_corrected(const FaultObservation& obs) = 0;
+  /// Flit arrived clean (possibly obfuscated; success is logged upstream
+  /// through the ACK, this is for receiver-side statistics).
+  virtual void on_clean(const FaultObservation& obs) = 0;
+};
+
+/// Upstream-side L-Ob obfuscation planner attached to an output port's
+/// retransmission buffers (Fig. 4 decision flow).
+class LObController {
+ public:
+  virtual ~LObController() = default;
+  /// Choose the obfuscation for one transmission attempt. `escalate` is the
+  /// accumulated advice from NACKs of this flit; `partner_available` tells
+  /// whether the retransmission buffer holds another flit to scramble with.
+  /// When the returned tag is kScramble the caller fills in the partner id.
+  [[nodiscard]] virtual ObfuscationTag plan(Cycle now, const Flit& flit, int attempt,
+                                            bool escalate, bool partner_available) = 0;
+  /// Transmission attempt was ACKed; a non-none tag means the method worked
+  /// and is logged for future flits with the same characteristics.
+  virtual void on_ack(Cycle now, const Flit& flit, const ObfuscationTag& tag) = 0;
+  /// Transmission attempt was NACKed with this tag.
+  virtual void on_nack(Cycle now, const Flit& flit, const ObfuscationTag& tag) = 0;
+};
+
+/// No-op detector: plain retransmission forever (the paper's "no
+/// mitigation" configuration, Fig. 11a).
+class NullThreatDetector final : public ThreatDetector {
+ public:
+  NackAdvice on_uncorrectable(const FaultObservation&) override { return {}; }
+  void on_corrected(const FaultObservation&) override {}
+  void on_clean(const FaultObservation&) override {}
+};
+
+/// No-op L-Ob: never obfuscates.
+class NullLObController final : public LObController {
+ public:
+  ObfuscationTag plan(Cycle, const Flit&, int, bool, bool) override { return {}; }
+  void on_ack(Cycle, const Flit&, const ObfuscationTag&) override {}
+  void on_nack(Cycle, const Flit&, const ObfuscationTag&) override {}
+};
+
+}  // namespace htnoc

@@ -1,0 +1,217 @@
+#include "noc/input_unit.hpp"
+
+#include <algorithm>
+
+namespace htnoc {
+
+void InputUnit::process_arrivals(Cycle now) {
+  if (link_ == nullptr) return;
+  for (LinkPhit& phit : link_->take_arrivals(now)) {
+    ++stats_.flits_received;
+    const ecc::DecodeResult res =
+        ecc::codec_for(cfg_.ecc_scheme).decode(phit.codeword);
+
+    FaultObservation obs;
+    obs.now = now;
+    obs.receiver = router_;
+    obs.in_port = port_;
+    obs.flit = phit.flit;
+    obs.ecc = res;
+    obs.obf = phit.obf;
+    obs.attempt = phit.attempt;
+
+    if (ecc::needs_retransmission(res.status)) {
+      NackAdvice advice;
+      if (detector_ != nullptr) advice = detector_->on_uncorrectable(obs);
+      AckMsg nack;
+      nack.packet = phit.flit.packet;
+      nack.seq = phit.flit.seq;
+      nack.attempt = phit.attempt;
+      nack.ok = false;
+      nack.escalate_obfuscation = advice.escalate_obfuscation;
+      nack.bist_requested = advice.request_bist;
+      link_->send_ack(now, nack);
+      ++stats_.nacks_sent;
+      continue;
+    }
+
+    if (res.status == ecc::DecodeStatus::kCorrectedSingle) {
+      ++stats_.corrected_singles;
+      if (detector_ != nullptr) detector_->on_corrected(obs);
+    } else if (detector_ != nullptr) {
+      detector_->on_clean(obs);
+    }
+
+    AckMsg ack;
+    ack.packet = phit.flit.packet;
+    ack.seq = phit.flit.seq;
+    ack.attempt = phit.attempt;
+    ack.ok = true;
+    link_->send_ack(now, ack);
+
+    const std::uint64_t decoded = res.data;
+    if (phit.obf.method == ObfMethod::kScramble) {
+      // Recover the true word once the partner's wire image is known.
+      const auto it = std::find_if(
+          wire_cache_.begin(), wire_cache_.end(), [&](const CachedWire& c) {
+            return c.packet == phit.obf.partner_packet &&
+                   c.seq == phit.obf.partner_seq;
+          });
+      if (it != wire_cache_.end()) {
+        const std::uint64_t word = obf::undo(decoded, phit.obf, it->wire);
+        if (word != phit.flit.wire) ++stats_.silent_corruptions;
+        Flit f = phit.flit;
+        note_clean_wire(now, f.packet, f.seq, word);
+        deliver(now + obf::undo_penalty_cycles(phit.obf.method), std::move(f));
+      } else {
+        // Partner not seen yet: hold in the scramble station (paper: the
+        // 1-2 cycle penalty when one of the pair is absent).
+        ++stats_.scramble_stalls;
+        StationEntry e;
+        e.phit = std::move(phit);
+        e.decoded_word = decoded;
+        e.arrived = now;
+        station_.push_back(std::move(e));
+        HTNOC_INVARIANT(station_.size() <= 8);
+      }
+      continue;
+    }
+
+    std::uint64_t word = decoded;
+    Cycle effective = now;
+    if (phit.obf.active()) {
+      word = obf::undo(decoded, phit.obf);
+      effective = now + obf::undo_penalty_cycles(phit.obf.method);
+    }
+    if (word != phit.flit.wire) ++stats_.silent_corruptions;
+    Flit f = phit.flit;
+    note_clean_wire(now, f.packet, f.seq, word);
+    deliver(effective, std::move(f));
+  }
+}
+
+void InputUnit::note_clean_wire(Cycle now, PacketId packet, int seq,
+                                std::uint64_t wire_word) {
+  wire_cache_.push_back({packet, seq, wire_word});
+  if (wire_cache_.size() > kWireCacheSize) wire_cache_.pop_front();
+
+  // Resolve any scrambled phits that were waiting for this partner.
+  for (auto it = station_.begin(); it != station_.end();) {
+    if (it->phit.obf.partner_packet == packet && it->phit.obf.partner_seq == seq) {
+      const std::uint64_t word = obf::undo(it->decoded_word, it->phit.obf, wire_word);
+      if (word != it->phit.flit.wire) ++stats_.silent_corruptions;
+      Flit f = it->phit.flit;
+      const Cycle effective =
+          now + obf::undo_penalty_cycles(it->phit.obf.method);
+      it = station_.erase(it);
+      // The recovered word is itself a clean wire (could be someone else's
+      // scramble partner, though the controller never chains scrambles).
+      note_clean_wire(now, f.packet, f.seq, word);
+      deliver(effective, std::move(f));
+    } else {
+      ++it;
+    }
+  }
+}
+
+void InputUnit::deliver(Cycle effective_arrival, Flit f) {
+  HTNOC_EXPECT(f.vc < cfg_.vcs_per_port);
+  VcBuf& b = vcs_[static_cast<std::size_t>(f.vc)];
+  HTNOC_INVARIANT(b.occupancy < cfg_.buffer_depth * 4);  // generous sanity bound
+
+  // Find or create the packet's stream.
+  PacketStream* stream = nullptr;
+  for (auto& s : b.streams) {
+    if (s.packet == f.packet) {
+      stream = &s;
+      break;
+    }
+  }
+  if (stream == nullptr) {
+    b.streams.emplace_back();
+    stream = &b.streams.back();
+    stream->packet = f.packet;
+  }
+
+  // Sorted insertion by sequence number; duplicates are protocol violations.
+  auto pos = std::find_if(stream->flits.begin(), stream->flits.end(),
+                          [&](const BufferedFlit& bf) {
+                            return bf.flit.seq >= f.seq;
+                          });
+  HTNOC_INVARIANT(pos == stream->flits.end() || pos->flit.seq != f.seq);
+  BufferedFlit bf;
+  bf.flit = std::move(f);
+  bf.arrival = effective_arrival;
+  stream->flits.insert(pos, std::move(bf));
+  ++b.occupancy;
+}
+
+InputUnit::PurgeResult InputUnit::purge_packet(Cycle now, PacketId p) {
+  PurgeResult res;
+  for (int vc = 0; vc < cfg_.vcs_per_port; ++vc) {
+    VcBuf& b = vcs_[static_cast<std::size_t>(vc)];
+    for (auto sit = b.streams.begin(); sit != b.streams.end();) {
+      if (sit->packet != p) {
+        ++sit;
+        continue;
+      }
+      for (const BufferedFlit& bf : sit->flits) {
+        res.buffered_uids.push_back(bf.flit.flit_uid());
+        ++res.flits_purged;
+        --b.occupancy;
+        if (link_ != nullptr) {
+          link_->send_credit(now, CreditMsg{static_cast<VcId>(vc)});
+        }
+      }
+      if (sit->state == PacketStream::State::kActive) {
+        res.held_out_port = sit->out_port;
+        res.held_out_vc = sit->out_vc;
+      }
+      sit = b.streams.erase(sit);
+    }
+  }
+  // Scramble station: entries of the packet itself, and entries stranded by
+  // the loss of their partner.
+  for (auto it = station_.begin(); it != station_.end();) {
+    if (it->phit.flit.packet == p) {
+      res.buffered_uids.push_back(it->phit.flit.flit_uid());
+      ++res.flits_purged;
+      if (link_ != nullptr) {
+        link_->send_credit(now, CreditMsg{it->phit.flit.vc});
+      }
+      it = station_.erase(it);
+    } else if (it->phit.obf.partner_packet == p) {
+      // Partner gone before arrival: the scrambled data is unrecoverable;
+      // escalate the purge to that packet.
+      res.dependent_packets.push_back(it->phit.flit.packet);
+      ++it;
+    } else {
+      ++it;
+    }
+  }
+  return res;
+}
+
+Flit InputUnit::pop_front_flit(Cycle now, int vc) {
+  VcBuf& b = vcs_[static_cast<std::size_t>(vc)];
+  HTNOC_EXPECT(!b.streams.empty());
+  PacketStream& s = b.streams.front();
+  HTNOC_EXPECT(s.next_flit_present());
+
+  Flit f = std::move(s.flits.front().flit);
+  s.flits.pop_front();
+  ++s.next_seq;
+  --b.occupancy;
+
+  // Return the buffer slot upstream.
+  if (link_ != nullptr) link_->send_credit(now, CreditMsg{static_cast<VcId>(vc)});
+
+  if (f.is_tail()) {
+    HTNOC_INVARIANT(s.next_seq == f.length);
+    HTNOC_INVARIANT(s.flits.empty());
+    b.streams.pop_front();
+  }
+  return f;
+}
+
+}  // namespace htnoc

@@ -1,0 +1,204 @@
+// Input port of a router (or network interface): ECC decoding, ACK/NACK
+// generation, threat-detector observation, de-obfuscation (including the
+// scramble station that waits for partner flits), and the per-VC buffers.
+//
+// Because the link-level retransmission protocol can legally reorder flits
+// (a NACKed flit is overtaken by its successors, paper Fig. 7), each VC
+// buffer holds per-packet streams with flits kept sorted by sequence
+// number; only the in-order next flit of the front stream is forwardable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/expect.hpp"
+#include "ecc/codec.hpp"
+#include "noc/hooks.hpp"
+#include "noc/link.hpp"
+#include "noc/obfuscation.hpp"
+
+namespace htnoc {
+
+class InputUnit {
+ public:
+  struct BufferedFlit {
+    Flit flit;
+    Cycle arrival = 0;  ///< Effective arrival (includes de-obfuscation penalty).
+  };
+
+  /// All buffered flits of one packet within one VC.
+  struct PacketStream {
+    enum class State : std::uint8_t {
+      kNeedRoute,  ///< Head flit not yet routed.
+      kWaitVA,     ///< Routed; waiting for an output VC.
+      kActive,     ///< Output VC held; flits forwardable in order.
+    };
+
+    PacketId packet = kInvalidPacket;
+    std::deque<BufferedFlit> flits;  // sorted ascending by seq
+    int next_seq = 0;                ///< Next sequence number to forward.
+    State state = State::kNeedRoute;
+    int out_port = -1;
+    bool phase_down_next = false;  ///< up*/down* phase after the routed hop.
+    int out_vc = -1;
+    Cycle va_eligible = 0;
+    Cycle sa_eligible = 0;
+
+    /// True when the in-order next flit is buffered at the front.
+    [[nodiscard]] bool next_flit_present() const {
+      return !flits.empty() && flits.front().flit.seq == next_seq;
+    }
+    [[nodiscard]] bool head_present() const {
+      return !flits.empty() && flits.front().flit.seq == 0 && next_seq == 0;
+    }
+  };
+
+  struct VcBuf {
+    std::deque<PacketStream> streams;
+    int occupancy = 0;  ///< Buffered flits, including scramble-station holds.
+  };
+
+  struct Stats {
+    std::uint64_t flits_received = 0;
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t corrected_singles = 0;
+    std::uint64_t silent_corruptions = 0;
+    std::uint64_t scramble_stalls = 0;
+  };
+
+  InputUnit(const NocConfig& cfg, RouterId router, int port)
+      : cfg_(cfg),
+        router_(router),
+        port_(port),
+        vcs_(static_cast<std::size_t>(cfg.vcs_per_port)) {}
+
+  void connect(Link* in_link) {
+    HTNOC_EXPECT(in_link != nullptr);
+    link_ = in_link;
+  }
+  void set_detector(ThreatDetector* det) { detector_ = det; }
+
+  /// Pull this cycle's phit arrivals off the link: decode, ack/nack,
+  /// de-obfuscate, buffer.
+  void process_arrivals(Cycle now);
+
+  [[nodiscard]] int num_vcs() const { return cfg_.vcs_per_port; }
+  [[nodiscard]] VcBuf& vcbuf(int vc) { return vcs_[static_cast<std::size_t>(vc)]; }
+  [[nodiscard]] const VcBuf& vcbuf(int vc) const {
+    return vcs_[static_cast<std::size_t>(vc)];
+  }
+
+  /// Total buffered flits across VCs (the paper's input-port utilization).
+  [[nodiscard]] int occupancy() const {
+    int n = 0;
+    for (const auto& v : vcs_) n += v.occupancy;
+    return static_cast<int>(n + station_.size());
+  }
+
+  /// True when the front stream of `vc` has its in-order flit ready for SA
+  /// (buffer-write stage complete) this cycle.
+  [[nodiscard]] bool front_flit_ready(Cycle now, int vc) const {
+    const VcBuf& b = vcs_[static_cast<std::size_t>(vc)];
+    if (b.streams.empty()) return false;
+    const PacketStream& s = b.streams.front();
+    return s.next_flit_present() &&
+           s.flits.front().arrival + static_cast<Cycle>(cfg_.stage_bw_rc) <= now;
+  }
+
+  /// Pop the in-order next flit of the front stream of `vc` (ST stage).
+  /// Returns the flit and sends a credit upstream; completed streams are
+  /// retired.
+  [[nodiscard]] Flit pop_front_flit(Cycle now, int vc);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] RouterId router() const noexcept { return router_; }
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+  /// Result of purging one packet from this input (link-disable recovery).
+  struct PurgeResult {
+    int flits_purged = 0;
+    std::vector<std::uint64_t> buffered_uids;  ///< uids removed from buffers.
+    /// Output VC the purged stream held (kActive), to be released by the
+    /// router: (out_port, out_vc); (-1,-1) when none.
+    int held_out_port = -1;
+    int held_out_vc = -1;
+    /// Packets whose scrambled phits were waiting on a purged partner and
+    /// are now unrecoverable; the caller must purge them too.
+    std::vector<PacketId> dependent_packets;
+  };
+
+  /// Remove all flits of `p` from buffers and the scramble station. Each
+  /// removed flit returns its credit upstream through the normal reverse
+  /// channel.
+  [[nodiscard]] PurgeResult purge_packet(Cycle now, PacketId p);
+
+  /// Buffered flits charged against VC `vc`'s credits (streams + scramble
+  /// station holds).
+  [[nodiscard]] int count_buffered(int vc) const {
+    int n = vcs_[static_cast<std::size_t>(vc)].occupancy;
+    for (const auto& e : station_) {
+      if (e.phit.flit.vc == vc) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool has_buffered_uid(std::uint64_t uid) const {
+    for (const auto& v : vcs_) {
+      for (const auto& s : v.streams) {
+        for (const auto& bf : s.flits) {
+          if (bf.flit.flit_uid() == uid) return true;
+        }
+      }
+    }
+    for (const auto& e : station_) {
+      if (e.phit.flit.flit_uid() == uid) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool has_packet(PacketId p) const {
+    for (const auto& v : vcs_) {
+      for (const auto& s : v.streams) {
+        if (s.packet == p && !s.flits.empty()) return true;
+      }
+    }
+    for (const auto& e : station_) {
+      if (e.phit.flit.packet == p) return true;
+    }
+    return false;
+  }
+
+ private:
+  /// Insert a fully recovered flit into its VC buffer.
+  void deliver(Cycle effective_arrival, Flit f);
+  /// Record a clean wire word and resolve any scrambled phits waiting on it.
+  void note_clean_wire(Cycle now, PacketId packet, int seq, std::uint64_t wire);
+
+  struct StationEntry {
+    LinkPhit phit;
+    std::uint64_t decoded_word = 0;
+    Cycle arrived = 0;
+  };
+  struct CachedWire {
+    PacketId packet = kInvalidPacket;
+    int seq = 0;
+    std::uint64_t wire = 0;
+  };
+
+  static constexpr std::size_t kWireCacheSize = 32;
+
+  const NocConfig& cfg_;
+  RouterId router_;
+  int port_;
+  Link* link_ = nullptr;
+  ThreatDetector* detector_ = nullptr;
+  std::vector<VcBuf> vcs_;
+  std::vector<StationEntry> station_;
+  std::deque<CachedWire> wire_cache_;
+  Stats stats_;
+};
+
+}  // namespace htnoc

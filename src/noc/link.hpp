@@ -1,0 +1,176 @@
+// A unidirectional inter-router (or router-NI) link: one phit per cycle
+// forward, plus a trusted reverse control channel for credits and ACK/NACK.
+// Fault injectors (transient, permanent, trojan) attach to the forward data
+// wires and mutate codewords in flight.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+#include "noc/fault_model.hpp"
+#include "noc/flit.hpp"
+#include "noc/protocol.hpp"
+
+namespace htnoc {
+
+class Link {
+ public:
+  struct Stats {
+    std::uint64_t phits_sent = 0;
+    std::uint64_t phits_with_injected_faults = 0;
+    std::uint64_t credits_sent = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t nacks_sent = 0;
+  };
+
+  Link(std::string name, int latency) : name_(std::move(name)), latency_(latency) {
+    HTNOC_EXPECT(latency >= 1);
+  }
+
+  /// One phit per cycle; disabled links reject all traffic.
+  [[nodiscard]] bool can_send(Cycle now) const noexcept {
+    return !disabled_ && last_send_cycle_ != static_cast<std::int64_t>(now);
+  }
+
+  /// Start link traversal at cycle `now`; the phit arrives at now + latency.
+  /// Fault injectors run in attach order.
+  void send(Cycle now, LinkPhit phit) {
+    HTNOC_EXPECT(can_send(now));
+    last_send_cycle_ = static_cast<std::int64_t>(now);
+    phit.sent_cycle = now;
+    const Codeword72 before = phit.codeword;
+    for (const auto& inj : injectors_) inj->on_traverse(now, phit);
+    ++stats_.phits_sent;
+    if (!(phit.codeword == before)) ++stats_.phits_with_injected_faults;
+    in_flight_.push_back({now + static_cast<Cycle>(latency_), std::move(phit)});
+  }
+
+  /// Pop all phits whose traversal completes at cycle `now`.
+  [[nodiscard]] std::vector<LinkPhit> take_arrivals(Cycle now) {
+    std::vector<LinkPhit> out;
+    while (!in_flight_.empty() && in_flight_.front().arrive <= now) {
+      HTNOC_INVARIANT(in_flight_.front().arrive == now);
+      out.push_back(std::move(in_flight_.front().phit));
+      in_flight_.pop_front();
+    }
+    return out;
+  }
+
+  // --- reverse control channel (delay 1 cycle, trusted) ---
+
+  void send_credit(Cycle now, CreditMsg c) {
+    credits_.push_back({now + 1, c});
+    ++stats_.credits_sent;
+  }
+  void send_ack(Cycle now, AckMsg a) {
+    if (a.ok) {
+      ++stats_.acks_sent;
+    } else {
+      ++stats_.nacks_sent;
+    }
+    acks_.push_back({now + 1, a});
+  }
+
+  /// Credits currently travelling the reverse channel for `vc` (invariant
+  /// checking).
+  [[nodiscard]] int pending_credit_count(VcId vc) const {
+    int n = 0;
+    for (const auto& c : credits_) {
+      if (c.msg.vc == vc) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::vector<CreditMsg> take_credits(Cycle now) {
+    std::vector<CreditMsg> out;
+    while (!credits_.empty() && credits_.front().arrive <= now) {
+      out.push_back(credits_.front().msg);
+      credits_.pop_front();
+    }
+    return out;
+  }
+  [[nodiscard]] std::vector<AckMsg> take_acks(Cycle now) {
+    std::vector<AckMsg> out;
+    while (!acks_.empty() && acks_.front().arrive <= now) {
+      out.push_back(acks_.front().msg);
+      acks_.pop_front();
+    }
+    return out;
+  }
+
+  // --- fault attachment & BIST ---
+
+  void attach_injector(std::shared_ptr<LinkFaultInjector> inj) {
+    HTNOC_EXPECT(inj != nullptr);
+    injectors_.push_back(std::move(inj));
+  }
+
+  /// Run a BIST test pattern through the passive fault models only. A clean
+  /// return equal to the input means no permanent fault is visible.
+  [[nodiscard]] Codeword72 probe(Codeword72 pattern) const {
+    for (const auto& inj : injectors_) inj->probe(pattern);
+    return pattern;
+  }
+
+  /// Remove all in-flight forward phits of a packet (part of the network-
+  /// wide packet purge that link-disabling recovery performs). Returns the
+  /// flit uids removed.
+  std::vector<std::uint64_t> purge_packet(PacketId p) {
+    std::vector<std::uint64_t> uids;
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+      if (it->phit.flit.packet == p) {
+        uids.push_back(it->phit.flit.flit_uid());
+        it = in_flight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return uids;
+  }
+
+  [[nodiscard]] bool has_packet(PacketId p) const {
+    for (const auto& f : in_flight_) {
+      if (f.phit.flit.packet == p) return true;
+    }
+    return false;
+  }
+
+  void set_disabled(bool d) noexcept { disabled_ = d; }
+  [[nodiscard]] bool disabled() const noexcept { return disabled_; }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int latency() const noexcept { return latency_; }
+  [[nodiscard]] bool idle() const noexcept { return in_flight_.empty(); }
+
+ private:
+  struct InFlight {
+    Cycle arrive;
+    LinkPhit phit;
+  };
+  struct PendingCredit {
+    Cycle arrive;
+    CreditMsg msg;
+  };
+  struct PendingAck {
+    Cycle arrive;
+    AckMsg msg;
+  };
+
+  std::string name_;
+  int latency_;
+  bool disabled_ = false;
+  std::int64_t last_send_cycle_ = -1;
+  std::deque<InFlight> in_flight_;
+  std::deque<PendingCredit> credits_;
+  std::deque<PendingAck> acks_;
+  std::vector<std::shared_ptr<LinkFaultInjector>> injectors_;
+  Stats stats_;
+};
+
+}  // namespace htnoc

@@ -1,0 +1,363 @@
+#include "noc/network.hpp"
+
+#include <array>
+#include <deque>
+
+#include "common/expect.hpp"
+#include "noc/adaptive.hpp"
+
+namespace htnoc {
+
+namespace {
+constexpr std::array<Direction, 4> kDirs = {Direction::kNorth, Direction::kSouth,
+                                            Direction::kEast, Direction::kWest};
+}  // namespace
+
+std::string Network::link_name(RouterId from, Direction d) {
+  return "link.r" + std::to_string(from) + "." + to_string(d);
+}
+
+Network::Network(const NocConfig& cfg)
+    : cfg_(cfg), geom_(cfg.mesh_width, cfg.mesh_height, cfg.concentration) {
+  cfg_.validate();
+  routing_ = std::make_unique<XyRouting>(geom_);
+
+  const int nr = geom_.num_routers();
+  const int nc = geom_.num_cores();
+
+  routers_.reserve(static_cast<std::size_t>(nr));
+  for (RouterId r = 0; r < nr; ++r) {
+    routers_.push_back(std::make_unique<Router>(cfg_, r, geom_, routing_.get()));
+  }
+
+  // Inter-router links.
+  mesh_links_.resize(static_cast<std::size_t>(nr) * 4);
+  for (RouterId r = 0; r < nr; ++r) {
+    for (Direction d : kDirs) {
+      if (!geom_.has_neighbor(r, d)) continue;
+      auto lnk = std::make_unique<Link>(link_name(r, d), cfg_.stage_lt);
+      const RouterId nb = geom_.neighbor(r, d);
+      routers_[static_cast<std::size_t>(r)]->output(direction_port(d)).connect(
+          lnk.get());
+      routers_[static_cast<std::size_t>(nb)]
+          ->input(direction_port(opposite(d)))
+          .connect(lnk.get());
+      mesh_links_[static_cast<std::size_t>(link_index({r, d}))] = std::move(lnk);
+    }
+  }
+
+  // NIs and local links.
+  nis_.reserve(static_cast<std::size_t>(nc));
+  inj_links_.resize(static_cast<std::size_t>(nc));
+  ej_links_.resize(static_cast<std::size_t>(nc));
+  for (NodeId c = 0; c < nc; ++c) {
+    nis_.push_back(std::make_unique<NetworkInterface>(cfg_, c));
+    const RouterId r = geom_.router_of_core(c);
+    const int slot = geom_.local_slot_of_core(c);
+    const int port = kPortLocalBase + slot;
+    auto inj = std::make_unique<Link>("inj.c" + std::to_string(c), 1);
+    auto ej = std::make_unique<Link>("ej.c" + std::to_string(c), 1);
+    routers_[static_cast<std::size_t>(r)]->input(port).connect(inj.get());
+    routers_[static_cast<std::size_t>(r)]->output(port).connect(ej.get());
+    nis_.back()->connect(inj.get(), ej.get());
+    inj_links_[static_cast<std::size_t>(c)] = std::move(inj);
+    ej_links_[static_cast<std::size_t>(c)] = std::move(ej);
+  }
+}
+
+void Network::step() {
+  for (auto& r : routers_) r->step(now_);
+  for (auto& ni : nis_) ni->step(now_);
+  ++now_;
+}
+
+bool Network::try_inject(const PacketInfo& info,
+                         const std::vector<std::uint64_t>& payload) {
+  HTNOC_EXPECT(info.src_core < geom_.num_cores());
+  HTNOC_EXPECT(info.dest_core < geom_.num_cores());
+  return nis_[static_cast<std::size_t>(info.src_core)]->try_inject(now_, info,
+                                                                   payload);
+}
+
+void Network::set_delivery_callback(NetworkInterface::DeliveryCallback cb) {
+  for (auto& ni : nis_) ni->set_delivery_callback(cb);
+}
+
+Link& Network::link(RouterId from, Direction dir) {
+  HTNOC_EXPECT(has_link(from, dir));
+  return *mesh_links_[static_cast<std::size_t>(link_index({from, dir}))];
+}
+
+bool Network::has_link(RouterId from, Direction dir) const {
+  if (from >= geom_.num_routers() || !geom_.has_neighbor(from, dir)) return false;
+  return mesh_links_[static_cast<std::size_t>(link_index({from, dir}))] != nullptr;
+}
+
+std::vector<LinkRef> Network::all_links() const {
+  std::vector<LinkRef> out;
+  for (RouterId r = 0; r < geom_.num_routers(); ++r) {
+    for (Direction d : kDirs) {
+      if (has_link(r, d)) out.push_back({r, d});
+    }
+  }
+  return out;
+}
+
+void Network::disable_link(const LinkRef& l) {
+  HTNOC_EXPECT(has_link(l.from, l.dir));
+  link(l.from, l.dir).set_disabled(true);
+  disabled_.insert(l);
+}
+
+bool Network::would_disconnect(const LinkRef& l) const {
+  // Undirected connectivity over healthy edges, treating an edge as dead
+  // when either direction is disabled (matching UpDownRouting's rule) and
+  // with `l` (both directions) additionally removed.
+  const RouterId lfrom = l.from;
+  const RouterId lto = geom_.neighbor(l.from, l.dir);
+  std::vector<bool> seen(static_cast<std::size_t>(geom_.num_routers()), false);
+  std::deque<RouterId> q{0};
+  seen[0] = true;
+  int reached = 1;
+  while (!q.empty()) {
+    const RouterId r = q.front();
+    q.pop_front();
+    for (const Direction d : {Direction::kNorth, Direction::kSouth,
+                              Direction::kEast, Direction::kWest}) {
+      if (!geom_.has_neighbor(r, d)) continue;
+      const RouterId nb = geom_.neighbor(r, d);
+      if (seen[static_cast<std::size_t>(nb)]) continue;
+      if (disabled_.contains({r, d}) || disabled_.contains({nb, opposite(d)})) {
+        continue;
+      }
+      if ((r == lfrom && nb == lto) || (r == lto && nb == lfrom)) continue;
+      seen[static_cast<std::size_t>(nb)] = true;
+      ++reached;
+      q.push_back(nb);
+    }
+  }
+  return reached != geom_.num_routers();
+}
+
+void Network::use_xy_routing() {
+  HTNOC_EXPECT(disabled_.empty());
+  routing_ = std::make_unique<XyRouting>(geom_);
+  for (auto& r : routers_) r->set_routing(routing_.get());
+}
+
+void Network::use_west_first_routing() {
+  HTNOC_EXPECT(disabled_.empty());
+  // Congestion score of an output: occupied downstream buffer slots plus
+  // waiting retransmission slots.
+  auto probe = [this](RouterId r, int port) {
+    const OutputUnit& out = routers_[static_cast<std::size_t>(r)]->output(port);
+    int credits = 0;
+    for (int vc = 0; vc < cfg_.vcs_per_port; ++vc) credits += out.credits(vc);
+    return cfg_.vcs_per_port * cfg_.buffer_depth - credits + out.occupancy();
+  };
+  routing_ = std::make_unique<WestFirstRouting>(geom_, probe);
+  for (auto& r : routers_) r->set_routing(routing_.get());
+}
+
+void Network::use_updown_routing() {
+  routing_ = std::make_unique<UpDownRouting>(geom_, disabled_);
+  for (auto& r : routers_) r->set_routing(routing_.get());
+}
+
+std::vector<PacketId> Network::purge_packet(PacketId p) {
+  std::vector<PacketId> purged_ids;
+  std::deque<PacketId> todo{p};
+  std::set<PacketId> seen{p};
+
+  while (!todo.empty()) {
+    const PacketId cur = todo.front();
+    todo.pop_front();
+    purged_ids.push_back(cur);
+
+    std::set<std::uint64_t> buffered;
+
+    // Pass 1: sweep phits off every link.
+    for (auto& l : mesh_links_) {
+      if (l) (void)l->purge_packet(cur);
+    }
+    for (auto& l : inj_links_) {
+      if (l) (void)l->purge_packet(cur);
+    }
+    for (auto& l : ej_links_) {
+      if (l) (void)l->purge_packet(cur);
+    }
+
+    // Pass 2: inputs (router ports and NI ejection). Credits return through
+    // the normal reverse channels; held output VCs are released here.
+    auto absorb = [&](const InputUnit::PurgeResult& res, Router* owner) {
+      for (const auto uid : res.buffered_uids) buffered.insert(uid);
+      if (owner != nullptr && res.held_out_port >= 0) {
+        owner->output(res.held_out_port).release_vc_if_allocated(res.held_out_vc);
+      }
+      for (const PacketId dep : res.dependent_packets) {
+        if (seen.insert(dep).second) todo.push_back(dep);
+      }
+    };
+    for (auto& r : routers_) {
+      for (int port = 0; port < r->num_ports(); ++port) {
+        absorb(r->input(port).purge_packet(now_, cur), r.get());
+      }
+    }
+    for (auto& ni : nis_) {
+      absorb(ni->purge_ejection(now_, cur), nullptr);
+    }
+
+    // Pass 3: outputs (retransmission buffers) and NI source queues.
+    for (auto& r : routers_) {
+      for (int port = 0; port < r->num_ports(); ++port) {
+        (void)r->output(port).purge_packet(cur, buffered);
+      }
+    }
+    for (auto& ni : nis_) {
+      (void)ni->purge_injection(now_, cur, buffered);
+    }
+  }
+  return purged_ids;
+}
+
+bool Network::packet_in_flight(PacketId p) const {
+  for (const auto& r : routers_) {
+    for (int port = 0; port < r->num_ports(); ++port) {
+      if (r->input(port).has_packet(p) || r->output(port).has_packet(p)) {
+        return true;
+      }
+    }
+  }
+  for (const auto& l : mesh_links_) {
+    if (l && l->has_packet(p)) return true;
+  }
+  for (const auto& l : inj_links_) {
+    if (l && l->has_packet(p)) return true;
+  }
+  for (const auto& l : ej_links_) {
+    if (l && l->has_packet(p)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// One hop's credit-conservation check (see Network::check_invariants).
+std::string check_hop(const OutputUnit& out, const Link& link,
+                      const InputUnit& in, int vcs, int depth,
+                      const std::string& where) {
+  for (int vc = 0; vc < vcs; ++vc) {
+    const int credits = out.credits(vc);
+    const int wire_credits = link.pending_credit_count(static_cast<VcId>(vc));
+    const int slots = out.slots_with_vc(vc);
+    const int buffered = in.count_buffered(vc);
+    int overlap = 0;
+    for (const std::uint64_t uid : out.inflight_uids(vc)) {
+      if (in.has_buffered_uid(uid)) ++overlap;
+    }
+    const int total = credits + wire_credits + slots + buffered - overlap;
+    if (total != depth) {
+      return where + " vc" + std::to_string(vc) + ": credits " +
+             std::to_string(credits) + " + wire " +
+             std::to_string(wire_credits) + " + slots " +
+             std::to_string(slots) + " + buffered " +
+             std::to_string(buffered) + " - overlap " +
+             std::to_string(overlap) + " != depth " + std::to_string(depth);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string Network::check_invariants() const {
+  const int vcs = cfg_.vcs_per_port;
+  const int depth = cfg_.buffer_depth;
+  // Inter-router hops.
+  for (RouterId r = 0; r < geom_.num_routers(); ++r) {
+    for (const Direction d :
+         {Direction::kNorth, Direction::kSouth, Direction::kEast,
+          Direction::kWest}) {
+      if (!has_link(r, d)) continue;
+      const Link& l = *mesh_links_[static_cast<std::size_t>(link_index({r, d}))];
+      const RouterId nb = geom_.neighbor(r, d);
+      const std::string err = check_hop(
+          routers_[static_cast<std::size_t>(r)]->output(direction_port(d)), l,
+          routers_[static_cast<std::size_t>(nb)]->input(
+              direction_port(opposite(d))),
+          vcs, depth, "r" + std::to_string(r) + "->" + to_string(d));
+      if (!err.empty()) return err;
+    }
+  }
+  // NI injection and ejection hops.
+  for (NodeId c = 0; c < geom_.num_cores(); ++c) {
+    const RouterId r = geom_.router_of_core(c);
+    const int port = kPortLocalBase + geom_.local_slot_of_core(c);
+    auto& ni = *nis_[static_cast<std::size_t>(c)];
+    std::string err =
+        check_hop(ni.injection_port(), *inj_links_[static_cast<std::size_t>(c)],
+                  routers_[static_cast<std::size_t>(r)]->input(port), vcs,
+                  depth, "inj.c" + std::to_string(c));
+    if (!err.empty()) return err;
+    err = check_hop(routers_[static_cast<std::size_t>(r)]->output(port),
+                    *ej_links_[static_cast<std::size_t>(c)],
+                    ni.ejection_port(), vcs, depth,
+                    "ej.c" + std::to_string(c));
+    if (!err.empty()) return err;
+  }
+  return {};
+}
+
+Network::UtilizationSample Network::sample_utilization() const {
+  UtilizationSample s;
+  s.cycle = now_;
+  for (const auto& r : routers_) {
+    s.input_port_flits += r->input_occupancy();
+    s.output_port_flits += r->output_occupancy();
+    if (r->any_port_blocked(now_)) ++s.routers_with_blocked_port;
+  }
+  for (RouterId r = 0; r < geom_.num_routers(); ++r) {
+    int full = 0;
+    for (int slot = 0; slot < geom_.concentration(); ++slot) {
+      const auto& ni = *nis_[static_cast<std::size_t>(geom_.core_at(r, slot))];
+      if (ni.injection_full()) ++full;
+    }
+    if (full == geom_.concentration()) ++s.routers_all_cores_full;
+    if (2 * full > geom_.concentration()) ++s.routers_majority_cores_full;
+  }
+  for (const auto& ni : nis_) s.injection_port_flits += ni->injection_occupancy();
+  return s;
+}
+
+std::uint64_t Network::packets_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& ni : nis_) n += ni->stats().packets_delivered;
+  return n;
+}
+
+std::uint64_t Network::packets_injected() const {
+  std::uint64_t n = 0;
+  for (const auto& ni : nis_) n += ni->stats().packets_injected;
+  return n;
+}
+
+bool Network::quiescent() const {
+  for (const auto& r : routers_) {
+    if (r->input_occupancy() != 0 || r->output_occupancy() != 0) return false;
+  }
+  for (const auto& ni : nis_) {
+    if (ni->injection_occupancy() != 0) return false;
+  }
+  for (const auto& l : mesh_links_) {
+    if (l && !l->idle()) return false;
+  }
+  for (const auto& l : inj_links_) {
+    if (l && !l->idle()) return false;
+  }
+  for (const auto& l : ej_links_) {
+    if (l && !l->idle()) return false;
+  }
+  return true;
+}
+
+}  // namespace htnoc

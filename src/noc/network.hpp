@@ -1,0 +1,154 @@
+// The complete concentrated-mesh NoC: routers, inter-router links, local
+// links and network interfaces, plus the aggregate utilization metrics the
+// paper's Figs. 11/12 sample.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/geometry.hpp"
+#include "noc/link.hpp"
+#include "noc/ni.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+#include "noc/updown.hpp"
+
+namespace htnoc {
+
+class Network {
+ public:
+  /// Snapshot of the buffer-utilization metrics plotted in Figs. 11/12.
+  struct UtilizationSample {
+    Cycle cycle = 0;
+    int input_port_flits = 0;      ///< Flits in router input buffers.
+    int output_port_flits = 0;     ///< Flits in retransmission buffers.
+    int injection_port_flits = 0;  ///< Flits queued at NIs.
+    int routers_all_cores_full = 0;
+    int routers_majority_cores_full = 0;  ///< > 50% of local cores full.
+    int routers_with_blocked_port = 0;
+  };
+
+  explicit Network(const NocConfig& cfg);
+
+  [[nodiscard]] const MeshGeometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] const NocConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+  /// Advance the whole network by one clock cycle.
+  void step();
+  void run(Cycle cycles) {
+    for (Cycle i = 0; i < cycles; ++i) step();
+  }
+
+  // --- traffic-facing API ---
+
+  [[nodiscard]] PacketId next_packet_id() noexcept { return next_packet_id_++; }
+
+  /// Inject a packet at its source core's NI. Returns false when the
+  /// injection queue cannot take the whole packet.
+  bool try_inject(const PacketInfo& info, const std::vector<std::uint64_t>& payload);
+
+  /// Register a delivery callback on every NI (replaces any previous one).
+  void set_delivery_callback(NetworkInterface::DeliveryCallback cb);
+
+  // --- topology access ---
+
+  [[nodiscard]] Router& router(RouterId r) {
+    return *routers_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] NetworkInterface& ni(NodeId core) {
+    return *nis_[static_cast<std::size_t>(core)];
+  }
+  /// The unidirectional inter-router link leaving `from` in direction `dir`.
+  [[nodiscard]] Link& link(RouterId from, Direction dir);
+  [[nodiscard]] bool has_link(RouterId from, Direction dir) const;
+  /// All inter-router links (for sweep experiments).
+  [[nodiscard]] std::vector<LinkRef> all_links() const;
+
+  /// Disable a link and (lazily) mark the routing as needing reconfiguration.
+  void disable_link(const LinkRef& l);
+
+  /// True when disabling `l` (bidirectionally, on top of the already
+  /// disabled set) would disconnect the mesh — i.e. up*/down*
+  /// reconfiguration would be impossible and the link must stay in service.
+  [[nodiscard]] bool would_disconnect(const LinkRef& l) const;
+
+  /// Remove every flit of packet `p` from the whole network — buffers,
+  /// retransmission slots, links in flight, NI queues — restoring credits
+  /// and VC allocations. This is the recovery step of link-disable
+  /// rerouting: packets stranded toward a disabled link are purged and
+  /// re-injected end-to-end by the traffic layer. Scrambled flits whose
+  /// partner is purged become unrecoverable; their packets are purged too
+  /// (ids appended to the return value). Returns all purged packet ids.
+  std::vector<PacketId> purge_packet(PacketId p);
+
+  /// Flits of `p` anywhere in the network (for tests).
+  [[nodiscard]] bool packet_in_flight(PacketId p) const;
+
+  /// Verify the credit-conservation invariant on every (link, VC): for
+  /// each hop, buffer_depth equals the upstream credit counter plus credits
+  /// on the reverse wire plus occupied resources (retransmission slots and
+  /// receiver buffers, with ACK-in-flight overlap removed). Returns an
+  /// empty string when consistent, else a description of the first
+  /// violation. Intended for tests and debug assertions.
+  [[nodiscard]] std::string check_invariants() const;
+  [[nodiscard]] const std::set<LinkRef>& disabled_links() const noexcept {
+    return disabled_;
+  }
+
+  // --- routing control ---
+
+  /// Switch every router to x-y routing (only valid with no disabled links).
+  void use_xy_routing();
+  /// Switch to West-First adaptive routing with live congestion feedback
+  /// (only valid with no disabled links).
+  void use_west_first_routing();
+  /// Recompute up*/down* tables around the currently disabled links and
+  /// switch every router to them (the Ariadne-style reconfiguration).
+  void use_updown_routing();
+  [[nodiscard]] const RoutingFunction& routing() const { return *routing_; }
+
+  // --- mitigation wiring ---
+
+  void set_detector(RouterId r, ThreatDetector* det) {
+    router(r).set_detector(det);
+  }
+  void set_lob(RouterId r, int port, LObController* lob) {
+    router(r).set_lob(port, lob);
+  }
+
+  // --- paper metrics ---
+
+  [[nodiscard]] UtilizationSample sample_utilization() const;
+
+  /// Total packets delivered across all NIs.
+  [[nodiscard]] std::uint64_t packets_delivered() const;
+  [[nodiscard]] std::uint64_t packets_injected() const;
+
+  /// True when every flit has drained: no buffered flits anywhere, no
+  /// in-flight phits, empty injection queues.
+  [[nodiscard]] bool quiescent() const;
+
+ private:
+  [[nodiscard]] static std::string link_name(RouterId from, Direction d);
+
+  NocConfig cfg_;
+  MeshGeometry geom_;
+  Cycle now_ = 0;
+  PacketId next_packet_id_ = 1;
+
+  std::unique_ptr<RoutingFunction> routing_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  // Inter-router links indexed by link_index(LinkRef).
+  std::vector<std::unique_ptr<Link>> mesh_links_;
+  // Local links: [core] -> NI->router and router->NI.
+  std::vector<std::unique_ptr<Link>> inj_links_;
+  std::vector<std::unique_ptr<Link>> ej_links_;
+
+  std::set<LinkRef> disabled_;
+};
+
+}  // namespace htnoc

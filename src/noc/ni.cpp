@@ -1,0 +1,129 @@
+#include "noc/ni.hpp"
+
+#include "noc/flit.hpp"
+
+namespace htnoc {
+
+bool NetworkInterface::try_inject(Cycle now, const PacketInfo& info,
+                                  const std::vector<std::uint64_t>& payload) {
+  (void)now;
+  DomainStream& s = stream_of(info.domain);
+  if (static_cast<int>(s.queue.size()) + info.length >
+      cfg_.injection_queue_depth) {
+    ++stats_.inject_rejects;
+    saturated_ = true;
+    return false;
+  }
+  for (Flit& f : packetize(info, payload)) s.queue.push_back(std::move(f));
+  ++stats_.packets_injected;
+  saturated_ = false;
+  return true;
+}
+
+void NetworkInterface::step(Cycle now) {
+  out_.process_control(now);
+  step_ejection(now);
+  step_injection(now);
+  out_.step_lt(now);
+}
+
+void NetworkInterface::step_injection(Cycle now) {
+  if (!cfg_.tdm_enabled) {
+    step_domain_injection(now, streams_[0]);
+    return;
+  }
+  // Both domains drain independently; their flits ride disjoint VCs and the
+  // link's TDM schedule interleaves them downstream.
+  step_domain_injection(now, streams_[0]);
+  step_domain_injection(now, streams_[1]);
+}
+
+void NetworkInterface::step_domain_injection(Cycle now, DomainStream& s) {
+  if (s.queue.empty()) return;
+  Flit& front = s.queue.front();
+
+  // Head flits must first win a (trivial, single-requester) VC allocation
+  // for the router's local input port.
+  if (front.is_head() && s.out_vc < 0) {
+    const auto [lo, hi] = allowed_vc_range(front.pclass, front.domain, cfg_);
+    for (int vc = lo; vc <= hi; ++vc) {
+      if (out_.vc_free(vc)) {
+        out_.allocate_vc(vc);
+        s.out_vc = vc;
+        s.packet = front.packet;
+        break;
+      }
+    }
+    if (s.out_vc < 0) return;  // all VCs of the class are held
+  }
+  HTNOC_EXPECT(s.out_vc >= 0);
+
+  if (!out_.can_accept(s.out_vc, front.domain) || out_.credits(s.out_vc) <= 0) {
+    return;
+  }
+
+  Flit f = std::move(front);
+  s.queue.pop_front();
+  f.vc = static_cast<VcId>(s.out_vc);
+  const bool tail = f.is_tail();
+  out_.accept(now, std::move(f), now + 1);
+  if (tail) {
+    s.out_vc = -1;  // accept() released the VC allocation
+    s.packet = kInvalidPacket;
+  }
+}
+
+void NetworkInterface::step_ejection(Cycle now) {
+  in_.process_arrivals(now);
+  // Drain everything forwardable; the NI consumes flits as fast as the
+  // router can deliver them (reassembly buffers are not the bottleneck the
+  // paper studies).
+  for (int vc = 0; vc < cfg_.vcs_per_port; ++vc) {
+    while (in_.front_flit_ready(now, vc)) {
+      const Flit f = in_.pop_front_flit(now, vc);
+      ++stats_.flits_delivered;
+      if (f.is_tail()) {
+        ++stats_.packets_delivered;
+        if (on_delivery_) {
+          PacketInfo info;
+          info.id = f.packet;
+          info.src_core = f.src_core;
+          info.dest_core = f.dest_core;
+          info.src_router = f.src_router;
+          info.dest_router = f.dest_router;
+          info.mem_addr = f.mem_addr;
+          info.pclass = f.pclass;
+          info.domain = f.domain;
+          info.length = f.length;
+          info.inject_cycle = f.inject_cycle;
+          on_delivery_(now, info, now - f.inject_cycle);
+        }
+      }
+    }
+  }
+}
+
+int NetworkInterface::purge_injection(
+    Cycle now, PacketId p, const std::set<std::uint64_t>& buffered_uids) {
+  (void)now;
+  int purged = 0;
+  for (auto& s : streams_) {
+    for (auto it = s.queue.begin(); it != s.queue.end();) {
+      if (it->packet == p) {
+        it = s.queue.erase(it);
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+    if (s.packet == p && s.out_vc >= 0) {
+      out_.release_vc_if_allocated(s.out_vc);
+      s.out_vc = -1;
+      s.packet = kInvalidPacket;
+    }
+  }
+  purged += out_.purge_packet(p, buffered_uids);
+  return purged;
+}
+
+}  // namespace htnoc

@@ -1,0 +1,114 @@
+// Network interface (NI): the injection/ejection endpoint for one core.
+//
+// Injection uses the same OutputUnit + link machinery as a router output
+// port (ECC, retransmission, credits), so a trojan attached to a local link
+// is handled uniformly. The injection queue in front of it is the paper's
+// "injection port"; Fig. 11/12 classify routers by how many of their cores'
+// injection queues are full.
+//
+// Under TDM QoS each domain owns its own source queue and VC-allocation
+// cursor so a wedged domain cannot head-of-line-block the other (the
+// SurfNoC-style non-interference Fig. 12a depends on).
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "noc/input_unit.hpp"
+#include "noc/output_unit.hpp"
+#include "noc/protocol.hpp"
+
+namespace htnoc {
+
+class NetworkInterface {
+ public:
+  /// Invoked when a packet fully reassembles at its destination.
+  using DeliveryCallback =
+      std::function<void(Cycle now, const PacketInfo& info, Cycle latency)>;
+
+  struct Stats {
+    std::uint64_t packets_injected = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t flits_delivered = 0;
+    std::uint64_t inject_rejects = 0;  ///< try_inject refused: queue full.
+  };
+
+  NetworkInterface(const NocConfig& cfg, NodeId core)
+      : cfg_(cfg),
+        core_(core),
+        out_(cfg, "ni" + std::to_string(core) + ".inj"),
+        in_(cfg, kInvalidRouter, /*port=*/-1) {}
+
+  /// Wire the NI to its router's local port pair.
+  void connect(Link* to_router, Link* from_router) {
+    out_.connect(to_router);
+    in_.connect(from_router);
+  }
+
+  void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+
+  /// Queue a packet for injection. Atomic: either all flits fit in the
+  /// (per-domain) source queue or the call is rejected (the paper's "core
+  /// full" state).
+  bool try_inject(Cycle now, const PacketInfo& info,
+                  const std::vector<std::uint64_t>& payload);
+
+  /// Flits waiting at the injection port (source queues + retransmission
+  /// buffer of the local link) — the paper's injection-port utilization.
+  [[nodiscard]] int injection_occupancy() const {
+    int n = out_.occupancy();
+    for (const auto& s : streams_) n += static_cast<int>(s.queue.size());
+    return n;
+  }
+
+  /// True while the injection port is refusing work: the last try_inject
+  /// bounced and nothing has been accepted since (the paper's "core full"
+  /// deadlock condition for Figs. 11/12).
+  [[nodiscard]] bool injection_full() const { return saturated_; }
+
+  void step(Cycle now);
+
+  /// Purge pass over the ejection input (run before purge_injection so the
+  /// buffered-uid set is complete).
+  [[nodiscard]] InputUnit::PurgeResult purge_ejection(Cycle now, PacketId p) {
+    return in_.purge_packet(now, p);
+  }
+  /// Purge pass over the source queues and local-link retransmission buffer.
+  int purge_injection(Cycle now, PacketId p,
+                      const std::set<std::uint64_t>& buffered_uids);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] NodeId core() const noexcept { return core_; }
+  [[nodiscard]] OutputUnit& injection_port() noexcept { return out_; }
+  [[nodiscard]] InputUnit& ejection_port() noexcept { return in_; }
+
+ private:
+  /// Per-domain injection stream (index 0 also serves non-TDM operation).
+  struct DomainStream {
+    std::deque<Flit> queue;
+    int out_vc = -1;                      ///< VC held by the streaming packet.
+    PacketId packet = kInvalidPacket;     ///< Packet holding that VC.
+  };
+
+  [[nodiscard]] DomainStream& stream_of(TdmDomain d) {
+    return streams_[cfg_.tdm_enabled && d == TdmDomain::kD2 ? 1 : 0];
+  }
+
+  void step_injection(Cycle now);
+  void step_domain_injection(Cycle now, DomainStream& s);
+  void step_ejection(Cycle now);
+
+  const NocConfig& cfg_;
+  NodeId core_;
+  OutputUnit out_;  ///< Toward the router's local input port.
+  InputUnit in_;    ///< From the router's local output port.
+  std::array<DomainStream, 2> streams_;
+  bool saturated_ = false;  ///< Last try_inject was rejected.
+  DeliveryCallback on_delivery_;
+  Stats stats_;
+};
+
+}  // namespace htnoc

@@ -1,0 +1,126 @@
+// Pure, invertible bit transforms used by the L-Ob switch-to-switch
+// obfuscation module. These are the link-level *mechanisms*; the decision
+// logic (which method to try next, per-link method log) lives in
+// src/mitigation/lob.hpp.
+//
+// Every transform is an involution or has an explicit inverse, verified by
+// property tests: deobfuscate(obfuscate(w)) == w for all methods,
+// granularities and w.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "noc/flit.hpp"
+#include "noc/wire.hpp"
+
+namespace htnoc::obf {
+
+/// [first_bit, width) window each granularity operates on.
+struct Window {
+  unsigned pos;
+  unsigned width;
+};
+
+[[nodiscard]] constexpr Window window_of(ObfGranularity g) noexcept {
+  switch (g) {
+    case ObfGranularity::kHeader: return {0, wire::kHeaderBits};
+    case ObfGranularity::kPayload:
+      return {wire::kHeaderBits, 64 - wire::kHeaderBits};
+    case ObfGranularity::kFlit:
+    default: return {0, 64};
+  }
+}
+
+/// Amount shuffle rotates within its window. Chosen so that the rotation is
+/// never an identity for any supported window width (42, 22, 64).
+inline constexpr unsigned kShuffleRotate = 13;
+
+namespace detail {
+[[nodiscard]] constexpr std::uint64_t rotl_window(std::uint64_t field, unsigned width,
+                                                  unsigned k) noexcept {
+  k %= width;
+  if (k == 0) return field;
+  const std::uint64_t mask =
+      (width >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  return ((field << k) | (field >> (width - k))) & mask;
+}
+}  // namespace detail
+
+/// Invert: complement all bits in the window. Self-inverse.
+[[nodiscard]] constexpr std::uint64_t invert(std::uint64_t w, ObfGranularity g) noexcept {
+  const Window win = window_of(g);
+  const std::uint64_t field = extract_bits(w, win.pos, win.width);
+  const std::uint64_t mask =
+      (win.width >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << win.width) - 1);
+  return deposit_bits(w, win.pos, win.width, field ^ mask);
+}
+
+/// Shuffle: rotate the window left by kShuffleRotate bits.
+[[nodiscard]] constexpr std::uint64_t shuffle(std::uint64_t w, ObfGranularity g) noexcept {
+  const Window win = window_of(g);
+  const std::uint64_t field = extract_bits(w, win.pos, win.width);
+  return deposit_bits(w, win.pos, win.width,
+                      detail::rotl_window(field, win.width, kShuffleRotate));
+}
+
+/// Inverse of shuffle: rotate right by the same amount.
+[[nodiscard]] constexpr std::uint64_t unshuffle(std::uint64_t w, ObfGranularity g) noexcept {
+  const Window win = window_of(g);
+  const std::uint64_t field = extract_bits(w, win.pos, win.width);
+  return deposit_bits(
+      w, win.pos, win.width,
+      detail::rotl_window(field, win.width, win.width - (kShuffleRotate % win.width)));
+}
+
+/// Scramble: XOR the window with the partner flit's corresponding window.
+/// Self-inverse given the same partner word.
+[[nodiscard]] constexpr std::uint64_t scramble(std::uint64_t w, std::uint64_t partner,
+                                               ObfGranularity g) noexcept {
+  const Window win = window_of(g);
+  const std::uint64_t field = extract_bits(w, win.pos, win.width);
+  const std::uint64_t key = extract_bits(partner, win.pos, win.width);
+  return deposit_bits(w, win.pos, win.width, field ^ key);
+}
+
+/// Apply a tagged obfuscation to a wire word. `partner` is only read for
+/// kScramble.
+[[nodiscard]] constexpr std::uint64_t apply(std::uint64_t w, const ObfuscationTag& tag,
+                                            std::uint64_t partner = 0) noexcept {
+  switch (tag.method) {
+    case ObfMethod::kInvert: return invert(w, tag.granularity);
+    case ObfMethod::kShuffle: return shuffle(w, tag.granularity);
+    case ObfMethod::kScramble: return scramble(w, partner, tag.granularity);
+    case ObfMethod::kReorder:  // scheduling-only; wires untouched
+    case ObfMethod::kNone:
+    default: return w;
+  }
+}
+
+/// Undo a tagged obfuscation.
+[[nodiscard]] constexpr std::uint64_t undo(std::uint64_t w, const ObfuscationTag& tag,
+                                           std::uint64_t partner = 0) noexcept {
+  switch (tag.method) {
+    case ObfMethod::kInvert: return invert(w, tag.granularity);
+    case ObfMethod::kShuffle: return unshuffle(w, tag.granularity);
+    case ObfMethod::kScramble: return scramble(w, partner, tag.granularity);
+    case ObfMethod::kReorder:
+    case ObfMethod::kNone:
+    default: return w;
+  }
+}
+
+/// Cycle penalty the receiver pays to undo this obfuscation (paper: 1 cycle
+/// for invert/shuffle, 1-2 cycles for scramble while waiting on the partner).
+[[nodiscard]] constexpr int undo_penalty_cycles(ObfMethod m) noexcept {
+  switch (m) {
+    case ObfMethod::kInvert:
+    case ObfMethod::kShuffle: return 1;
+    case ObfMethod::kScramble: return 1;  // +stall until partner arrives
+    case ObfMethod::kReorder: return 0;   // no wire transform to undo
+    case ObfMethod::kNone:
+    default: return 0;
+  }
+}
+
+}  // namespace htnoc::obf

@@ -1,0 +1,148 @@
+#include "noc/output_unit.hpp"
+
+#include "noc/protocol.hpp"
+
+namespace htnoc {
+
+int OutputUnit::purge_packet(PacketId p,
+                             const std::set<std::uint64_t>& buffered_uids) {
+  int purged = 0;
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->flit.packet != p) {
+      ++it;
+      continue;
+    }
+    // A waiting slot's flit exists only here; an in-flight one is either on
+    // the link / NACK-pending (credit restored directly) or buffered at the
+    // receiver (credit returns via the reverse channel during its purge).
+    const bool credit_via_receiver =
+        it->state == Slot::State::kInFlight &&
+        buffered_uids.contains(it->flit.flit_uid());
+    if (!credit_via_receiver) {
+      auto& c = credits_[static_cast<std::size_t>(it->flit.vc)];
+      HTNOC_INVARIANT(c < cfg_.buffer_depth);
+      ++c;
+    }
+    it = slots_.erase(it);
+    ++purged;
+  }
+  return purged;
+}
+
+int OutputUnit::find_slot(PacketId packet, int seq, Slot::State state) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.flit.packet == packet && s.flit.seq == seq && s.state == state) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void OutputUnit::step_lt(Cycle now) {
+  if (link_ == nullptr || !link_->can_send(now)) return;
+
+  // Oldest eligible waiting slot wins; retransmissions are naturally the
+  // oldest entries, giving them the priority the protocol needs.
+  int chosen = -1;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.state != Slot::State::kWaiting || s.eligible > now) continue;
+    if (cfg_.tdm_enabled && !tdm_slot_allows(s.flit.domain, now)) continue;
+    chosen = static_cast<int>(i);
+    break;
+  }
+  if (chosen < 0) return;
+  Slot& s = slots_[static_cast<std::size_t>(chosen)];
+
+  // A scramble partner must be another waiting slot behind this one.
+  int partner_idx = -1;
+  if (!s.forced_plain) {
+    for (std::size_t j = static_cast<std::size_t>(chosen) + 1; j < slots_.size();
+         ++j) {
+      const Slot& p = slots_[j];
+      if (p.state == Slot::State::kWaiting && !p.forced_plain &&
+          !(cfg_.tdm_enabled && p.flit.domain != s.flit.domain)) {
+        partner_idx = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+
+  ObfuscationTag tag;
+  if (lob_ != nullptr && !s.forced_plain) {
+    tag = lob_->plan(now, s.flit, s.attempt, s.escalate, partner_idx >= 0);
+  }
+
+  if (tag.method == ObfMethod::kReorder) {
+    // Scheduling-only method: hold this flit so later flits go first,
+    // breaking transmission-order-keyed triggers. No link traversal yet.
+    s.eligible = now + kReorderHold;
+    ++stats_.reorder_holds;
+    return;
+  }
+
+  std::uint64_t word = s.flit.wire;
+  if (tag.method == ObfMethod::kScramble) {
+    HTNOC_EXPECT(partner_idx >= 0);
+    Slot& p = slots_[static_cast<std::size_t>(partner_idx)];
+    tag.partner_packet = p.flit.packet;
+    tag.partner_seq = p.flit.seq;
+    // The partner must cross the link un-obfuscated so the receiver can
+    // undo the XOR (paper Fig. 7: flit #4 is sent plain after (2+4)).
+    p.forced_plain = true;
+    word = obf::scramble(word, p.flit.wire, tag.granularity);
+  } else if (tag.method != ObfMethod::kNone) {
+    word = obf::apply(word, tag);
+  }
+
+  LinkPhit phit;
+  phit.flit = s.flit;
+  phit.codeword = ecc::codec_for(cfg_.ecc_scheme).encode(word);
+  phit.obf = tag;
+  phit.attempt = s.attempt;
+  link_->send(now, std::move(phit));
+
+  s.state = Slot::State::kInFlight;
+  s.last_tag = tag;
+  // A scramble-partner reservation only covers this transmission; if it gets
+  // NACKed, the retransmission is free to obfuscate (the receiver caches the
+  // de-obfuscated wire word for the pending unscramble either way).
+  s.forced_plain = false;
+  ++stats_.transmissions;
+  if (s.attempt > 0) ++stats_.retransmissions;
+  if (tag.active()) ++stats_.obfuscated_sends;
+}
+
+void OutputUnit::process_control(Cycle now) {
+  if (link_ == nullptr) return;
+  for (const CreditMsg& c : link_->take_credits(now)) {
+    auto& cr = credits_[static_cast<std::size_t>(c.vc)];
+    HTNOC_INVARIANT(cr < cfg_.buffer_depth);
+    ++cr;
+    last_credit_gain_ = now;
+  }
+  for (const AckMsg& a : link_->take_acks(now)) {
+    const int idx = find_slot(a.packet, a.seq, Slot::State::kInFlight);
+    // Unmatched responses are possible only after a purge removed the slot
+    // while its ACK/NACK was in flight; drop them.
+    if (idx < 0) continue;
+    Slot& s = slots_[static_cast<std::size_t>(idx)];
+    HTNOC_INVARIANT(s.attempt == a.attempt);
+    if (a.ok) {
+      if (lob_ != nullptr) lob_->on_ack(now, s.flit, s.last_tag);
+      ++stats_.acks;
+      stats_.last_successful_lt = now;
+      slots_.erase(slots_.begin() + idx);
+    } else {
+      if (lob_ != nullptr) lob_->on_nack(now, s.flit, s.last_tag);
+      ++stats_.nacks;
+      s.state = Slot::State::kWaiting;
+      s.eligible = now + 1;
+      ++s.attempt;
+      s.escalate = s.escalate || a.escalate_obfuscation;
+    }
+  }
+}
+
+}  // namespace htnoc

@@ -1,0 +1,242 @@
+// Output port of a router (or network interface): downstream-VC credit and
+// allocation state, the retransmission buffer (paper Fig. 5, output-buffer
+// variant), the L-Ob obfuscation attachment point, ECC encoding and link
+// transmission (ST -> LT boundary).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/expect.hpp"
+#include "ecc/codec.hpp"
+#include "noc/hooks.hpp"
+#include "noc/link.hpp"
+#include "noc/obfuscation.hpp"
+
+namespace htnoc {
+
+class OutputUnit {
+ public:
+  struct Stats {
+    std::uint64_t flits_accepted = 0;
+    std::uint64_t transmissions = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t acks = 0;
+    std::uint64_t nacks = 0;
+    std::uint64_t obfuscated_sends = 0;
+    std::uint64_t reorder_holds = 0;  ///< kReorder scheduling deferrals.
+    Cycle last_successful_lt = 0;  ///< Cycle of the most recent ACK.
+  };
+
+  /// Cycles a kReorder-tagged flit is held so later flits overtake it.
+  static constexpr Cycle kReorderHold = 3;
+
+  OutputUnit(const NocConfig& cfg, std::string name)
+      : cfg_(cfg),
+        name_(std::move(name)),
+        vc_allocated_(static_cast<std::size_t>(cfg.vcs_per_port), false),
+        credits_(static_cast<std::size_t>(cfg.vcs_per_port), cfg.buffer_depth) {}
+
+  void connect(Link* link) {
+    HTNOC_EXPECT(link != nullptr);
+    link_ = link;
+  }
+  void set_lob(LObController* lob) { lob_ = lob; }
+
+  // --- downstream VC allocation (VA stage bookkeeping) ---
+
+  [[nodiscard]] bool vc_free(int vc) const {
+    return !vc_allocated_[static_cast<std::size_t>(vc)];
+  }
+  void allocate_vc(int vc) {
+    HTNOC_EXPECT(vc_free(vc));
+    vc_allocated_[static_cast<std::size_t>(vc)] = true;
+  }
+  void release_vc(int vc) {
+    HTNOC_EXPECT(!vc_free(vc));
+    vc_allocated_[static_cast<std::size_t>(vc)] = false;
+  }
+
+  [[nodiscard]] int credits(int vc) const {
+    return credits_[static_cast<std::size_t>(vc)];
+  }
+
+  // --- retransmission buffer (ST writes, LT reads) ---
+
+  [[nodiscard]] bool has_free_slot() const {
+    return static_cast<int>(slots_.size()) < total_capacity();
+  }
+
+  /// Whether a flit heading to `vc` in `domain` may enter the
+  /// retransmission buffer this cycle.
+  ///
+  /// kOutputBuffer: one shared pool; under TDM each domain owns half of it
+  /// so a wedged domain cannot starve the other (SurfNoC-style
+  /// non-interference, Fig. 12a).
+  /// kPerVcBuffer: dedicated slots per VC — a wedged flit confines its
+  /// damage to its own VC (the paper's alternative Fig. 5 placement).
+  [[nodiscard]] bool can_accept(int vc, TdmDomain domain) const {
+    if (cfg_.retrans_scheme == RetransmissionScheme::kPerVcBuffer) {
+      int used = 0;
+      for (const Slot& s : slots_) {
+        if (s.flit.vc == vc) ++used;
+      }
+      return used < cfg_.retrans_per_vc_depth;
+    }
+    if (!cfg_.tdm_enabled) return has_free_slot();
+    int used = 0;
+    for (const Slot& s : slots_) {
+      if (s.flit.domain == domain) ++used;
+    }
+    // Odd depths give the spare slot to D1.
+    const int quota =
+        (cfg_.retrans_depth + (domain == TdmDomain::kD1 ? 1 : 0)) / 2;
+    return has_free_slot() && used < quota;
+  }
+
+  [[nodiscard]] int total_capacity() const {
+    return cfg_.retrans_scheme == RetransmissionScheme::kPerVcBuffer
+               ? cfg_.retrans_per_vc_depth * cfg_.vcs_per_port
+               : cfg_.retrans_depth;
+  }
+  [[nodiscard]] int occupancy() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] int capacity() const { return total_capacity(); }
+
+  /// Accept a flit from the crossbar (ST). Consumes one downstream credit
+  /// for the flit's VC; tail flits release the output VC allocation.
+  void accept(Cycle now, Flit flit, Cycle lt_eligible) {
+    HTNOC_EXPECT(can_accept(flit.vc, flit.domain));
+    auto& c = credits_[static_cast<std::size_t>(flit.vc)];
+    HTNOC_EXPECT(c > 0);
+    --c;
+    if (flit.is_tail()) release_vc(flit.vc);
+    // The header's VC field names the downstream VC the flit was allocated
+    // to this hop (what a real router transmits, and what a VC-keyed DPI
+    // trojan actually sees on the wires).
+    if (flit.is_head()) {
+      flit.wire = deposit_bits(flit.wire, wire::kVcPos, wire::kVcWidth, flit.vc);
+    }
+    Slot s;
+    s.flit = std::move(flit);
+    s.state = Slot::State::kWaiting;
+    s.eligible = lt_eligible;
+    s.entered = now;
+    slots_.push_back(std::move(s));
+    ++stats_.flits_accepted;
+  }
+
+  /// LT stage: try to start one link traversal this cycle.
+  void step_lt(Cycle now);
+
+  /// Drain the reverse control channel: ACKs/NACKs and credit returns.
+  void process_control(Cycle now);
+
+  /// Remove every slot of packet `p` (link-disable recovery). Credits are
+  /// restored directly except for flits known to be buffered at the
+  /// receiver (`buffered_uids`) — those return their credit through the
+  /// normal reverse channel when the receiver purges them. Returns the
+  /// number of slots removed.
+  int purge_packet(PacketId p, const std::set<std::uint64_t>& buffered_uids);
+
+  /// Release the VC only if currently allocated (purge recovery path).
+  void release_vc_if_allocated(int vc) {
+    if (!vc_free(vc)) release_vc(vc);
+  }
+
+  [[nodiscard]] bool has_packet(PacketId p) const {
+    for (const Slot& s : slots_) {
+      if (s.flit.packet == p) return true;
+    }
+    return false;
+  }
+
+  /// Slots currently holding flits bound for downstream VC `vc`.
+  [[nodiscard]] int slots_with_vc(int vc) const {
+    int n = 0;
+    for (const Slot& s : slots_) {
+      if (s.flit.vc == vc) ++n;
+    }
+    return n;
+  }
+
+  /// Flit uids of in-flight (sent, unacknowledged) slots on VC `vc` —
+  /// used by the credit-conservation checker to find flits that are
+  /// simultaneously here and buffered at the receiver (ACK in flight).
+  [[nodiscard]] std::vector<std::uint64_t> inflight_uids(int vc) const {
+    std::vector<std::uint64_t> uids;
+    for (const Slot& s : slots_) {
+      if (s.state == Slot::State::kInFlight && s.flit.vc == vc) {
+        uids.push_back(s.flit.flit_uid());
+      }
+    }
+    return uids;
+  }
+
+  /// Distinct packets with at least one slot here (purge planning).
+  [[nodiscard]] std::vector<PacketId> packets_in_slots() const {
+    std::vector<PacketId> ids;
+    for (const Slot& s : slots_) {
+      bool found = false;
+      for (const PacketId id : ids) {
+        if (id == s.flit.packet) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) ids.push_back(s.flit.packet);
+    }
+    return ids;
+  }
+
+  /// The paper's "port blocked" (tree-saturation) condition: either a flit
+  /// has sat un-ACKed in the retransmission buffer for `stall_window`
+  /// cycles (the trojan's NACK loop), or a VC has been credit-starved that
+  /// long (back-pressure from a jam further downstream).
+  [[nodiscard]] bool blocked(Cycle now, Cycle stall_window = 32) const {
+    if (link_ == nullptr) return false;
+    for (const Slot& s : slots_) {
+      if (now >= s.entered + stall_window) return true;
+    }
+    for (int vc = 0; vc < cfg_.vcs_per_port; ++vc) {
+      if (credits_[static_cast<std::size_t>(vc)] == 0 &&
+          now >= last_credit_gain_ + stall_window) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Link* link() const noexcept { return link_; }
+
+ private:
+  struct Slot {
+    Flit flit;
+    enum class State : std::uint8_t { kWaiting, kInFlight } state = State::kWaiting;
+    Cycle eligible = 0;
+    Cycle entered = 0;  ///< Cycle the flit was accepted (staleness tracking).
+    int attempt = 0;
+    bool escalate = false;        ///< Accumulated NACK advice.
+    bool forced_plain = false;    ///< Reserved as a scramble partner; send plain.
+    ObfuscationTag last_tag;
+  };
+
+  [[nodiscard]] int find_slot(PacketId packet, int seq, Slot::State state);
+
+  const NocConfig& cfg_;
+  std::string name_;
+  Link* link_ = nullptr;
+  LObController* lob_ = nullptr;
+  std::vector<bool> vc_allocated_;
+  std::vector<int> credits_;
+  Cycle last_credit_gain_ = 0;
+  std::vector<Slot> slots_;  // FIFO by entry; retransmissions are oldest first
+  Stats stats_;
+};
+
+}  // namespace htnoc

@@ -1,0 +1,76 @@
+// Link-level protocol messages (reverse control channel) and virtual-channel
+// class policy.
+//
+// The forward channel carries one LinkPhit per cycle; the reverse channel
+// carries credits (buffer-slot returns) and ACK/NACK responses for the
+// switch-to-switch retransmission protocol, each with a one-cycle delay.
+// Following the paper, the reverse control channel is assumed trusted and
+// fault-free (the trojan sits on the data wires).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace htnoc {
+
+/// Returns one downstream buffer slot for virtual channel `vc`.
+struct CreditMsg {
+  VcId vc = 0;
+};
+
+/// ACK/NACK for one transmission attempt of one flit, with the threat
+/// detector's advice piggybacked for the upstream L-Ob module.
+struct AckMsg {
+  PacketId packet = kInvalidPacket;
+  int seq = 0;
+  int attempt = 0;
+  bool ok = true;  ///< true = ACK (clear the retransmission slot), false = NACK.
+  /// Threat detector advice (NACK only): the repeated fault pattern looks
+  /// targeted; enable or advance switch-to-switch obfuscation on the resend.
+  bool escalate_obfuscation = false;
+  /// Threat detector has dispatched a BIST scan of this link (informational).
+  bool bist_requested = false;
+};
+
+/// Inclusive VC range [first, last] a packet may use, by class and domain.
+///
+/// Protocol deadlock between requests and replies is broken by giving each
+/// class a disjoint VC partition; TDM further splits VCs between the two
+/// time domains (paper Fig. 12a evaluates two TDM domains).
+[[nodiscard]] inline std::pair<int, int> allowed_vc_range(PacketClass pclass,
+                                                          TdmDomain domain,
+                                                          const NocConfig& cfg) {
+  int lo = 0;
+  int hi = cfg.vcs_per_port - 1;
+  if (cfg.tdm_enabled) {
+    const int half = cfg.vcs_per_port / 2;
+    if (domain == TdmDomain::kD1) {
+      hi = half - 1;
+    } else {
+      lo = half;
+    }
+  }
+  // Within the (possibly domain-restricted) range, replies take the upper
+  // half so a full request path can never block reply delivery.
+  const int span = hi - lo + 1;
+  if (span >= 2) {
+    const int mid = lo + span / 2;
+    if (pclass == PacketClass::kReply) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return {lo, hi};
+}
+
+/// TDM link schedule: domain D1 owns even cycles, D2 odd cycles.
+[[nodiscard]] constexpr bool tdm_slot_allows(TdmDomain domain, Cycle now) noexcept {
+  const bool even = (now % 2) == 0;
+  return domain == TdmDomain::kD1 ? even : !even;
+}
+
+}  // namespace htnoc

@@ -1,0 +1,261 @@
+#include "noc/router.hpp"
+
+#include "noc/protocol.hpp"
+
+namespace htnoc {
+
+Router::Router(const NocConfig& cfg, RouterId id, const MeshGeometry& geom,
+               const RoutingFunction* routing, ArbiterKind arbiter_kind)
+    : cfg_(cfg), id_(id), geom_(geom), routing_(routing) {
+  HTNOC_EXPECT(routing != nullptr);
+  const int ports = cfg_.ports_per_router();
+  inputs_.reserve(static_cast<std::size_t>(ports));
+  outputs_.reserve(static_cast<std::size_t>(ports));
+  for (int p = 0; p < ports; ++p) {
+    inputs_.push_back(std::make_unique<InputUnit>(cfg_, id_, p));
+    outputs_.push_back(std::make_unique<OutputUnit>(
+        cfg_, "r" + std::to_string(id_) + ".out" + std::to_string(p)));
+  }
+  const int nreq = ports * cfg_.vcs_per_port;
+  for (int i = 0; i < nreq; ++i) {
+    va_arbiters_.push_back(make_arbiter(arbiter_kind, nreq));
+  }
+  for (int p = 0; p < ports; ++p) {
+    sa_input_arbiters_.push_back(make_arbiter(arbiter_kind, cfg_.vcs_per_port));
+    sa_output_arbiters_.push_back(make_arbiter(arbiter_kind, ports));
+  }
+}
+
+void Router::set_detector(ThreatDetector* det) {
+  for (auto& in : inputs_) in->set_detector(det);
+}
+
+void Router::set_lob(int port, LObController* lob) {
+  outputs_[static_cast<std::size_t>(port)]->set_lob(lob);
+}
+
+void Router::step(Cycle now) {
+  // Reverse-channel control first so freed slots/credits are usable this
+  // cycle (they were sent >= 1 cycle ago).
+  for (auto& out : outputs_) out->process_control(now);
+  // BW: accept phit arrivals into input buffers.
+  for (auto& in : inputs_) in->process_arrivals(now);
+  stage_rc(now);
+  stage_va(now);
+  stage_sa_st(now);
+  for (auto& out : outputs_) out->step_lt(now);
+}
+
+void Router::stage_rc(Cycle now) {
+  for (auto& in : inputs_) {
+    for (int vc = 0; vc < cfg_.vcs_per_port; ++vc) {
+      auto& buf = in->vcbuf(vc);
+      if (buf.streams.empty()) continue;
+      auto& stream = buf.streams.front();
+      if (stream.state != InputUnit::PacketStream::State::kNeedRoute) continue;
+      if (!stream.head_present()) continue;
+      const Flit& head = stream.flits.front().flit;
+      const RouteDecision dec = routing_->route(id_, head);
+      ++stats_.rc_computations;
+      if (dec.out_port < 0) {
+        ++stats_.rc_stalls_unroutable;
+        continue;  // retry next cycle (e.g. mid-reconfiguration)
+      }
+      stream.out_port = dec.out_port;
+      stream.phase_down_next = dec.next_phase_down;
+      stream.state = InputUnit::PacketStream::State::kWaitVA;
+      stream.va_eligible =
+          stream.flits.front().arrival + static_cast<Cycle>(cfg_.stage_bw_rc);
+      (void)now;
+    }
+  }
+}
+
+void Router::stage_va(Cycle now) {
+  const int ports = num_ports();
+  const int nreq = ports * cfg_.vcs_per_port;
+
+  // Each waiting input VC nominates one candidate output VC.
+  // requests[va_arbiter_index] is the bitmap of requesting (in_port, in_vc).
+  std::vector<std::vector<bool>> requests(
+      static_cast<std::size_t>(nreq),
+      std::vector<bool>(static_cast<std::size_t>(nreq), false));
+  std::vector<bool> any_request(static_cast<std::size_t>(nreq), false);
+
+  for (int ip = 0; ip < ports; ++ip) {
+    for (int ivc = 0; ivc < cfg_.vcs_per_port; ++ivc) {
+      auto& buf = inputs_[static_cast<std::size_t>(ip)]->vcbuf(ivc);
+      if (buf.streams.empty()) continue;
+      auto& stream = buf.streams.front();
+      if (stream.state != InputUnit::PacketStream::State::kWaitVA) continue;
+      if (stream.va_eligible > now) continue;
+      const Flit& head = stream.flits.front().flit;
+      const auto [lo, hi] = allowed_vc_range(head.pclass, head.domain, cfg_);
+      OutputUnit& out = *outputs_[static_cast<std::size_t>(stream.out_port)];
+      int candidate = -1;
+      for (int ovc = lo; ovc <= hi; ++ovc) {
+        if (out.vc_free(ovc)) {
+          candidate = ovc;
+          break;
+        }
+      }
+      if (candidate < 0) {
+        ++stats_.va_stalls_no_free_vc;
+        continue;  // all output VCs of the class are held
+      }
+      const int ai = va_arbiter_index(stream.out_port, candidate);
+      requests[static_cast<std::size_t>(ai)]
+              [static_cast<std::size_t>(requester_index(ip, ivc))] = true;
+      any_request[static_cast<std::size_t>(ai)] = true;
+    }
+  }
+
+  for (int ai = 0; ai < nreq; ++ai) {
+    if (!any_request[static_cast<std::size_t>(ai)]) continue;
+    Arbiter& arb = *va_arbiters_[static_cast<std::size_t>(ai)];
+    const int winner = arb.arbitrate(requests[static_cast<std::size_t>(ai)]);
+    if (winner < 0) continue;
+    arb.update(winner);
+    const int ip = winner / cfg_.vcs_per_port;
+    const int ivc = winner % cfg_.vcs_per_port;
+    const int out_port = ai / cfg_.vcs_per_port;
+    const int out_vc = ai % cfg_.vcs_per_port;
+    auto& stream = inputs_[static_cast<std::size_t>(ip)]->vcbuf(ivc).streams.front();
+    outputs_[static_cast<std::size_t>(out_port)]->allocate_vc(out_vc);
+    stream.out_vc = out_vc;
+    stream.state = InputUnit::PacketStream::State::kActive;
+    stream.sa_eligible = now + static_cast<Cycle>(cfg_.stage_va);
+    ++stats_.va_grants;
+  }
+}
+
+void Router::stage_sa_st(Cycle now) {
+  const int ports = num_ports();
+
+  // Stage 1: each input port picks one ready VC.
+  std::vector<int> input_winner_vc(static_cast<std::size_t>(ports), -1);
+  for (int ip = 0; ip < ports; ++ip) {
+    InputUnit& in = *inputs_[static_cast<std::size_t>(ip)];
+    std::vector<bool> req(static_cast<std::size_t>(cfg_.vcs_per_port), false);
+    bool any = false;
+    for (int ivc = 0; ivc < cfg_.vcs_per_port; ++ivc) {
+      auto& buf = in.vcbuf(ivc);
+      if (buf.streams.empty()) continue;
+      auto& stream = buf.streams.front();
+      if (stream.state != InputUnit::PacketStream::State::kActive) continue;
+      if (stream.sa_eligible > now) continue;
+      if (!in.front_flit_ready(now, ivc)) continue;
+      OutputUnit& out = *outputs_[static_cast<std::size_t>(stream.out_port)];
+      if (!out.can_accept(stream.out_vc, stream.flits.front().flit.domain)) {
+        ++stats_.sa_stalls_no_slot;
+        continue;
+      }
+      if (out.credits(stream.out_vc) <= 0) {
+        ++stats_.sa_stalls_no_credit;
+        continue;
+      }
+      req[static_cast<std::size_t>(ivc)] = true;
+      any = true;
+      ++stats_.sa_requests;
+    }
+    if (!any) continue;
+    Arbiter& arb = *sa_input_arbiters_[static_cast<std::size_t>(ip)];
+    const int w = arb.arbitrate(req);
+    if (w >= 0) {
+      arb.update(w);
+      input_winner_vc[static_cast<std::size_t>(ip)] = w;
+    }
+  }
+
+  // Stage 2: each output port picks one winning input port.
+  for (int op = 0; op < ports; ++op) {
+    std::vector<bool> req(static_cast<std::size_t>(ports), false);
+    bool any = false;
+    for (int ip = 0; ip < ports; ++ip) {
+      const int ivc = input_winner_vc[static_cast<std::size_t>(ip)];
+      if (ivc < 0) continue;
+      const auto& stream =
+          inputs_[static_cast<std::size_t>(ip)]->vcbuf(ivc).streams.front();
+      if (stream.out_port == op) {
+        req[static_cast<std::size_t>(ip)] = true;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    Arbiter& arb = *sa_output_arbiters_[static_cast<std::size_t>(op)];
+    const int ip = arb.arbitrate(req);
+    if (ip < 0) continue;
+    arb.update(ip);
+
+    // ST: move the flit through the crossbar into the retransmission buffer.
+    const int ivc = input_winner_vc[static_cast<std::size_t>(ip)];
+    input_winner_vc[static_cast<std::size_t>(ip)] = -1;  // one grant per input
+    InputUnit& in = *inputs_[static_cast<std::size_t>(ip)];
+    auto& stream = in.vcbuf(ivc).streams.front();
+    const int out_vc = stream.out_vc;
+    const bool phase_down = stream.phase_down_next;
+    stream.sa_eligible = now + 1;
+
+    Flit f = in.pop_front_flit(now, ivc);  // may retire the stream (tail)
+    f.vc = static_cast<VcId>(out_vc);
+    f.route_phase_down = phase_down;
+    outputs_[static_cast<std::size_t>(op)]->accept(
+        now, std::move(f),
+        now + static_cast<Cycle>(cfg_.stage_sa + cfg_.stage_st));
+    ++stats_.flits_switched;
+  }
+}
+
+std::vector<PacketId> Router::active_packets_to(int out_port) const {
+  std::vector<PacketId> ids;
+  for (const auto& in : inputs_) {
+    for (int vc = 0; vc < cfg_.vcs_per_port; ++vc) {
+      const auto& buf = in->vcbuf(vc);
+      if (buf.streams.empty()) continue;
+      const auto& s = buf.streams.front();
+      if (s.state == InputUnit::PacketStream::State::kActive &&
+          s.out_port == out_port) {
+        ids.push_back(s.packet);
+      }
+    }
+  }
+  return ids;
+}
+
+void Router::invalidate_waiting_routes() {
+  for (auto& in : inputs_) {
+    for (int vc = 0; vc < cfg_.vcs_per_port; ++vc) {
+      auto& buf = in->vcbuf(vc);
+      for (auto& s : buf.streams) {
+        if (s.state == InputUnit::PacketStream::State::kWaitVA) {
+          s.state = InputUnit::PacketStream::State::kNeedRoute;
+          s.out_port = -1;
+        }
+      }
+    }
+  }
+}
+
+int Router::input_occupancy() const {
+  int n = 0;
+  for (const auto& in : inputs_) n += in->occupancy();
+  return n;
+}
+
+int Router::output_occupancy() const {
+  int n = 0;
+  for (const auto& out : outputs_) n += out->occupancy();
+  return n;
+}
+
+bool Router::any_port_blocked(Cycle now) const {
+  for (int p = 0; p < 4 && p < num_ports(); ++p) {
+    if (outputs_[static_cast<std::size_t>(p)]->link() != nullptr &&
+        outputs_[static_cast<std::size_t>(p)]->blocked(now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace htnoc

@@ -1,0 +1,124 @@
+// The 5-stage virtual-channel router (paper Sec. IV, Fig. 5):
+//   BW/RC  buffer write + route computation   (InputUnit::process_arrivals + stage_rc)
+//   VA     virtual-channel allocation          (stage_va, separable, round-robin)
+//   SA     switch allocation                   (stage_sa_st, separable, round-robin)
+//   ST     switch traversal into the output / retransmission buffer
+//   LT     link traversal                      (OutputUnit::step_lt)
+//
+// Port numbering: 0..3 = N,S,E,W; 4..4+concentration-1 = local ports.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/geometry.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/input_unit.hpp"
+#include "noc/output_unit.hpp"
+#include "noc/routing.hpp"
+
+namespace htnoc {
+
+class Router {
+ public:
+  struct Stats {
+    std::uint64_t flits_switched = 0;  ///< Flits moved through the crossbar.
+    std::uint64_t rc_computations = 0;
+    std::uint64_t rc_stalls_unroutable = 0;
+    std::uint64_t va_grants = 0;
+    std::uint64_t va_stalls_no_free_vc = 0;  ///< All output VCs of class held.
+    std::uint64_t sa_requests = 0;           ///< Input-VC switch requests.
+    std::uint64_t sa_stalls_no_slot = 0;     ///< Retransmission buffer full.
+    std::uint64_t sa_stalls_no_credit = 0;   ///< Downstream buffer full.
+
+    /// Crossbar demand that lost arbitration rather than resources.
+    [[nodiscard]] std::uint64_t sa_arbitration_losses() const {
+      return sa_requests - flits_switched;
+    }
+  };
+
+  Router(const NocConfig& cfg, RouterId id, const MeshGeometry& geom,
+         const RoutingFunction* routing,
+         ArbiterKind arbiter_kind = ArbiterKind::kRoundRobin);
+
+  [[nodiscard]] RouterId id() const noexcept { return id_; }
+  [[nodiscard]] int num_ports() const noexcept {
+    return static_cast<int>(inputs_.size());
+  }
+
+  [[nodiscard]] InputUnit& input(int port) {
+    return *inputs_[static_cast<std::size_t>(port)];
+  }
+  [[nodiscard]] OutputUnit& output(int port) {
+    return *outputs_[static_cast<std::size_t>(port)];
+  }
+  [[nodiscard]] const InputUnit& input(int port) const {
+    return *inputs_[static_cast<std::size_t>(port)];
+  }
+  [[nodiscard]] const OutputUnit& output(int port) const {
+    return *outputs_[static_cast<std::size_t>(port)];
+  }
+
+  /// Install the receiver-side threat detector on every input port.
+  void set_detector(ThreatDetector* det);
+  /// Install an L-Ob controller on one output port.
+  void set_lob(int port, LObController* lob);
+  /// Swap the routing function (Ariadne-style reconfiguration).
+  void set_routing(const RoutingFunction* routing) { routing_ = routing; }
+
+  /// Packets whose front stream is committed (kActive) to `out_port` on any
+  /// input — these must be purged when that output's link is disabled.
+  [[nodiscard]] std::vector<PacketId> active_packets_to(int out_port) const;
+
+  /// Send every routed-but-unallocated (kWaitVA) stream back through route
+  /// computation — called after a routing reconfiguration so stale
+  /// decisions do not aim at disabled links.
+  void invalidate_waiting_routes();
+
+  /// Advance one cycle: control, arrivals, RC, VA, SA/ST, LT.
+  void step(Cycle now);
+
+  // --- paper metrics ---
+
+  /// Total flits buffered across all input ports.
+  [[nodiscard]] int input_occupancy() const;
+  /// Total flits held in output/retransmission buffers.
+  [[nodiscard]] int output_occupancy() const;
+  /// True when at least one inter-router output port is blocked (full
+  /// retransmission buffer with no ACK progress).
+  [[nodiscard]] bool any_port_blocked(Cycle now) const;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void stage_rc(Cycle now);
+  void stage_va(Cycle now);
+  void stage_sa_st(Cycle now);
+
+  [[nodiscard]] int va_arbiter_index(int out_port, int out_vc) const {
+    return out_port * cfg_.vcs_per_port + out_vc;
+  }
+  [[nodiscard]] int requester_index(int in_port, int in_vc) const {
+    return in_port * cfg_.vcs_per_port + in_vc;
+  }
+
+  const NocConfig& cfg_;
+  RouterId id_;
+  MeshGeometry geom_;
+  const RoutingFunction* routing_;
+
+  std::vector<std::unique_ptr<InputUnit>> inputs_;
+  std::vector<std::unique_ptr<OutputUnit>> outputs_;
+
+  // VA: one arbiter per (out_port, out_vc) over all (in_port, in_vc).
+  std::vector<std::unique_ptr<Arbiter>> va_arbiters_;
+  // SA stage 1: one arbiter per input port over its VCs.
+  std::vector<std::unique_ptr<Arbiter>> sa_input_arbiters_;
+  // SA stage 2: one arbiter per output port over input ports.
+  std::vector<std::unique_ptr<Arbiter>> sa_output_arbiters_;
+
+  Stats stats_;
+};
+
+}  // namespace htnoc

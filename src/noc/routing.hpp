@@ -1,0 +1,69 @@
+// Routing functions. Output-port numbering convention used across the
+// router: 0..3 = N,S,E,W; 4+k = local (ejection) port for concentration
+// slot k.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+
+namespace htnoc {
+
+inline constexpr int kPortNorth = 0;
+inline constexpr int kPortSouth = 1;
+inline constexpr int kPortEast = 2;
+inline constexpr int kPortWest = 3;
+inline constexpr int kPortLocalBase = 4;
+
+[[nodiscard]] constexpr Direction port_direction(int port) noexcept {
+  return static_cast<Direction>(port);
+}
+[[nodiscard]] constexpr int direction_port(Direction d) noexcept {
+  return static_cast<int>(d);
+}
+[[nodiscard]] constexpr bool is_local_port(int port) noexcept {
+  return port >= kPortLocalBase;
+}
+
+/// Result of a route computation.
+struct RouteDecision {
+  int out_port = -1;          ///< -1 when unroutable (link failures cut the path).
+  bool next_phase_down = false;  ///< up*/down* phase after taking this hop.
+};
+
+/// Pure routing function interface (RC stage).
+class RoutingFunction {
+ public:
+  virtual ~RoutingFunction() = default;
+  /// Decide the output port at router `here` for flit `f`.
+  [[nodiscard]] virtual RouteDecision route(RouterId here, const Flit& f) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Deterministic dimension-order (x then y) routing — the paper's baseline.
+class XyRouting final : public RoutingFunction {
+ public:
+  explicit XyRouting(const MeshGeometry& geom) : geom_(geom) {}
+
+  [[nodiscard]] RouteDecision route(RouterId here, const Flit& f) const override {
+    if (f.dest_router == here) {
+      return {kPortLocalBase + geom_.local_slot_of_core(f.dest_core), false};
+    }
+    const MeshCoord c = geom_.coord_of(here);
+    const MeshCoord d = geom_.coord_of(f.dest_router);
+    if (d.x > c.x) return {kPortEast, false};
+    if (d.x < c.x) return {kPortWest, false};
+    if (d.y > c.y) return {kPortSouth, false};
+    return {kPortNorth, false};
+  }
+
+  [[nodiscard]] std::string name() const override { return "xy"; }
+
+ private:
+  MeshGeometry geom_;
+};
+
+}  // namespace htnoc

@@ -1,0 +1,165 @@
+#include "noc/updown.hpp"
+
+#include <deque>
+
+#include "common/expect.hpp"
+
+namespace htnoc {
+
+namespace {
+constexpr std::array<Direction, 4> kDirs = {Direction::kNorth, Direction::kSouth,
+                                            Direction::kEast, Direction::kWest};
+}  // namespace
+
+UpDownRouting::UpDownRouting(const MeshGeometry& geom,
+                             const std::set<LinkRef>& disabled_links)
+    : geom_(geom) {
+  const int n = geom_.num_routers();
+  // Up*/down* legality is defined on an undirected graph: a physical link
+  // with either direction failed is treated as fully failed (this is also
+  // how Ariadne-class reconfiguration treats faulty links).
+  enabled_.assign(static_cast<std::size_t>(n) * 4, false);
+  for (RouterId r = 0; r < n; ++r) {
+    for (Direction d : kDirs) {
+      if (!geom_.has_neighbor(r, d)) continue;
+      const RouterId nb = geom_.neighbor(r, d);
+      const bool healthy = !disabled_links.contains({r, d}) &&
+                           !disabled_links.contains({nb, opposite(d)});
+      enabled_[static_cast<std::size_t>(link_index({r, d}))] = healthy;
+    }
+  }
+
+  // BFS levels over the *undirected* healthy graph: a tree edge exists when
+  // at least one direction survives (the tree only defines up/down labels;
+  // traversal legality still checks the directed link).
+  levels_.assign(static_cast<std::size_t>(n), kUnreachable);
+  std::deque<RouterId> q;
+  levels_[0] = 0;
+  q.push_back(0);
+  while (!q.empty()) {
+    const RouterId r = q.front();
+    q.pop_front();
+    for (Direction d : kDirs) {
+      if (!geom_.has_neighbor(r, d)) continue;
+      const RouterId nb = geom_.neighbor(r, d);
+      if (!enabled_[static_cast<std::size_t>(link_index({r, d}))]) continue;
+      if (levels_[static_cast<std::size_t>(nb)] == kUnreachable) {
+        levels_[static_cast<std::size_t>(nb)] =
+            levels_[static_cast<std::size_t>(r)] + 1;
+        q.push_back(nb);
+      }
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    if (levels_[static_cast<std::size_t>(r)] == kUnreachable) {
+      throw ContractViolation("up*/down*: router disconnected from root");
+    }
+  }
+
+  // Per-destination backward BFS over the (router, phase) product graph.
+  dist_.assign(static_cast<std::size_t>(n),
+               std::vector<int>(static_cast<std::size_t>(n) * 2, kUnreachable));
+  for (RouterId dest = 0; dest < n; ++dest) {
+    auto& dd = dist_[static_cast<std::size_t>(dest)];
+    std::deque<std::pair<RouterId, int>> bfs;
+    dd[static_cast<std::size_t>(dest) * 2 + 0] = 0;
+    dd[static_cast<std::size_t>(dest) * 2 + 1] = 0;
+    bfs.emplace_back(dest, 0);
+    bfs.emplace_back(dest, 1);
+    while (!bfs.empty()) {
+      const auto [v, pv] = bfs.front();
+      bfs.pop_front();
+      const int dv = dd[static_cast<std::size_t>(v) * 2 + static_cast<std::size_t>(pv)];
+      // Find predecessors (u, pu) with a legal move u->v landing in phase pv.
+      for (Direction d : kDirs) {
+        if (!geom_.has_neighbor(v, opposite(d))) continue;
+        const RouterId u = geom_.neighbor(v, opposite(d));
+        // The move is u --d--> v; check the directed link is healthy.
+        if (!enabled_[static_cast<std::size_t>(link_index({u, d}))]) continue;
+        const bool up_hop = is_up(u, d);
+        // Legal phases pu at u for this move and resulting phase at v:
+        //  up hop:   requires pu == 0, lands pv' == 0
+        //  down hop: any pu, lands pv' == 1
+        if (up_hop) {
+          if (pv != 0) continue;
+          if (dd[static_cast<std::size_t>(u) * 2 + 0] > dv + 1) {
+            dd[static_cast<std::size_t>(u) * 2 + 0] = dv + 1;
+            bfs.emplace_back(u, 0);
+          }
+        } else {
+          if (pv != 1) continue;
+          for (int pu = 0; pu <= 1; ++pu) {
+            if (dd[static_cast<std::size_t>(u) * 2 + static_cast<std::size_t>(pu)] >
+                dv + 1) {
+              dd[static_cast<std::size_t>(u) * 2 + static_cast<std::size_t>(pu)] =
+                  dv + 1;
+              bfs.emplace_back(u, pu);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (RouterId s = 0; s < n; ++s) {
+    for (RouterId t = 0; t < n; ++t) {
+      if (!reachable(s, t)) {
+        throw ContractViolation("up*/down*: no legal route between some pair");
+      }
+    }
+  }
+}
+
+bool UpDownRouting::is_up(RouterId from, Direction dir) const {
+  const RouterId to = geom_.neighbor(from, dir);
+  const int lf = levels_[static_cast<std::size_t>(from)];
+  const int lt = levels_[static_cast<std::size_t>(to)];
+  if (lt != lf) return lt < lf;
+  return to < from;  // deterministic tie-break on equal levels
+}
+
+bool UpDownRouting::reachable(RouterId from, RouterId to) const {
+  return dist(to, from, 0) < kUnreachable;
+}
+
+RouteDecision UpDownRouting::route(RouterId here, const Flit& f) const {
+  if (f.dest_router == here) {
+    return {kPortLocalBase + geom_.local_slot_of_core(f.dest_core),
+            f.route_phase_down};
+  }
+  RouteDecision dec = route_with_phase(here, f.dest_router,
+                                       f.route_phase_down ? 1 : 0);
+  if (dec.out_port < 0 && f.route_phase_down) {
+    // Epoch-reset recovery: the packet's phase bit was earned under an
+    // older routing epoch whose links may since have been disabled. The
+    // reconfiguration logically re-admits in-flight packets as fresh, so a
+    // stranded down-phase packet restarts in the up phase.
+    dec = route_with_phase(here, f.dest_router, 0);
+  }
+  return dec;
+}
+
+RouteDecision UpDownRouting::route_with_phase(RouterId here, RouterId dest,
+                                              int phase) const {
+  int best_port = -1;
+  int best_dist = kUnreachable;
+  bool best_phase_down = phase == 1;
+  for (Direction d : kDirs) {
+    if (!geom_.has_neighbor(here, d)) continue;
+    if (!enabled_[static_cast<std::size_t>(link_index({here, d}))]) continue;
+    const bool up_hop = is_up(here, d);
+    if (phase == 1 && up_hop) continue;  // down-phase may not go up
+    const RouterId nb = geom_.neighbor(here, d);
+    const int nphase = up_hop ? 0 : 1;
+    const int dd = dist(dest, nb, nphase);
+    if (dd == kUnreachable) continue;
+    if (dd + 1 < best_dist) {
+      best_dist = dd + 1;
+      best_port = direction_port(d);
+      best_phase_down = (nphase == 1);
+    }
+  }
+  return {best_port, best_phase_down};
+}
+
+}  // namespace htnoc

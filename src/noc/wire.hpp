@@ -1,0 +1,87 @@
+// The 64-bit wire image of a flit — the bits a link (and therefore a link
+// hardware trojan) actually sees. The field widths mirror Table I of the
+// paper: src 4, dest 4, VC 2, memory address 32; the "full" target region is
+// the low 42 bits. Every flit additionally carries its type in the top bits
+// so receivers can delimit packets.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace htnoc::wire {
+
+inline constexpr unsigned kSrcPos = 0, kSrcWidth = 4;
+inline constexpr unsigned kDestPos = 4, kDestWidth = 4;
+inline constexpr unsigned kVcPos = 8, kVcWidth = 2;
+inline constexpr unsigned kMemPos = 10, kMemWidth = 32;
+inline constexpr unsigned kLenPos = 42, kLenWidth = 4;
+inline constexpr unsigned kClassPos = 46, kClassWidth = 2;
+inline constexpr unsigned kThreadPos = 48, kThreadWidth = 6;
+inline constexpr unsigned kPidPos = 54, kPidWidth = 8;
+inline constexpr unsigned kTypePos = 62, kTypeWidth = 2;
+
+/// Width of the paper's "full" deep-packet-inspection target region.
+inline constexpr unsigned kFullTargetWidth = 42;  // src+dest+vc+mem
+
+/// Header region used by L-Ob header-granularity obfuscation.
+inline constexpr unsigned kHeaderBits = 42;
+
+/// Fields recoverable from a head flit's wire image.
+struct HeaderFields {
+  RouterId src = 0;
+  RouterId dest = 0;
+  VcId vc = 0;
+  std::uint32_t mem_addr = 0;
+  unsigned length = 0;
+  PacketClass pclass = PacketClass::kData;
+  std::uint8_t thread = 0;  ///< Originating thread/process id (6 bits).
+  std::uint64_t pid_low = 0;
+  FlitType type = FlitType::kHead;
+};
+
+[[nodiscard]] constexpr std::uint64_t pack_header(const HeaderFields& h) noexcept {
+  std::uint64_t w = 0;
+  w = htnoc::deposit_bits(w, kSrcPos, kSrcWidth, h.src);
+  w = htnoc::deposit_bits(w, kDestPos, kDestWidth, h.dest);
+  w = htnoc::deposit_bits(w, kVcPos, kVcWidth, h.vc);
+  w = htnoc::deposit_bits(w, kMemPos, kMemWidth, h.mem_addr);
+  w = htnoc::deposit_bits(w, kLenPos, kLenWidth, h.length);
+  w = htnoc::deposit_bits(w, kClassPos, kClassWidth,
+                          static_cast<std::uint64_t>(h.pclass));
+  w = htnoc::deposit_bits(w, kThreadPos, kThreadWidth, h.thread);
+  w = htnoc::deposit_bits(w, kPidPos, kPidWidth, h.pid_low);
+  w = htnoc::deposit_bits(w, kTypePos, kTypeWidth,
+                          static_cast<std::uint64_t>(h.type));
+  return w;
+}
+
+[[nodiscard]] constexpr HeaderFields unpack_header(std::uint64_t w) noexcept {
+  HeaderFields h;
+  h.src = static_cast<RouterId>(htnoc::extract_bits(w, kSrcPos, kSrcWidth));
+  h.dest = static_cast<RouterId>(htnoc::extract_bits(w, kDestPos, kDestWidth));
+  h.vc = static_cast<VcId>(htnoc::extract_bits(w, kVcPos, kVcWidth));
+  h.mem_addr =
+      static_cast<std::uint32_t>(htnoc::extract_bits(w, kMemPos, kMemWidth));
+  h.length = static_cast<unsigned>(htnoc::extract_bits(w, kLenPos, kLenWidth));
+  h.pclass =
+      static_cast<PacketClass>(htnoc::extract_bits(w, kClassPos, kClassWidth));
+  h.thread =
+      static_cast<std::uint8_t>(htnoc::extract_bits(w, kThreadPos, kThreadWidth));
+  h.pid_low = htnoc::extract_bits(w, kPidPos, kPidWidth);
+  h.type = static_cast<FlitType>(htnoc::extract_bits(w, kTypePos, kTypeWidth));
+  return h;
+}
+
+/// Stamp the flit-type bits onto an arbitrary (payload) wire word.
+[[nodiscard]] constexpr std::uint64_t stamp_type(std::uint64_t w, FlitType t) noexcept {
+  return htnoc::deposit_bits(w, kTypePos, kTypeWidth,
+                             static_cast<std::uint64_t>(t));
+}
+
+[[nodiscard]] constexpr FlitType type_of(std::uint64_t w) noexcept {
+  return static_cast<FlitType>(htnoc::extract_bits(w, kTypePos, kTypeWidth));
+}
+
+}  // namespace htnoc::wire

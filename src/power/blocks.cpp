@@ -1,0 +1,228 @@
+#include "power/blocks.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace htnoc::power {
+
+namespace {
+[[nodiscard]] double log2d(double x) { return std::log2(std::max(2.0, x)); }
+}  // namespace
+
+BlockEstimate comparator(unsigned k) {
+  HTNOC_EXPECT(k >= 1);
+  BlockEstimate b;
+  b.name = "comparator" + std::to_string(k);
+  // XNOR folded into an AOI reduction tree: ~1.05 GE per compared bit.
+  b.gates = 1.05 * static_cast<double>(k);
+  b.activity = 0.35;  // sees every traversing flit
+  b.logic_depth = log2d(static_cast<double>(k)) / 2.0 + 4.0;
+  return b;
+}
+
+BlockEstimate payload_counter(int y) {
+  HTNOC_EXPECT(y >= 2);
+  BlockEstimate b;
+  b.name = "payload_counter" + std::to_string(y);
+  b.flipflops = static_cast<double>(y);
+  b.gates = 3.0 * static_cast<double>(y);  // next-state + decode
+  b.activity = 0.05;  // holds state between injections (paper Sec. III-B)
+  b.logic_depth = log2d(static_cast<double>(y)) + 2.0;
+  return b;
+}
+
+BlockEstimate xor_tree(int t) {
+  HTNOC_EXPECT(t >= 1);
+  BlockEstimate b;
+  b.name = "xor_tree" + std::to_string(t);
+  b.gates = 1.5 * static_cast<double>(t);
+  b.activity = 0.05;  // only toggles during an injection
+  b.logic_depth = 1.0;
+  return b;
+}
+
+BlockEstimate fifo(const std::string& name, int bits) {
+  HTNOC_EXPECT(bits >= 1);
+  BlockEstimate b;
+  b.name = name;
+  b.flipflops = static_cast<double>(bits);
+  b.gates = 0.25 * static_cast<double>(bits);  // pointers, full/empty logic
+  b.activity = 0.025;  // average occupancy-weighted switching
+  b.logic_depth = 3.0;
+  return b;
+}
+
+BlockEstimate cam(int entries, int width) {
+  HTNOC_EXPECT(entries >= 1 && width >= 1);
+  BlockEstimate b;
+  b.name = "cam" + std::to_string(entries) + "x" + std::to_string(width);
+  b.flipflops = static_cast<double>(entries * width);
+  b.gates = 1.2 * static_cast<double>(entries * width);  // match lines
+  b.activity = 0.05;  // searched only on faulty flits
+  b.logic_depth = log2d(static_cast<double>(width)) + 3.0;
+  return b;
+}
+
+BlockEstimate crossbar(int ports, int width) {
+  HTNOC_EXPECT(ports >= 2 && width >= 1);
+  BlockEstimate b;
+  b.name = "crossbar" + std::to_string(ports) + "x" + std::to_string(ports);
+  // Mux tree per output wire plus output drivers.
+  b.gates = 1.6 * static_cast<double>(width) * static_cast<double>(ports) *
+            static_cast<double>(ports);
+  b.activity = 0.033;
+  b.logic_depth = log2d(static_cast<double>(ports)) + 2.0;
+  return b;
+}
+
+BlockEstimate allocator(const std::string& name, int requesters, int resources) {
+  HTNOC_EXPECT(requesters >= 1 && resources >= 1);
+  BlockEstimate b;
+  b.name = name;
+  b.gates = 2.0 * static_cast<double>(requesters) * static_cast<double>(resources) +
+            6.0 * static_cast<double>(resources);  // arbiters + grant logic
+  b.flipflops = static_cast<double>(resources);    // rotating priorities
+  b.activity = 0.04;
+  b.logic_depth = log2d(static_cast<double>(requesters)) + 4.0;
+  return b;
+}
+
+BlockEstimate secded_codec(const std::string& name) {
+  BlockEstimate b;
+  b.name = name;
+  // 8 parity trees over ~64 bits plus correction muxing.
+  b.gates = 485.0;
+  b.activity = 0.01;
+  b.logic_depth = 8.0;
+  return b;
+}
+
+BlockEstimate tasp_block(trojan::TargetKind kind, int y) {
+  BlockEstimate control;
+  control.name = "tasp_control";
+  control.gates = 6.0;  // killsw gating + FSM glue
+  control.activity = 0.2;
+  control.logic_depth = 2.0;
+
+  return BlockEstimate::combine(
+      "tasp_" + trojan::to_string(kind),
+      {comparator(trojan::target_width(kind)), payload_counter(y), xor_tree(y),
+       control});
+}
+
+BlockEstimate lob_block() {
+  BlockEstimate b;
+  b.name = "lob";
+  // Invert/rotate/XOR muxing over 64 wires, method-selection FSM and the
+  // per-flow success log.
+  b.gates = 150.0;
+  b.flipflops = 6.0;
+  b.activity = 0.1;
+  b.logic_depth = 5.0;
+  return b;
+}
+
+BlockEstimate threat_detector_block() {
+  BlockEstimate classifier;
+  classifier.name = "threat_classifier";
+  classifier.gates = 180.0;
+  classifier.activity = 0.05;
+  classifier.logic_depth = 6.0;
+
+  return BlockEstimate::combine("threat_detector",
+                                {cam(6, 16), classifier});
+}
+
+RouterBreakdown router_breakdown(const NocConfig& cfg) {
+  RouterBreakdown r;
+  const int ports = cfg.ports_per_router();
+  const int in_bits = ports * cfg.vcs_per_port * cfg.buffer_depth * 64;
+  const int rt_bits = ports * cfg.retrans_depth * 72;
+  r.buffers = fifo("router_buffers", in_bits + rt_bits);
+  r.crossbar = power::crossbar(ports, 64);
+  r.switch_allocator =
+      allocator("switch_allocator", ports * cfg.vcs_per_port, ports);
+  r.vc_allocator = allocator("vc_allocator", ports * cfg.vcs_per_port,
+                             ports * cfg.vcs_per_port);
+
+  std::vector<BlockEstimate> codecs;
+  codecs.reserve(static_cast<std::size_t>(2 * ports));
+  for (int p = 0; p < ports; ++p) {
+    codecs.push_back(secded_codec("secded_enc"));
+    codecs.push_back(secded_codec("secded_dec"));
+  }
+  r.ecc = BlockEstimate::combine("router_ecc", codecs);
+
+  // Clock tree: buffers proportional to the flip-flop population, always
+  // switching.
+  r.clock.name = "clock_tree";
+  r.clock.gates = 0.007 * (r.buffers.flipflops + 64.0);
+  r.clock.activity = 1.0;
+  r.clock.logic_depth = 4.0;
+
+  r.total = BlockEstimate::combine(
+      "router", {r.buffers, r.crossbar, r.switch_allocator, r.vc_allocator,
+                 r.ecc, r.clock});
+  return r;
+}
+
+NocBreakdown noc_breakdown(const NocConfig& cfg) {
+  NocBreakdown n;
+  const RouterBreakdown rb = router_breakdown(cfg);
+  std::vector<BlockEstimate> routers(
+      static_cast<std::size_t>(cfg.num_routers()), rb.total);
+  n.routers = BlockEstimate::combine("noc_routers", routers);
+
+  // Count unidirectional mesh links (2*(w-1)*h horizontal + 2*w*(h-1)
+  // vertical = 48 for a 4x4).
+  const int links = 2 * ((cfg.mesh_width - 1) * cfg.mesh_height +
+                         cfg.mesh_width * (cfg.mesh_height - 1));
+  std::vector<BlockEstimate> trojans(
+      static_cast<std::size_t>(links),
+      tasp_block(trojan::TargetKind::kDest));
+  n.tasp_all_links = BlockEstimate::combine("tasp_all_links", trojans);
+
+  // Global (inter-router) wiring dominates NoC area in the paper's chart
+  // (~86% wire vs ~13% active): model it as a fixed multiple of the active
+  // router area.
+  n.global_wire_area_um2 = 6.6 * n.routers.area_um2();
+  return n;
+}
+
+MitigationOverhead mitigation_overhead(const NocConfig& cfg) {
+  MitigationOverhead m;
+  m.threat_detector = threat_detector_block();
+  m.lob_per_port = lob_block();
+  // L-Ob attaches to the retransmission buffers of each inter-router output
+  // port (4 on a mesh router).
+  std::vector<BlockEstimate> blocks = {m.threat_detector, m.lob_per_port,
+                                       m.lob_per_port, m.lob_per_port,
+                                       m.lob_per_port};
+  m.total_per_router = BlockEstimate::combine("mitigation_per_router", blocks);
+
+  const RouterBreakdown rb = router_breakdown(cfg);
+  m.area_fraction_of_router =
+      m.total_per_router.area_um2() / rb.total.area_um2();
+  const double mit_power =
+      m.total_per_router.dynamic_uw() + m.total_per_router.leakage_nw() * 1e-3;
+  const double rtr_power =
+      rb.total.dynamic_uw() + rb.total.leakage_nw() * 1e-3;
+  m.power_fraction_of_router = mit_power / rtr_power;
+  return m;
+}
+
+const std::vector<TaspReference>& tasp_paper_reference() {
+  using trojan::TargetKind;
+  static const std::vector<TaspReference> ref = {
+      {TargetKind::kFull, 50.45, 25.5304, 30.2694, 0.21},
+      {TargetKind::kDest, 33.516, 9.9263, 16.2355, 0.21},
+      {TargetKind::kSrc, 33.516, 9.9263, 16.2355, 0.21},
+      {TargetKind::kDestSrc, 37.044, 10.9416, 16.2498, 0.21},
+      {TargetKind::kMem, 44.4528, 10.1997, 17.0468, 0.21},
+      {TargetKind::kVc, 31.9284, 10.5953, 15.0765, 0.21},
+  };
+  return ref;
+}
+
+}  // namespace htnoc::power

@@ -1,0 +1,91 @@
+// Gate-level size estimates for every RTL block evaluated in the paper:
+// the TASP trojan variants (Table I / Fig. 9), the router and full NoC
+// (Fig. 8), and the proposed mitigation hardware (Table II).
+#pragma once
+
+#include "common/config.hpp"
+#include "power/tech.hpp"
+#include "trojan/tasp.hpp"
+
+namespace htnoc::power {
+
+// --- primitive blocks ---
+
+/// k-bit equality comparator: k XNORs plus an AND-reduction tree.
+[[nodiscard]] BlockEstimate comparator(unsigned k);
+/// y-state payload counter FSM: flip-flops + next-state / decode logic.
+[[nodiscard]] BlockEstimate payload_counter(int y);
+/// XOR fault-insertion tree tapping t wires of the link.
+[[nodiscard]] BlockEstimate xor_tree(int t);
+/// FIFO buffer storage of `bits` total bits (input VC or retransmission).
+[[nodiscard]] BlockEstimate fifo(const std::string& name, int bits);
+/// CAM of `entries` x `width` bits (threat-detector fault history).
+[[nodiscard]] BlockEstimate cam(int entries, int width);
+/// ports x ports crossbar of `width`-bit wires (mux-tree implementation).
+[[nodiscard]] BlockEstimate crossbar(int ports, int width);
+/// Separable allocator (VA or SA) over `requesters` x `resources`.
+[[nodiscard]] BlockEstimate allocator(const std::string& name, int requesters,
+                                      int resources);
+/// SECDED (72,64) encoder or decoder.
+[[nodiscard]] BlockEstimate secded_codec(const std::string& name);
+
+// --- paper blocks ---
+
+/// One TASP trojan tuned to `kind` with a y-state payload FSM (Table I).
+[[nodiscard]] BlockEstimate tasp_block(trojan::TargetKind kind, int y = 8);
+
+/// The L-Ob switch-to-switch obfuscation datapath for one output port
+/// (invert/shuffle/scramble muxes over 64 wires + method log + control).
+[[nodiscard]] BlockEstimate lob_block();
+
+/// The per-router threat source detector (history CAM + classifier FSM +
+/// BIST sequencer).
+[[nodiscard]] BlockEstimate threat_detector_block();
+
+/// Component breakdown of one router (Fig. 8 pie charts).
+struct RouterBreakdown {
+  BlockEstimate buffers;
+  BlockEstimate crossbar;
+  BlockEstimate switch_allocator;
+  BlockEstimate vc_allocator;
+  BlockEstimate ecc;
+  BlockEstimate clock;
+  BlockEstimate total;  ///< Sum of the above.
+};
+[[nodiscard]] RouterBreakdown router_breakdown(const NocConfig& cfg);
+
+/// Whole-NoC roll-up (Fig. 8 right charts).
+struct NocBreakdown {
+  BlockEstimate routers;        ///< All routers.
+  BlockEstimate tasp_all_links; ///< Worst case: a TASP on every mesh link.
+  double global_wire_area_um2 = 0.0;
+  [[nodiscard]] double total_area_um2() const {
+    return routers.area_um2() + tasp_all_links.area_um2() + global_wire_area_um2;
+  }
+};
+[[nodiscard]] NocBreakdown noc_breakdown(const NocConfig& cfg);
+
+/// Mitigation totals per router (Table II): one threat detector plus one
+/// L-Ob block per inter-router output port.
+struct MitigationOverhead {
+  BlockEstimate threat_detector;
+  BlockEstimate lob_per_port;
+  BlockEstimate total_per_router;  ///< detector + 4 x L-Ob.
+  double area_fraction_of_router = 0.0;
+  double power_fraction_of_router = 0.0;  ///< dynamic + leakage combined.
+};
+[[nodiscard]] MitigationOverhead mitigation_overhead(const NocConfig& cfg);
+
+// --- paper reference values for side-by-side reporting ---
+
+/// Table I row as printed in the paper.
+struct TaspReference {
+  trojan::TargetKind kind;
+  double area_um2;
+  double dynamic_uw;
+  double leakage_nw;
+  double timing_ns;
+};
+[[nodiscard]] const std::vector<TaspReference>& tasp_paper_reference();
+
+}  // namespace htnoc::power

@@ -1,0 +1,82 @@
+#include "power/energy.hpp"
+
+#include <iomanip>
+
+namespace htnoc::power {
+
+EnergyReport account_energy(Network& net, const EnergyCosts& costs,
+                            std::uint64_t bist_scans) {
+  EnergyReport r;
+  r.detection_pj = static_cast<double>(bist_scans) * costs.bist_scan_pj;
+  const auto& geom = net.geometry();
+
+  // Link traversals, split useful vs retransmitted, plus reverse-channel
+  // and decode costs. OutputUnit stats give per-port attempt counts; link
+  // stats give ack/nack volumes.
+  for (RouterId rtr = 0; rtr < geom.num_routers(); ++rtr) {
+    Router& router = net.router(rtr);
+    for (int p = 0; p < router.num_ports(); ++p) {
+      const auto& os = router.output(p).stats();
+      const std::uint64_t first_attempts =
+          os.transmissions - os.retransmissions;
+      r.useful_pj +=
+          static_cast<double>(first_attempts) * costs.link_traversal_pj;
+      r.retransmission_pj +=
+          static_cast<double>(os.retransmissions) * costs.link_traversal_pj;
+      r.obfuscation_pj +=
+          static_cast<double>(os.obfuscated_sends) * costs.obfuscation_pj;
+      // Every accepted flit was written into the retransmission buffer and
+      // read out at least once.
+      r.useful_pj += static_cast<double>(os.flits_accepted) *
+                     (costs.buffer_write_pj + costs.buffer_read_pj);
+
+      const auto& is = router.input(p).stats();
+      r.useful_pj +=
+          static_cast<double>(is.flits_received) * costs.ecc_decode_pj;
+      r.correction_pj +=
+          static_cast<double>(is.corrected_singles) * costs.ecc_correction_pj;
+      // Buffered flits are written and later switched out.
+      r.useful_pj += static_cast<double>(is.flits_received -
+                                         is.nacks_sent) *
+                     costs.buffer_write_pj;
+    }
+  }
+  for (const LinkRef& l : net.all_links()) {
+    const auto& ls = net.link(l.from, l.dir).stats();
+    r.useful_pj += static_cast<double>(ls.acks_sent) * costs.ack_nack_pj;
+    r.retransmission_pj +=
+        static_cast<double>(ls.nacks_sent) * costs.ack_nack_pj;
+  }
+  // NI-side injection machinery mirrors a router output port.
+  for (NodeId c = 0; c < geom.num_cores(); ++c) {
+    const auto& os = net.ni(c).injection_port().stats();
+    const std::uint64_t first_attempts = os.transmissions - os.retransmissions;
+    r.useful_pj +=
+        static_cast<double>(first_attempts) * costs.link_traversal_pj;
+    r.retransmission_pj +=
+        static_cast<double>(os.retransmissions) * costs.link_traversal_pj;
+    r.packets_delivered += net.ni(c).stats().packets_delivered;
+  }
+  return r;
+}
+
+void print_energy_report(std::ostream& os, const EnergyReport& r,
+                         const char* label) {
+  os << label << ":\n" << std::fixed << std::setprecision(1);
+  os << "  useful transport  " << std::setw(12) << r.useful_pj / 1000.0
+     << " nJ\n";
+  os << "  retransmissions   " << std::setw(12)
+     << r.retransmission_pj / 1000.0 << " nJ\n";
+  os << "  ECC corrections   " << std::setw(12) << r.correction_pj / 1000.0
+     << " nJ\n";
+  os << "  obfuscation       " << std::setw(12) << r.obfuscation_pj / 1000.0
+     << " nJ\n";
+  os << "  BIST/detection    " << std::setw(12) << r.detection_pj / 1000.0
+     << " nJ\n";
+  os << "  total " << r.total_pj() / 1000.0 << " nJ, overhead "
+     << std::setprecision(2) << 100.0 * r.overhead_fraction() << "%, "
+     << std::setprecision(1) << r.pj_per_packet() << " pJ/packet over "
+     << r.packets_delivered << " packets\n";
+}
+
+}  // namespace htnoc::power

@@ -1,0 +1,70 @@
+// Runtime energy accounting: converts a finished (or running) simulation's
+// event counters into energy, using per-event costs derived from the same
+// 40 nm gate model as the static tables.
+//
+// The paper discusses the energy consequences of its attack qualitatively —
+// ECC corrections "consume more energy at the receiver", dropped/looping
+// packets "have both performance and power penalties to retransmit" — but
+// reports only synthesis-time power. This model quantifies the runtime
+// side: how many nanojoules the trojan's retransmission storm burns, and
+// what L-Ob's obfuscation penalty costs relative to it.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "noc/network.hpp"
+#include "power/blocks.hpp"
+
+namespace htnoc::power {
+
+/// Energy cost of one occurrence of each accountable event, in picojoules.
+/// Derived from the block estimates: a block consuming P uW at 2 GHz with
+/// activity a spends (P / a) * 0.5ns per fully-active cycle; per-event
+/// costs below bundle the cycles each event keeps its blocks busy.
+struct EnergyCosts {
+  double link_traversal_pj = 2.1;   ///< Drive 72 wires one hop (incl. ECC enc).
+  double buffer_write_pj = 1.4;     ///< One flit into a VC/retrans buffer.
+  double buffer_read_pj = 0.9;      ///< One flit out through the crossbar.
+  double ecc_decode_pj = 0.35;      ///< Syndrome computation at the receiver.
+  double ecc_correction_pj = 0.6;   ///< Extra work when a bit is repaired.
+  double obfuscation_pj = 0.25;     ///< L-Ob transform + undo.
+  double ack_nack_pj = 0.12;        ///< Reverse-channel message.
+  double bist_scan_pj = 45.0;       ///< One full pattern scan of a link.
+};
+
+/// Roll-up of a run's dynamic energy by cause.
+struct EnergyReport {
+  double useful_pj = 0.0;          ///< First-attempt transport of flits.
+  double retransmission_pj = 0.0;  ///< Re-sent phits + their NACK traffic.
+  double correction_pj = 0.0;      ///< Inline ECC repairs.
+  double obfuscation_pj = 0.0;     ///< L-Ob transforms.
+  double detection_pj = 0.0;       ///< BIST scans.
+  std::uint64_t packets_delivered = 0;
+
+  [[nodiscard]] double total_pj() const {
+    return useful_pj + retransmission_pj + correction_pj + obfuscation_pj +
+           detection_pj;
+  }
+  [[nodiscard]] double overhead_fraction() const {
+    const double t = total_pj();
+    return t == 0.0 ? 0.0 : (t - useful_pj) / t;
+  }
+  [[nodiscard]] double pj_per_packet() const {
+    return packets_delivered == 0
+               ? 0.0
+               : total_pj() / static_cast<double>(packets_delivered);
+  }
+};
+
+/// Account a network's current counters. Pure read; callable mid-run for
+/// deltas by subtracting successive reports. `bist_scans` comes from the
+/// threat detectors (the Network does not see them).
+[[nodiscard]] EnergyReport account_energy(Network& net,
+                                          const EnergyCosts& costs = {},
+                                          std::uint64_t bist_scans = 0);
+
+void print_energy_report(std::ostream& os, const EnergyReport& r,
+                         const char* label);
+
+}  // namespace htnoc::power

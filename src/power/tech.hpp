@@ -1,0 +1,86 @@
+// Technology model: a gate-equivalent (GE) abstraction of the paper's
+// TSMC 40 nm library at 1.0 V / 2 GHz.
+//
+// The paper synthesizes every block with Synopsys Design Compiler; we have
+// no foundry libraries, so each RTL block is sized in NAND2-equivalent
+// gates and flip-flops, and converted to area / leakage / dynamic power /
+// delay with per-technology constants calibrated against the paper's
+// Table I "Dest" data point (see DESIGN.md, substitution table). Absolute
+// values are therefore approximate; orderings and ratios are the
+// reproduction target.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace htnoc::power {
+
+struct TechParams {
+  // Geometry.
+  double ge_area_um2 = 0.42;     ///< Area of one NAND2-equivalent gate.
+  double ff_area_um2 = 1.9;      ///< Area of one D flip-flop.
+  // Leakage.
+  double ge_leak_nw = 0.19;      ///< Leakage per gate at 1.0 V, 25C.
+  double ff_leak_nw = 0.85;
+  // Dynamic power at 2 GHz, 1.0 V, scaled by per-block activity factor.
+  double ge_dyn_uw = 1.15;       ///< Dynamic power per gate at activity 1.0.
+  double ff_dyn_uw = 3.8;
+  // Timing.
+  double gate_delay_ns = 0.028;  ///< Per logic level, including local wire.
+  double clock_period_ns = 0.5;  ///< 2 GHz.
+};
+
+/// The default 40 nm calibration used throughout the repo.
+[[nodiscard]] inline const TechParams& tech40() {
+  static const TechParams t{};
+  return t;
+}
+
+/// A synthesized block: gate/FF counts with an activity estimate and a
+/// critical-path depth in logic levels.
+struct BlockEstimate {
+  std::string name;
+  double gates = 0.0;
+  double flipflops = 0.0;
+  double activity = 0.1;     ///< Average switching activity of the gates.
+  double logic_depth = 1.0;  ///< Levels on the critical path.
+
+  [[nodiscard]] double area_um2(const TechParams& t = tech40()) const {
+    return gates * t.ge_area_um2 + flipflops * t.ff_area_um2;
+  }
+  [[nodiscard]] double leakage_nw(const TechParams& t = tech40()) const {
+    return gates * t.ge_leak_nw + flipflops * t.ff_leak_nw;
+  }
+  [[nodiscard]] double dynamic_uw(const TechParams& t = tech40()) const {
+    return (gates * t.ge_dyn_uw + flipflops * t.ff_dyn_uw) * activity;
+  }
+  [[nodiscard]] double delay_ns(const TechParams& t = tech40()) const {
+    return logic_depth * t.gate_delay_ns;
+  }
+  [[nodiscard]] bool meets_timing(const TechParams& t = tech40()) const {
+    return delay_ns(t) <= t.clock_period_ns;
+  }
+
+  /// Sum of sub-blocks under a new name. Area, leakage and dynamic power of
+  /// the combination equal the sums of the parts (activity is the
+  /// dynamic-power-weighted average so the last property holds exactly).
+  [[nodiscard]] static BlockEstimate combine(std::string name,
+                                             const std::vector<BlockEstimate>& subs,
+                                             const TechParams& t = tech40()) {
+    BlockEstimate b;
+    b.name = std::move(name);
+    double dyn = 0.0;
+    for (const auto& s : subs) {
+      b.gates += s.gates;
+      b.flipflops += s.flipflops;
+      dyn += s.dynamic_uw(t);
+      b.logic_depth = std::max(b.logic_depth, s.logic_depth);
+    }
+    const double cap = b.gates * t.ge_dyn_uw + b.flipflops * t.ff_dyn_uw;
+    b.activity = cap > 0.0 ? dyn / cap : 0.0;
+    return b;
+  }
+};
+
+}  // namespace htnoc::power

@@ -1,0 +1,178 @@
+#include "traffic/app_profile.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace htnoc::traffic {
+
+AppTrafficModel::AppTrafficModel(const MeshGeometry& geom, AppProfile profile)
+    : geom_(geom), profile_(std::move(profile)) {
+  HTNOC_EXPECT(profile_.injection_rate > 0.0 && profile_.injection_rate <= 1.0);
+  HTNOC_EXPECT(profile_.min_len >= 1 && profile_.max_len >= profile_.min_len);
+  HTNOC_EXPECT(profile_.max_len <= 15);  // wire header length field is 4 bits
+  rebuild_tables();
+}
+
+void AppTrafficModel::migrate_hotspot(RouterId from, RouterId to) {
+  HTNOC_EXPECT(from < geom_.num_routers() && to < geom_.num_routers());
+  for (auto& [router, weight] : profile_.hotspots) {
+    if (router == from) router = to;
+  }
+  rebuild_tables();
+}
+
+void AppTrafficModel::rebuild_tables() {
+  const int nr = geom_.num_routers();
+  const int nc = geom_.num_cores();
+  cum_weights_.assign(static_cast<std::size_t>(nr), {});
+  for (RouterId sr = 0; sr < nr; ++sr) {
+    auto& cw = cum_weights_[static_cast<std::size_t>(sr)];
+    cw.resize(static_cast<std::size_t>(nc));
+    double acc = 0.0;
+    for (NodeId dc = 0; dc < nc; ++dc) {
+      const RouterId dr = geom_.router_of_core(dc);
+      const int hops = geom_.hop_distance(sr, dr);
+      const double w =
+          hot_weight(dr) * std::exp(-static_cast<double>(hops) / profile_.distance_decay);
+      acc += w;
+      cw[static_cast<std::size_t>(dc)] = acc;
+    }
+    HTNOC_ENSURE(acc > 0.0);
+  }
+}
+
+double AppTrafficModel::hot_weight(RouterId r) const {
+  for (const auto& [hr, w] : profile_.hotspots) {
+    if (hr == r) return w;
+  }
+  return profile_.background_weight;
+}
+
+NodeId AppTrafficModel::pick_dest(NodeId src, Rng& rng) const {
+  const RouterId sr = geom_.router_of_core(src);
+  const auto& cw = cum_weights_[static_cast<std::size_t>(sr)];
+  const double total = cw.back();
+  for (;;) {
+    const double u = rng.next_double() * total;
+    // Binary search over the cumulative weights.
+    std::size_t lo = 0;
+    std::size_t hi = cw.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cw[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const auto dest = static_cast<NodeId>(lo);
+    if (dest != src) return dest;
+  }
+}
+
+int AppTrafficModel::pick_length(Rng& rng) const {
+  return static_cast<int>(rng.next_in(static_cast<std::uint64_t>(profile_.min_len),
+                                      static_cast<std::uint64_t>(profile_.max_len)));
+}
+
+std::uint32_t AppTrafficModel::pick_mem(Rng& rng) const {
+  return profile_.mem_base +
+         static_cast<std::uint32_t>(rng.next_below(profile_.mem_span));
+}
+
+std::vector<std::vector<double>> AppTrafficModel::demand_matrix() const {
+  const int nr = geom_.num_routers();
+  std::vector<std::vector<double>> m(
+      static_cast<std::size_t>(nr),
+      std::vector<double>(static_cast<std::size_t>(nr), 0.0));
+  double total = 0.0;
+  for (RouterId sr = 0; sr < nr; ++sr) {
+    for (RouterId dr = 0; dr < nr; ++dr) {
+      const int hops = geom_.hop_distance(sr, dr);
+      const double w =
+          hot_weight(dr) * std::exp(-static_cast<double>(hops) / profile_.distance_decay);
+      m[static_cast<std::size_t>(sr)][static_cast<std::size_t>(dr)] = w;
+      total += w;
+    }
+  }
+  for (auto& row : m) {
+    for (auto& v : row) v /= total;
+  }
+  return m;
+}
+
+AppProfile blackscholes_profile() {
+  AppProfile p;
+  p.name = "blackscholes";
+  // The paper's Fig. 1: strong localization around router 0 (the primary
+  // core), sharp decay with distance.
+  p.injection_rate = 0.012;
+  p.hotspots = {{0, 24.0}, {1, 4.0}, {4, 4.0}};
+  p.background_weight = 1.0;
+  p.distance_decay = 2.0;
+  p.reply_fraction = 0.7;
+  p.min_len = 1;
+  p.max_len = 5;
+  p.mem_base = 0x1000'0000;
+  return p;
+}
+
+AppProfile facesim_profile() {
+  AppProfile p;
+  p.name = "facesim";
+  // Two cooperating primaries with moderate spread.
+  p.injection_rate = 0.014;
+  p.hotspots = {{0, 12.0}, {5, 12.0}};
+  p.background_weight = 1.5;
+  p.distance_decay = 2.0;
+  p.reply_fraction = 0.6;
+  p.min_len = 2;
+  p.max_len = 5;
+  p.mem_base = 0x2000'0000;
+  return p;
+}
+
+AppProfile ferret_profile() {
+  AppProfile p;
+  p.name = "ferret";
+  // Pipeline-parallel: a chain of stage hotspots.
+  p.injection_rate = 0.016;
+  p.hotspots = {{0, 8.0}, {3, 8.0}, {12, 8.0}, {15, 8.0}};
+  p.background_weight = 1.0;
+  p.distance_decay = 3.0;
+  p.reply_fraction = 0.5;
+  p.min_len = 1;
+  p.max_len = 4;
+  p.mem_base = 0x3000'0000;
+  return p;
+}
+
+AppProfile fft_profile() {
+  AppProfile p;
+  p.name = "fft";
+  // Butterfly-style all-to-all with mild center bias and long packets.
+  p.injection_rate = 0.018;
+  p.hotspots = {{5, 3.0}, {6, 3.0}, {9, 3.0}, {10, 3.0}};
+  p.background_weight = 2.0;
+  p.distance_decay = 4.0;
+  p.reply_fraction = 0.4;
+  p.min_len = 2;
+  p.max_len = 5;
+  p.mem_base = 0x4000'0000;
+  return p;
+}
+
+std::vector<AppProfile> all_profiles() {
+  return {blackscholes_profile(), facesim_profile(), ferret_profile(),
+          fft_profile()};
+}
+
+AppProfile profile_by_name(const std::string& name) {
+  for (auto& p : all_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw ContractViolation("unknown application profile: " + name);
+}
+
+}  // namespace htnoc::traffic

@@ -1,0 +1,84 @@
+// Parametric application traffic profiles standing in for the paper's
+// PARSEC/SPLASH-2 traces (see DESIGN.md, substitution table).
+//
+// Figure 1 of the paper shows the shape that matters: Blackscholes-class
+// workloads concentrate traffic around one or two "primary" routers
+// (router 0 in the paper), with demand decaying as hop distance from the
+// primary grows. The profile reproduces that shape with a gravity model:
+//
+//   weight(src, dest) ∝ hot(dest_router) * exp(-hops(src,dest)/decay)
+//
+// Each named profile tunes the hotspot set, decay length, injection rate,
+// packet lengths and reply fraction to give the four benchmarks of Fig. 10
+// distinct traffic personalities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace htnoc::traffic {
+
+struct AppProfile {
+  std::string name;
+  /// Packet-injection probability per core per cycle.
+  double injection_rate = 0.02;
+  /// Primary routers and their attraction weights; all other routers get
+  /// `background_weight`.
+  std::vector<std::pair<RouterId, double>> hotspots;
+  double background_weight = 1.0;
+  /// Hop-distance decay length of the gravity model.
+  double distance_decay = 2.0;
+  /// Fraction of delivered requests that trigger a reply packet.
+  double reply_fraction = 0.6;
+  int min_len = 1;
+  int max_len = 5;
+  /// Memory-address base per application (so mem-targeted trojans key on
+  /// the application's footprint).
+  std::uint32_t mem_base = 0x1000'0000;
+  std::uint32_t mem_span = 0x0100'0000;
+};
+
+/// Sampler that draws (dest, length, mem) tuples from a profile for a mesh.
+class AppTrafficModel {
+ public:
+  AppTrafficModel(const MeshGeometry& geom, AppProfile profile);
+
+  [[nodiscard]] const AppProfile& profile() const noexcept { return profile_; }
+
+  /// Draw a destination core for a packet injected at `src`.
+  [[nodiscard]] NodeId pick_dest(NodeId src, Rng& rng) const;
+  [[nodiscard]] int pick_length(Rng& rng) const;
+  [[nodiscard]] std::uint32_t pick_mem(Rng& rng) const;
+
+  /// Normalized router-to-router demand matrix (for Fig. 1a and tests).
+  [[nodiscard]] std::vector<std::vector<double>> demand_matrix() const;
+
+  /// Model the OS migrating the processes pinned to router `from` onto
+  /// router `to` (the paper's suggested complement: "invoking the OS to
+  /// migrate processes from one network region to another"). Hotspot
+  /// weight moves with them; sampling tables are rebuilt.
+  void migrate_hotspot(RouterId from, RouterId to);
+
+ private:
+  void rebuild_tables();
+  [[nodiscard]] double hot_weight(RouterId r) const;
+
+  MeshGeometry geom_;
+  AppProfile profile_;
+  // cum_weights_[src_router]: cumulative dest-core weights for sampling.
+  std::vector<std::vector<double>> cum_weights_;
+};
+
+/// The four benchmark personalities evaluated in Fig. 10 of the paper.
+[[nodiscard]] AppProfile blackscholes_profile();
+[[nodiscard]] AppProfile facesim_profile();
+[[nodiscard]] AppProfile ferret_profile();
+[[nodiscard]] AppProfile fft_profile();
+[[nodiscard]] std::vector<AppProfile> all_profiles();
+[[nodiscard]] AppProfile profile_by_name(const std::string& name);
+
+}  // namespace htnoc::traffic

@@ -1,0 +1,154 @@
+#include "traffic/generator.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace htnoc::traffic {
+
+TrafficGenerator::TrafficGenerator(Network& net, AppTrafficModel model,
+                                   Params params, DeliveryDispatcher& dispatcher)
+    : net_(net),
+      model_(std::move(model)),
+      params_(std::move(params)),
+      rng_(params_.seed) {
+  if (params_.cores.empty()) {
+    for (NodeId c = 0; c < net_.geometry().num_cores(); ++c) cores_.push_back(c);
+  } else {
+    cores_ = params_.cores;
+  }
+  backlog_.resize(cores_.size());
+  dispatcher.add_listener([this](Cycle now, const PacketInfo& info, Cycle lat) {
+    on_delivery(now, info, lat);
+  });
+}
+
+PacketInfo TrafficGenerator::make_request(NodeId src) {
+  PacketInfo info;
+  info.id = net_.next_packet_id();
+  info.src_core = src;
+  info.dest_core = model_.pick_dest(src, rng_);
+  info.src_router = net_.geometry().router_of_core(info.src_core);
+  info.dest_router = net_.geometry().router_of_core(info.dest_core);
+  info.mem_addr = model_.pick_mem(rng_);
+  info.pclass = PacketClass::kRequest;
+  info.domain = params_.domain;
+  info.length = model_.pick_length(rng_);
+  if (params_.packet_transform) params_.packet_transform(info);
+  return info;
+}
+
+void TrafficGenerator::enqueue_packet(PacketInfo info) {
+  const auto it = std::find(cores_.begin(), cores_.end(), info.src_core);
+  HTNOC_EXPECT(it != cores_.end());
+  backlog_[static_cast<std::size_t>(it - cores_.begin())].push_back(
+      std::move(info));
+}
+
+void TrafficGenerator::step() {
+  const double rate = model_.profile().injection_rate;
+  std::uint64_t backlog_total = 0;
+
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const NodeId core = cores_[i];
+    // Generate this cycle's new work.
+    if ((params_.total_requests == 0 ||
+         stats_.requests_generated < params_.total_requests) &&
+        rng_.next_bool(rate)) {
+      backlog_[i].push_back(make_request(core));
+      ++stats_.requests_generated;
+    }
+    // Drain the backlog head into the NI while it accepts.
+    while (!backlog_[i].empty()) {
+      PacketInfo& info = backlog_[i].front();
+      // Payload words: deterministic in the packet id so traces replay
+      // bit-identically.
+      std::vector<std::uint64_t> payload(
+          static_cast<std::size_t>(std::max(0, info.length - 1)));
+      for (std::size_t k = 0; k < payload.size(); ++k) {
+        payload[k] = info.id * 0x9e3779b97f4a7c15ULL + k;
+      }
+      info.inject_cycle = net_.now();
+      if (!net_.try_inject(info, payload)) break;  // injection port full
+      mine_.emplace(info.id, info);
+      ++outstanding_;
+      ++stats_.packets_injected;
+      stats_.flits_injected += static_cast<std::uint64_t>(info.length);
+      backlog_[i].pop_front();
+    }
+    backlog_total += backlog_[i].size();
+  }
+  stats_.backlog_peak = std::max(stats_.backlog_peak, backlog_total);
+}
+
+void TrafficGenerator::requeue(PacketId id) {
+  const auto it = mine_.find(id);
+  if (it == mine_.end()) return;
+  PacketInfo fresh = it->second;
+  mine_.erase(it);
+  HTNOC_EXPECT(outstanding_ > 0);
+  --outstanding_;
+  fresh.id = net_.next_packet_id();
+  enqueue_packet(std::move(fresh));
+}
+
+void TrafficGenerator::on_delivery(Cycle now, const PacketInfo& info,
+                                   Cycle latency) {
+  const auto it = mine_.find(info.id);
+  if (it == mine_.end()) return;
+  mine_.erase(it);
+  HTNOC_EXPECT(outstanding_ > 0);
+  --outstanding_;
+  ++stats_.packets_delivered;
+  stats_.latency_sum += latency;
+  stats_.latency_max = std::max(stats_.latency_max, latency);
+  (void)now;
+
+  if (params_.enable_replies && info.pclass == PacketClass::kRequest &&
+      rng_.next_bool(model_.profile().reply_fraction)) {
+    PacketInfo reply;
+    reply.id = net_.next_packet_id();
+    reply.src_core = info.dest_core;
+    reply.dest_core = info.src_core;
+    reply.src_router = info.dest_router;
+    reply.dest_router = info.src_router;
+    reply.mem_addr = info.mem_addr;
+    reply.pclass = PacketClass::kReply;
+    reply.domain = info.domain;
+    reply.length = model_.pick_length(rng_);
+    if (params_.packet_transform) params_.packet_transform(reply);
+    ++stats_.replies_generated;
+    // Replies originate at the original destination core, which may not be
+    // one of this generator's cores; give them their own backlog entry on
+    // that core if we own it, otherwise inject best-effort immediately.
+    const auto cit = std::find(cores_.begin(), cores_.end(), reply.src_core);
+    if (cit != cores_.end()) {
+      backlog_[static_cast<std::size_t>(cit - cores_.begin())].push_back(reply);
+    } else {
+      reply.inject_cycle = net_.now();
+      if (net_.try_inject(reply, std::vector<std::uint64_t>(
+                                     static_cast<std::size_t>(reply.length - 1),
+                                     reply.id))) {
+        mine_.emplace(reply.id, reply);
+        ++outstanding_;
+        ++stats_.packets_injected;
+      }
+      return;
+    }
+  }
+}
+
+bool TrafficGenerator::done() const {
+  if (params_.total_requests == 0) return false;
+  if (stats_.requests_generated < params_.total_requests) return false;
+  if (outstanding_ != 0) return false;
+  return backlog_size() == 0;
+}
+
+std::size_t TrafficGenerator::backlog_size() const {
+  std::size_t n = 0;
+  for (const auto& b : backlog_) n += b.size();
+  return n;
+}
+
+}  // namespace htnoc::traffic

@@ -1,0 +1,121 @@
+// Closed-loop traffic generation: per-core Bernoulli injection from an
+// application model, software backlogs in front of the NIs (a full
+// injection port stalls the "application", it does not lose work), and
+// request->reply dependencies.
+//
+// Multiple generators can drive one network (e.g. the two TDM domains of
+// Fig. 12a); deliveries are fanned out through a DeliveryDispatcher.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "traffic/app_profile.hpp"
+
+namespace htnoc::traffic {
+
+/// Fans one network delivery callback out to many listeners.
+class DeliveryDispatcher {
+ public:
+  using Callback = NetworkInterface::DeliveryCallback;
+
+  /// Install this dispatcher as the network's delivery callback.
+  void install(Network& net) {
+    net.set_delivery_callback([this](Cycle now, const PacketInfo& info,
+                                     Cycle latency) {
+      for (auto& cb : listeners_) cb(now, info, latency);
+    });
+  }
+  void add_listener(Callback cb) { listeners_.push_back(std::move(cb)); }
+
+ private:
+  std::vector<Callback> listeners_;
+};
+
+class TrafficGenerator {
+ public:
+  struct Params {
+    std::uint64_t seed = 1;
+    /// Stop generating new requests after this many (0 = unbounded).
+    std::uint64_t total_requests = 0;
+    bool enable_replies = true;
+    TdmDomain domain = TdmDomain::kD1;
+    /// Cores this generator injects from; empty = every core.
+    std::vector<NodeId> cores;
+    /// Optional transform applied to every generated packet before
+    /// injection — e.g. Fort-NoCs-style e2e obfuscation of the memory
+    /// address (the Fig. 11a baseline).
+    std::function<void(PacketInfo&)> packet_transform;
+  };
+
+  struct Stats {
+    std::uint64_t requests_generated = 0;
+    std::uint64_t replies_generated = 0;
+    std::uint64_t packets_injected = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t flits_injected = 0;
+    std::uint64_t backlog_peak = 0;
+    std::uint64_t latency_sum = 0;
+    std::uint64_t migrations = 0;
+    Cycle latency_max = 0;
+
+    [[nodiscard]] double avg_latency() const {
+      return packets_delivered == 0
+                 ? 0.0
+                 : static_cast<double>(latency_sum) /
+                       static_cast<double>(packets_delivered);
+    }
+  };
+
+  TrafficGenerator(Network& net, AppTrafficModel model, Params params,
+                   DeliveryDispatcher& dispatcher);
+
+  /// Generate and inject for one cycle. Call before Network::step().
+  void step();
+
+  /// Re-queue a packet that the network dropped (link-disable purge); it
+  /// will be re-injected with a fresh id as end-to-end recovery. No-op for
+  /// ids this generator does not own.
+  void requeue(PacketId id);
+
+  /// OS-level process migration (the paper's suggested complement to L-Ob):
+  /// future packets of this application treat router `to` as the hotspot
+  /// instead of `from`. Packets already generated keep their destinations —
+  /// migration is not retroactive.
+  void migrate_hotspot(RouterId from, RouterId to) {
+    model_.migrate_hotspot(from, to);
+    ++stats_.migrations;
+  }
+
+  /// All generated requests injected AND every tracked packet delivered.
+  [[nodiscard]] bool done() const;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t outstanding() const noexcept {
+    return outstanding_;
+  }
+  [[nodiscard]] std::size_t backlog_size() const;
+
+ private:
+  void on_delivery(Cycle now, const PacketInfo& info, Cycle latency);
+  void enqueue_packet(PacketInfo info);
+  [[nodiscard]] PacketInfo make_request(NodeId src);
+
+  Network& net_;
+  AppTrafficModel model_;
+  Params params_;
+  Rng rng_;
+  std::vector<NodeId> cores_;
+  /// Software backlog per core (index into cores_).
+  std::vector<std::deque<PacketInfo>> backlog_;
+  std::map<PacketId, PacketInfo> mine_;  ///< Outstanding packets we injected.
+  std::uint64_t outstanding_ = 0;
+  Stats stats_;
+};
+
+}  // namespace htnoc::traffic

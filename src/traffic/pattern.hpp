@@ -1,0 +1,89 @@
+// Synthetic destination patterns (uniform, transpose, bit-complement,
+// hotspot) — the standard NoC evaluation workloads, used by unit tests and
+// ablation benches alongside the application profiles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace htnoc::traffic {
+
+/// Maps a source core to a destination core, possibly randomly.
+class Pattern {
+ public:
+  virtual ~Pattern() = default;
+  [[nodiscard]] virtual NodeId pick_dest(NodeId src, Rng& rng) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class UniformRandom final : public Pattern {
+ public:
+  explicit UniformRandom(int num_cores) : num_cores_(num_cores) {}
+  [[nodiscard]] NodeId pick_dest(NodeId src, Rng& rng) const override {
+    NodeId d;
+    do {
+      d = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(num_cores_)));
+    } while (d == src);
+    return d;
+  }
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+
+ private:
+  int num_cores_;
+};
+
+/// dest = bit-reversed transpose of the source index.
+class Transpose final : public Pattern {
+ public:
+  explicit Transpose(const MeshGeometry& geom) : geom_(geom) {}
+  [[nodiscard]] NodeId pick_dest(NodeId src, Rng&) const override {
+    const RouterId r = geom_.router_of_core(src);
+    const MeshCoord c = geom_.coord_of(r);
+    const RouterId tr = geom_.router_at({c.y, c.x});
+    return geom_.core_at(tr, geom_.local_slot_of_core(src));
+  }
+  [[nodiscard]] std::string name() const override { return "transpose"; }
+
+ private:
+  MeshGeometry geom_;
+};
+
+class BitComplement final : public Pattern {
+ public:
+  explicit BitComplement(int num_cores) : num_cores_(num_cores) {}
+  [[nodiscard]] NodeId pick_dest(NodeId src, Rng&) const override {
+    return static_cast<NodeId>((num_cores_ - 1) - src);
+  }
+  [[nodiscard]] std::string name() const override { return "bit_complement"; }
+
+ private:
+  int num_cores_;
+};
+
+/// A fraction of traffic goes to a fixed hotspot core; the rest is uniform.
+class Hotspot final : public Pattern {
+ public:
+  Hotspot(int num_cores, NodeId hotspot, double fraction)
+      : uniform_(num_cores), hotspot_(hotspot), fraction_(fraction) {
+    HTNOC_EXPECT(fraction >= 0.0 && fraction <= 1.0);
+  }
+  [[nodiscard]] NodeId pick_dest(NodeId src, Rng& rng) const override {
+    if (src != hotspot_ && rng.next_bool(fraction_)) return hotspot_;
+    return uniform_.pick_dest(src, rng);
+  }
+  [[nodiscard]] std::string name() const override { return "hotspot"; }
+
+ private:
+  UniformRandom uniform_;
+  NodeId hotspot_;
+  double fraction_;
+};
+
+}  // namespace htnoc::traffic

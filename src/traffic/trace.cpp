@@ -1,0 +1,75 @@
+#include "traffic/trace.hpp"
+
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace htnoc::traffic {
+
+namespace {
+
+const char* class_token(PacketClass c) {
+  switch (c) {
+    case PacketClass::kRequest: return "req";
+    case PacketClass::kReply: return "rep";
+    case PacketClass::kData: return "data";
+  }
+  return "?";
+}
+
+PacketClass class_from_token(const std::string& t) {
+  if (t == "req") return PacketClass::kRequest;
+  if (t == "rep") return PacketClass::kReply;
+  if (t == "data") return PacketClass::kData;
+  throw ContractViolation("trace: bad packet class token '" + t + "'");
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::ostream& os) : os_(os) {
+  os_ << "# htnoc-trace v1\n";
+}
+
+void TraceWriter::append(const TraceRecord& r) {
+  os_ << r.cycle << ' ' << r.src_core << ' ' << r.dest_core << ' ' << r.length
+      << ' ' << std::hex << r.mem_addr << std::dec << ' '
+      << class_token(r.pclass) << ' ' << (r.domain == TdmDomain::kD1 ? 1 : 2)
+      << '\n';
+  ++count_;
+}
+
+std::vector<TraceRecord> read_trace(std::istream& is) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  Cycle last_cycle = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    TraceRecord r;
+    std::uint64_t src = 0;
+    std::uint64_t dest = 0;
+    std::string cls;
+    int domain = 0;
+    if (!(ls >> r.cycle >> src >> dest >> r.length >> std::hex >> r.mem_addr >>
+          std::dec >> cls >> domain)) {
+      throw ContractViolation("trace: malformed line '" + line + "'");
+    }
+    HTNOC_EXPECT(r.cycle >= last_cycle);
+    last_cycle = r.cycle;
+    r.src_core = static_cast<NodeId>(src);
+    r.dest_core = static_cast<NodeId>(dest);
+    r.pclass = class_from_token(cls);
+    HTNOC_EXPECT(domain == 1 || domain == 2);
+    r.domain = domain == 1 ? TdmDomain::kD1 : TdmDomain::kD2;
+    HTNOC_EXPECT(r.length >= 1 && r.length <= 15);
+    out.push_back(r);
+  }
+  return out;
+}
+
+void TraceRecorder::write(std::ostream& os) const {
+  TraceWriter w(os);
+  for (const auto& r : records_) w.append(r);
+}
+
+}  // namespace htnoc::traffic

@@ -1,0 +1,71 @@
+// Deterministic traffic traces: record every injection of a run and replay
+// it bit-identically later — the repo's stand-in for the paper's captured
+// PARSEC/SPLASH-2 traces. The format is a line-oriented text file:
+//
+//   # htnoc-trace v1
+//   <cycle> <src_core> <dest_core> <length> <mem_addr_hex> <class> <domain>
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+
+namespace htnoc::traffic {
+
+struct TraceRecord {
+  Cycle cycle = 0;
+  NodeId src_core = 0;
+  NodeId dest_core = 0;
+  int length = 1;
+  std::uint32_t mem_addr = 0;
+  PacketClass pclass = PacketClass::kRequest;
+  TdmDomain domain = TdmDomain::kD1;
+
+  [[nodiscard]] bool operator==(const TraceRecord&) const = default;
+};
+
+/// Serialize records to a stream.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& os);
+  void append(const TraceRecord& rec);
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::ostream& os_;
+  std::uint64_t count_ = 0;
+};
+
+/// Parse a trace stream. Throws ContractViolation on malformed input.
+[[nodiscard]] std::vector<TraceRecord> read_trace(std::istream& is);
+
+/// Capture a run's injections by observing a network (wrap try_inject).
+class TraceRecorder {
+ public:
+  void record(Cycle cycle, const PacketInfo& info) {
+    TraceRecord r;
+    r.cycle = cycle;
+    r.src_core = info.src_core;
+    r.dest_core = info.dest_core;
+    r.length = info.length;
+    r.mem_addr = info.mem_addr;
+    r.pclass = info.pclass;
+    r.domain = info.domain;
+    records_.push_back(r);
+  }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  void write(std::ostream& os) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace htnoc::traffic

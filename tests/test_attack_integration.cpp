@@ -1,0 +1,172 @@
+// End-to-end reproduction of the paper's DoS mechanics (Sec. V-B2, Fig. 11):
+// a single TASP trojan NACK-loops targeted flits, back-pressure builds,
+// and most of the chip deadlocks — while a trojan-free run stays healthy.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "traffic/generator.hpp"
+
+namespace htnoc::sim {
+namespace {
+
+struct RunResult {
+  Network::UtilizationSample before;  // just before killsw
+  Network::UtilizationSample after;   // 500 cycles after killsw
+  std::uint64_t delivered_before = 0;
+  std::uint64_t delivered_after = 0;
+  std::uint64_t trojan_injections = 0;
+};
+
+RunResult run_attack(bool enable_attack) {
+  SimConfig sc;
+  AttackSpec a;
+  a.link = {4, Direction::kNorth};  // the x-dimension feeder into router 0
+  a.tasp.kind = trojan::TargetKind::kDest;
+  a.tasp.target_dest = 0;
+  a.enable_killsw_at = enable_attack ? 1500 : 100000000ULL;
+  sc.attacks.push_back(a);
+  sc.mode = MitigationMode::kNone;
+  Simulator sim(std::move(sc));
+  Network& net = sim.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 1;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+
+  RunResult res;
+  for (Cycle c = 0; c < 2000; ++c) {
+    gen.step();
+    sim.step();
+    if (c == 1499) {
+      res.before = net.sample_utilization();
+      res.delivered_before = gen.stats().packets_delivered;
+    }
+  }
+  res.after = net.sample_utilization();
+  res.delivered_after =
+      gen.stats().packets_delivered - res.delivered_before;
+  res.trojan_injections = sim.tasp(0).stats().injections;
+  return res;
+}
+
+TEST(AttackIntegration, BaselineStaysHealthy) {
+  const RunResult r = run_attack(false);
+  EXPECT_EQ(r.trojan_injections, 0u);
+  EXPECT_EQ(r.after.routers_with_blocked_port, 0);
+  EXPECT_EQ(r.after.routers_all_cores_full, 0);
+  EXPECT_GT(r.delivered_after, 300u);  // healthy throughput over 500 cycles
+}
+
+TEST(AttackIntegration, SingleTaspCollapsesTheNetwork) {
+  const RunResult r = run_attack(true);
+  EXPECT_GT(r.trojan_injections, 10u);
+  // Paper: back pressure reaches 68% (11/16) of routers within 50-100
+  // cycles; by 1500 cycles 81% of injection ports are dead. At t+500 we
+  // already demand the bulk of that collapse.
+  EXPECT_GE(r.after.routers_with_blocked_port, 10);
+  EXPECT_GE(r.after.routers_majority_cores_full, 6);
+  // Throughput collapse vs the healthy baseline period.
+  EXPECT_LT(r.delivered_after, r.delivered_before / 4);
+  // Buffer utilization grew substantially (Fig. 11a input-port curve).
+  EXPECT_GT(r.after.input_port_flits, r.before.input_port_flits * 3);
+}
+
+TEST(AttackIntegration, UntargetedTrafficLinkSeesNoInjections) {
+  // A trojan tuned to a dest that never crosses its link stays in Active
+  // state without ever attacking.
+  SimConfig sc;
+  AttackSpec a;
+  a.link = {4, Direction::kNorth};   // carries column-0 northbound traffic
+  a.tasp.kind = trojan::TargetKind::kDestSrc;
+  a.tasp.target_dest = 12;  // r12 is south of r4: never northbound via r4->N
+  a.tasp.target_src = 0;
+  a.enable_killsw_at = 0;
+  sc.attacks.push_back(a);
+  Simulator sim(std::move(sc));
+  Network& net = sim.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 4;
+  gp.total_requests = 300;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  Cycle c = 0;
+  while (!gen.done() && c < 200000) {
+    gen.step();
+    sim.step();
+    ++c;
+  }
+  EXPECT_TRUE(gen.done());
+  EXPECT_EQ(sim.tasp(0).stats().injections, 0u);
+  EXPECT_GT(sim.tasp(0).stats().flits_inspected, 0u);
+}
+
+TEST(AttackIntegration, VcTargetedTrojanAlsoWedges) {
+  SimConfig sc;
+  AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.tasp.kind = trojan::TargetKind::kVc;
+  a.tasp.target_vc = 0;  // injection VC class of requests
+  a.enable_killsw_at = 1000;
+  sc.attacks.push_back(a);
+  Simulator sim(std::move(sc));
+  Network& net = sim.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 5;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  for (Cycle c = 0; c < 2500; ++c) {
+    gen.step();
+    sim.step();
+  }
+  EXPECT_GT(sim.tasp(0).stats().injections, 0u);
+  EXPECT_GT(net.sample_utilization().routers_with_blocked_port, 0);
+}
+
+TEST(AttackIntegration, SdcVariantCorruptsSilentlyWithoutDos) {
+  // The prior-work 3-bit SDC trojan (Yu & Frey style) corrupts data but
+  // does not create back-pressure — the distinction motivating TASP.
+  SimConfig sc;
+  AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.tasp.kind = trojan::TargetKind::kDest;
+  a.tasp.target_dest = 0;
+  a.tasp.pattern = trojan::PayloadPattern::kTripleSdc;
+  a.enable_killsw_at = 500;
+  sc.attacks.push_back(a);
+  Simulator sim(std::move(sc));
+  Network& net = sim.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 6;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  for (Cycle c = 0; c < 3000; ++c) {
+    gen.step();
+    sim.step();
+  }
+  EXPECT_GT(sim.tasp(0).stats().injections, 5u);
+  // No blocked ports: most triple faults alias to bogus corrections and the
+  // flits sail through corrupted.
+  EXPECT_LE(net.sample_utilization().routers_with_blocked_port, 2);
+  std::uint64_t sdc = 0;
+  for (RouterId r = 0; r < 16; ++r) {
+    for (int p = 0; p < net.router(r).num_ports(); ++p) {
+      sdc += net.router(r).input(p).stats().silent_corruptions;
+    }
+  }
+  EXPECT_GT(sdc, 0u);
+}
+
+}  // namespace
+}  // namespace htnoc::sim

@@ -1,0 +1,92 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace htnoc {
+namespace {
+
+TEST(ExtractDeposit, RoundTripSmallFields) {
+  std::uint64_t w = 0;
+  w = deposit_bits(w, 0, 4, 0xA);
+  w = deposit_bits(w, 4, 4, 0x5);
+  w = deposit_bits(w, 8, 2, 0x3);
+  EXPECT_EQ(extract_bits(w, 0, 4), 0xAu);
+  EXPECT_EQ(extract_bits(w, 4, 4), 0x5u);
+  EXPECT_EQ(extract_bits(w, 8, 2), 0x3u);
+}
+
+TEST(ExtractDeposit, DepositMasksOverflowingField) {
+  const std::uint64_t w = deposit_bits(0, 4, 4, 0x1F5);  // only low 4 bits kept
+  EXPECT_EQ(extract_bits(w, 4, 4), 0x5u);
+  EXPECT_EQ(extract_bits(w, 0, 4), 0u);
+  EXPECT_EQ(extract_bits(w, 8, 8), 0u);
+}
+
+TEST(ExtractDeposit, FullWidth) {
+  const std::uint64_t v = 0xDEADBEEFCAFEF00DULL;
+  EXPECT_EQ(extract_bits(v, 0, 64), v);
+  EXPECT_EQ(deposit_bits(0, 0, 64, v), v);
+}
+
+TEST(ExtractDeposit, DepositPreservesOtherBits) {
+  const std::uint64_t base = ~std::uint64_t{0};
+  const std::uint64_t w = deposit_bits(base, 10, 32, 0);
+  EXPECT_EQ(extract_bits(w, 10, 32), 0u);
+  EXPECT_EQ(extract_bits(w, 0, 10), 0x3FFu);
+  EXPECT_EQ(extract_bits(w, 42, 22), 0x3FFFFFu);
+}
+
+TEST(Codeword72, SetGetFlipAcrossBothWords) {
+  Codeword72 cw;
+  for (unsigned bit : {0u, 1u, 31u, 63u, 64u, 71u}) {
+    EXPECT_FALSE(cw.get(bit));
+    cw.set(bit, true);
+    EXPECT_TRUE(cw.get(bit));
+    cw.flip(bit);
+    EXPECT_FALSE(cw.get(bit));
+  }
+}
+
+TEST(Codeword72, PopcountAndDistance) {
+  Codeword72 a;
+  a.set(0, true);
+  a.set(64, true);
+  a.set(71, true);
+  EXPECT_EQ(a.popcount(), 3);
+
+  Codeword72 b = a;
+  EXPECT_EQ(a.distance(b), 0);
+  b.flip(5);
+  b.flip(70);
+  EXPECT_EQ(a.distance(b), 2);
+}
+
+TEST(Codeword72, Equality) {
+  Codeword72 a;
+  Codeword72 b;
+  EXPECT_EQ(a, b);
+  a.flip(40);
+  EXPECT_NE(a, b);
+  b.flip(40);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Codeword72, BitStringRendering) {
+  Codeword72 cw;
+  cw.set(0, true);
+  const std::string s = to_bit_string(cw);
+  ASSERT_EQ(s.size(), 72u);
+  EXPECT_EQ(s.back(), '1');   // LSB printed last
+  EXPECT_EQ(s.front(), '0');  // bit 71 clear
+}
+
+TEST(Parity64, MatchesPopcountParity) {
+  EXPECT_FALSE(parity64(0));
+  EXPECT_TRUE(parity64(1));
+  EXPECT_TRUE(parity64(0x8000000000000000ULL));
+  EXPECT_FALSE(parity64(0x8000000000000001ULL));
+  EXPECT_FALSE(parity64(0xFFFFFFFFFFFFFFFFULL));  // 64 ones: even
+}
+
+}  // namespace
+}  // namespace htnoc

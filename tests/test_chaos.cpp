@@ -1,0 +1,114 @@
+// Randomized stress ("chaos") testing: drive the network with randomized
+// injections, purges, trojan toggles and fault bursts, checking the credit-
+// conservation invariant throughout and full drain at the end. Seeds are
+// fixed so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/generator.hpp"
+
+namespace htnoc {
+namespace {
+
+class ChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosTest, RandomOperationsPreserveInvariants) {
+  Rng rng(GetParam());
+
+  sim::SimConfig sc;
+  sc.mode = sim::MitigationMode::kLOb;
+  sc.transient_phit_fault_prob = 2e-4;
+  // Two trojans with different targets and enable times.
+  sim::AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.tasp.kind = trojan::TargetKind::kDest;
+  a.tasp.target_dest = 0;
+  a.enable_killsw_at = 300 + rng.next_below(200);
+  sc.attacks.push_back(a);
+  sim::AttackSpec b;
+  b.link = {9, Direction::kWest};
+  b.tasp.kind = trojan::TargetKind::kSrc;
+  b.tasp.target_src = 10;
+  b.enable_killsw_at = 500 + rng.next_below(300);
+  sc.attacks.push_back(b);
+
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+
+  std::map<PacketId, bool> outstanding;
+  net.set_delivery_callback([&](Cycle, const PacketInfo& info, Cycle) {
+    outstanding.erase(info.id);
+  });
+
+  const int num_cores = net.geometry().num_cores();
+  Cycle horizon = 3000;
+  for (Cycle c = 0; c < horizon; ++c) {
+    // Random injections.
+    const int injections = static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < injections; ++i) {
+      PacketInfo info;
+      info.id = net.next_packet_id();
+      info.src_core = static_cast<NodeId>(rng.next_below(num_cores));
+      do {
+        info.dest_core = static_cast<NodeId>(rng.next_below(num_cores));
+      } while (info.dest_core == info.src_core);
+      info.src_router = net.geometry().router_of_core(info.src_core);
+      info.dest_router = net.geometry().router_of_core(info.dest_core);
+      info.length = 1 + static_cast<int>(rng.next_below(5));
+      info.pclass =
+          rng.next_bool(0.5) ? PacketClass::kRequest : PacketClass::kReply;
+      info.inject_cycle = net.now();
+      if (net.try_inject(info,
+                         std::vector<std::uint64_t>(
+                             static_cast<std::size_t>(info.length - 1),
+                             rng.next_u64()))) {
+        outstanding[info.id] = true;
+      }
+    }
+    // Occasionally purge a random outstanding packet (recovery drill).
+    if (!outstanding.empty() && rng.next_bool(0.01)) {
+      auto it = outstanding.begin();
+      std::advance(it, static_cast<long>(
+                           rng.next_below(outstanding.size())));
+      for (const PacketId dropped : net.purge_packet(it->first)) {
+        outstanding.erase(dropped);
+      }
+    }
+    // Occasionally toggle a trojan's kill switch.
+    if (rng.next_bool(0.002)) {
+      auto& t = simulator.tasp(rng.next_below(2));
+      t.set_kill_switch(!t.kill_switch());
+    }
+    simulator.step();
+    if (c % 13 == 0) {
+      ASSERT_EQ(net.check_invariants(), "") << "seed " << GetParam()
+                                            << " cycle " << c;
+    }
+  }
+
+  // Silence the trojans and drain. L-Ob guarantees eventual delivery of the
+  // wedged flits too.
+  for (std::size_t t = 0; t < simulator.num_trojans(); ++t) {
+    simulator.tasp(t).set_kill_switch(false);
+  }
+  Cycle drained = 0;
+  while (!net.quiescent() && drained < 20000) {
+    simulator.step();
+    ++drained;
+  }
+  EXPECT_TRUE(net.quiescent()) << "seed " << GetParam();
+  EXPECT_TRUE(outstanding.empty())
+      << "seed " << GetParam() << ": " << outstanding.size()
+      << " packets never delivered";
+  EXPECT_EQ(net.check_invariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 1337ull,
+                                           0xDEADBEEFull));
+
+}  // namespace
+}  // namespace htnoc

@@ -1,0 +1,220 @@
+// Cross-cutting edge cases that none of the per-module suites cover:
+// multi-trojan rerouting to completion, purge under TDM, reply-pressure at
+// saturated NIs, replayer semantics, and probe bookkeeping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/replayer.hpp"
+
+namespace htnoc {
+namespace {
+
+TEST(EdgeCases, TwoTrojansRerouteToCompletion) {
+  sim::SimConfig sc;
+  sc.mode = sim::MitigationMode::kReroute;
+  sc.reroute_latency = 60;
+  // Note: not {4,N} + {1,W} — disabling both of router 0's edges would
+  // disconnect it; the policy disables links bidirectionally.
+  for (const LinkRef l : {LinkRef{8, Direction::kNorth},
+                          LinkRef{1, Direction::kWest}}) {
+    sim::AttackSpec a;
+    a.link = l;
+    a.tasp.kind = trojan::TargetKind::kDest;
+    a.tasp.target_dest = 0;
+    a.enable_killsw_at = 600;
+    sc.attacks.push_back(a);
+  }
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 91;
+  gp.total_requests = 800;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  simulator.set_drop_callback([&](PacketId id) { gen.requeue(id); });
+  Cycle c = 0;
+  while (!gen.done() && c < 500000) {
+    gen.step();
+    simulator.step();
+    ++c;
+  }
+  EXPECT_TRUE(gen.done());
+  // Both infected links (and their reverses) went out of service.
+  EXPECT_GE(simulator.stats().links_disabled, 4);
+  EXPECT_EQ(net.check_invariants(), "");
+}
+
+TEST(EdgeCases, PurgeUnderTdmKeepsBothDomainsConsistent) {
+  NocConfig cfg;
+  cfg.tdm_enabled = true;
+  Network net(cfg);
+  std::vector<PacketId> ids;
+  for (int i = 0; i < 12; ++i) {
+    PacketInfo info;
+    info.id = net.next_packet_id();
+    info.src_core = static_cast<NodeId>((i * 7) % 64);
+    info.dest_core = static_cast<NodeId>((i * 13 + 5) % 64);
+    if (info.dest_core == info.src_core) info.dest_core ^= 1;
+    info.src_router = net.geometry().router_of_core(info.src_core);
+    info.dest_router = net.geometry().router_of_core(info.dest_core);
+    info.length = 3;
+    info.domain = (i % 2 == 0) ? TdmDomain::kD1 : TdmDomain::kD2;
+    if (net.try_inject(info, {1, 2})) ids.push_back(info.id);
+    net.step();
+  }
+  // Purge every other one mid-flight.
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    (void)net.purge_packet(ids[i]);
+    ASSERT_EQ(net.check_invariants(), "") << "after purge " << ids[i];
+  }
+  net.run(1500);
+  EXPECT_TRUE(net.quiescent());
+}
+
+TEST(EdgeCases, ReplyPressureAtSaturatedDestination) {
+  // Hammer one destination with requests whose replies must come back
+  // through the saturated region; the request/reply VC split must keep the
+  // protocol live (no request-reply deadlock).
+  NocConfig cfg;
+  Network net(cfg);
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  auto profile = traffic::blackscholes_profile();
+  profile.injection_rate = 0.05;  // well above the hotspot's sink rate
+  profile.reply_fraction = 1.0;   // every request generates a reply
+  traffic::AppTrafficModel model(net.geometry(), profile);
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 92;
+  gp.total_requests = 600;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  Cycle c = 0;
+  while (!gen.done() && c < 1000000) {
+    gen.step();
+    net.step();
+    ++c;
+  }
+  EXPECT_TRUE(gen.done());  // saturation slows but never deadlocks
+  EXPECT_EQ(gen.stats().packets_delivered,
+            gen.stats().requests_generated + gen.stats().replies_generated);
+}
+
+TEST(EdgeCases, ReplayerHonorsScheduleAndBackpressure) {
+  NocConfig cfg;
+  Network net(cfg);
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  std::vector<traffic::TraceRecord> trace;
+  for (int i = 0; i < 30; ++i) {
+    traffic::TraceRecord r;
+    r.cycle = static_cast<Cycle>(i * 3 + 100);
+    r.src_core = 0;  // all from one core: forces queue back-pressure
+    r.dest_core = 63;
+    r.length = 4;
+    trace.push_back(r);
+  }
+  traffic::TraceReplayer rep(net, trace, disp);
+  // Nothing injects before the first scheduled cycle.
+  for (int i = 0; i < 99; ++i) {
+    rep.step();
+    net.step();
+  }
+  EXPECT_EQ(rep.stats().packets_injected, 0u);
+  Cycle c = 99;
+  while (!rep.done() && c < 100000) {
+    rep.step();
+    net.step();
+    ++c;
+  }
+  EXPECT_TRUE(rep.done());
+  EXPECT_EQ(rep.stats().packets_delivered, 30u);
+}
+
+TEST(EdgeCases, ReroutePolicyRefusesToDisconnectTheMesh) {
+  // Trojans on BOTH of router 0's edges: the policy may disable at most
+  // one of them; the other stays in service (refused) and L-Ob-less
+  // traffic to r0 keeps suffering — but the network never throws or
+  // partitions.
+  sim::SimConfig sc;
+  sc.mode = sim::MitigationMode::kReroute;
+  sc.reroute_latency = 40;
+  for (const LinkRef l : {LinkRef{4, Direction::kNorth},
+                          LinkRef{1, Direction::kWest}}) {
+    sim::AttackSpec a;
+    a.link = l;
+    a.tasp.kind = trojan::TargetKind::kDest;
+    a.tasp.target_dest = 0;
+    a.enable_killsw_at = 400;
+    sc.attacks.push_back(a);
+  }
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 93;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  simulator.set_drop_callback([&](PacketId id) { gen.requeue(id); });
+  for (Cycle c = 0; c < 6000; ++c) {
+    gen.step();
+    EXPECT_NO_THROW(simulator.step());
+  }
+  EXPECT_EQ(simulator.stats().links_disabled, 2);  // one edge, both dirs
+  EXPECT_GE(simulator.stats().reroutes_refused_disconnect, 1);
+  EXPECT_EQ(net.check_invariants(), "");
+}
+
+TEST(EdgeCases, WouldDisconnectDetectsArticulationEdges) {
+  NocConfig cfg;
+  Network net(cfg);
+  EXPECT_FALSE(net.would_disconnect({4, Direction::kNorth}));
+  net.disable_link({1, Direction::kWest});
+  net.disable_link({0, Direction::kEast});
+  // r0's remaining edge is now an articulation edge.
+  EXPECT_TRUE(net.would_disconnect({4, Direction::kNorth}));
+  EXPECT_TRUE(net.would_disconnect({0, Direction::kSouth}));
+  EXPECT_FALSE(net.would_disconnect({5, Direction::kWest}));
+}
+
+TEST(EdgeCases, ProbeClearAndResample) {
+  NocConfig cfg;
+  Network net(cfg);
+  stats::UtilizationProbe probe(1);
+  probe.sample_now(net);
+  probe.sample_now(net);
+  EXPECT_EQ(probe.samples().size(), 2u);
+  probe.clear();
+  EXPECT_TRUE(probe.samples().empty());
+  probe.sample_now(net);
+  EXPECT_EQ(probe.samples().size(), 1u);
+}
+
+TEST(EdgeCases, SimulatorWithNoAttacksIsJustANetwork) {
+  sim::SimConfig sc;
+  sim::Simulator simulator(std::move(sc));
+  EXPECT_EQ(simulator.num_trojans(), 0u);
+  Network& net = simulator.network();
+  int delivered = 0;
+  net.set_delivery_callback([&](Cycle, const PacketInfo&, Cycle) { ++delivered; });
+  PacketInfo info;
+  info.id = net.next_packet_id();
+  info.src_core = 1;
+  info.dest_core = 62;
+  info.src_router = 0;
+  info.dest_router = 15;
+  info.length = 2;
+  ASSERT_TRUE(net.try_inject(info, {9}));
+  simulator.run(200);
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace htnoc

@@ -1,0 +1,111 @@
+#include "power/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/simulator.hpp"
+#include "traffic/generator.hpp"
+
+namespace htnoc::power {
+namespace {
+
+EnergyReport run_and_account(bool attack, bool lob) {
+  sim::SimConfig sc;
+  sc.mode = lob ? sim::MitigationMode::kLOb : sim::MitigationMode::kNone;
+  sim::AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.tasp.kind = trojan::TargetKind::kDest;
+  a.tasp.target_dest = 0;
+  a.enable_killsw_at = attack ? 500 : 100000000ULL;
+  sc.attacks.push_back(a);
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 61;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  for (Cycle c = 0; c < 2500; ++c) {
+    gen.step();
+    simulator.step();
+  }
+  return account_energy(net);
+}
+
+TEST(Energy, CleanRunHasNegligibleOverhead) {
+  const EnergyReport r = run_and_account(false, false);
+  EXPECT_GT(r.useful_pj, 0.0);
+  EXPECT_EQ(r.retransmission_pj, 0.0);
+  EXPECT_EQ(r.correction_pj, 0.0);
+  EXPECT_LT(r.overhead_fraction(), 0.01);
+  EXPECT_GT(r.packets_delivered, 0u);
+  EXPECT_GT(r.pj_per_packet(), 0.0);
+}
+
+TEST(Energy, AttackBurnsRetransmissionEnergyWhileDenyingThroughput) {
+  const EnergyReport clean = run_and_account(false, false);
+  const EnergyReport attacked = run_and_account(true, false);
+  EXPECT_GT(attacked.retransmission_pj, 0.0);
+  EXPECT_GT(attacked.overhead_fraction(), clean.overhead_fraction());
+  // Noteworthy (and initially counter-intuitive): the wedged network's
+  // TOTAL energy is lower than the healthy one's — a stalled chip moves
+  // almost nothing. TASP is a throughput-denial attack, not an
+  // energy-exhaustion attack; the waste is the retransmission loop burning
+  // power while delivering zero work.
+  EXPECT_LT(attacked.packets_delivered, clean.packets_delivered / 2);
+  EXPECT_LT(attacked.useful_pj, clean.useful_pj);
+}
+
+TEST(Energy, LObTradesRetransmissionForObfuscationEnergy) {
+  const EnergyReport wedged = run_and_account(true, false);
+  const EnergyReport mitigated = run_and_account(true, true);
+  EXPECT_GT(mitigated.obfuscation_pj, 0.0);
+  // Obfuscating past the trojan stops the endless retransmission loop...
+  EXPECT_LT(mitigated.retransmission_pj, wedged.retransmission_pj);
+  // ...and buys real throughput for that energy: far more packets land,
+  // at a comparable per-packet cost (the 1-3 cycle penalties are cheap).
+  EXPECT_GT(mitigated.packets_delivered, wedged.packets_delivered * 3 / 2);
+  EXPECT_LT(mitigated.pj_per_packet(), wedged.pj_per_packet() * 1.2);
+}
+
+TEST(Energy, TransientNoiseShowsUpAsCorrectionEnergy) {
+  sim::SimConfig sc;
+  sc.transient_phit_fault_prob = 0.01;
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 62;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  for (Cycle c = 0; c < 1500; ++c) {
+    gen.step();
+    simulator.step();
+  }
+  const EnergyReport r = account_energy(net);
+  EXPECT_GT(r.correction_pj, 0.0);
+}
+
+TEST(Energy, BistScansCountTowardDetection) {
+  NocConfig cfg;
+  Network net(cfg);
+  const EnergyReport r = account_energy(net, EnergyCosts{}, 7);
+  EXPECT_DOUBLE_EQ(r.detection_pj, 7 * EnergyCosts{}.bist_scan_pj);
+}
+
+TEST(Energy, ReportPrints) {
+  NocConfig cfg;
+  Network net(cfg);
+  std::stringstream ss;
+  print_energy_report(ss, account_energy(net), "idle");
+  EXPECT_NE(ss.str().find("useful transport"), std::string::npos);
+  EXPECT_NE(ss.str().find("pJ/packet"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htnoc::power

@@ -1,0 +1,118 @@
+#include "noc/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ecc/secded.hpp"
+
+namespace htnoc {
+namespace {
+
+LinkPhit make_phit(std::uint64_t data) {
+  LinkPhit p;
+  p.flit.wire = data;
+  p.codeword = ecc::secded().encode(data);
+  return p;
+}
+
+TEST(TransientFaults, ZeroProbabilityNeverInjects) {
+  TransientFaultInjector inj({.phit_fault_prob = 0.0}, 1);
+  for (int i = 0; i < 1000; ++i) {
+    LinkPhit p = make_phit(0x1234);
+    const Codeword72 before = p.codeword;
+    inj.on_traverse(i, p);
+    EXPECT_EQ(p.codeword, before);
+  }
+  EXPECT_EQ(inj.faults_injected(), 0u);
+}
+
+TEST(TransientFaults, CertainProbabilityAlwaysInjects) {
+  TransientFaultInjector inj({.phit_fault_prob = 1.0}, 2);
+  for (int i = 0; i < 200; ++i) {
+    LinkPhit p = make_phit(0xABCD);
+    const Codeword72 before = p.codeword;
+    inj.on_traverse(i, p);
+    const int d = before.distance(p.codeword);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 3);
+  }
+  EXPECT_EQ(inj.faults_injected(), 200u);
+}
+
+TEST(TransientFaults, FlipCountDistributionFollowsWeights) {
+  TransientFaultInjector inj(
+      {.phit_fault_prob = 1.0, .weight_1bit = 1.0, .weight_2bit = 0.0,
+       .weight_3bit = 0.0},
+      3);
+  for (int i = 0; i < 200; ++i) {
+    LinkPhit p = make_phit(0);
+    const Codeword72 before = p.codeword;
+    inj.on_traverse(i, p);
+    EXPECT_EQ(before.distance(p.codeword), 1);
+  }
+}
+
+TEST(TransientFaults, RateMatchesProbability) {
+  TransientFaultInjector inj({.phit_fault_prob = 0.1}, 4);
+  for (int i = 0; i < 20000; ++i) {
+    LinkPhit p = make_phit(0);
+    inj.on_traverse(i, p);
+  }
+  EXPECT_NEAR(static_cast<double>(inj.faults_injected()) / 20000.0, 0.1, 0.01);
+}
+
+TEST(TransientFaults, MostlySingleBitsAreCorrectable) {
+  // The dominant transient outcome must be ECC-correctable — that is the
+  // behaviour the trojan hides behind.
+  TransientFaultInjector inj({.phit_fault_prob = 1.0}, 5);
+  int correctable = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    LinkPhit p = make_phit(0x5A5A5A5A);
+    inj.on_traverse(i, p);
+    const auto r = ecc::secded().decode(p.codeword);
+    if (r.status == ecc::DecodeStatus::kCorrectedSingle) ++correctable;
+  }
+  EXPECT_GT(correctable, n * 8 / 10);
+}
+
+TEST(PermanentFaults, StuckWiresForceTheirValue) {
+  PermanentFaultInjector inj({{3, true}, {40, false}});
+  LinkPhit p = make_phit(0);
+  inj.on_traverse(0, p);
+  EXPECT_TRUE(p.codeword.get(3));
+  EXPECT_FALSE(p.codeword.get(40));
+
+  LinkPhit q = make_phit(~std::uint64_t{0});
+  inj.on_traverse(1, q);
+  EXPECT_TRUE(q.codeword.get(3));
+  EXPECT_FALSE(q.codeword.get(40));
+}
+
+TEST(PermanentFaults, NoChangeWhenValuesAlreadyMatch) {
+  PermanentFaultInjector inj({{0, false}});
+  LinkPhit p = make_phit(0);
+  p.codeword = Codeword72{};  // bit 0 already 0
+  inj.on_traverse(0, p);
+  EXPECT_EQ(inj.faults_injected(), 0u);
+}
+
+TEST(PermanentFaults, VisibleToProbes) {
+  PermanentFaultInjector inj({{7, true}});
+  Codeword72 cw;
+  inj.probe(cw);
+  EXPECT_TRUE(cw.get(7));
+}
+
+TEST(PermanentFaults, RejectsOutOfRangeWire) {
+  EXPECT_THROW(PermanentFaultInjector({{72, true}}), ContractViolation);
+}
+
+TEST(TransientFaults, NotVisibleToProbes) {
+  TransientFaultInjector inj({.phit_fault_prob = 1.0}, 6);
+  Codeword72 cw;
+  inj.probe(cw);
+  EXPECT_EQ(cw, Codeword72{});
+}
+
+}  // namespace
+}  // namespace htnoc

@@ -1,0 +1,102 @@
+#include "noc/flit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace htnoc {
+namespace {
+
+PacketInfo make_info(int length) {
+  PacketInfo info;
+  info.id = 42;
+  info.src_core = 7;
+  info.dest_core = 33;
+  info.src_router = 1;
+  info.dest_router = 8;
+  info.mem_addr = 0xCAFE0000;
+  info.pclass = PacketClass::kRequest;
+  info.domain = TdmDomain::kD2;
+  info.length = length;
+  info.inject_cycle = 100;
+  return info;
+}
+
+TEST(Packetize, SingleFlitPacketIsHeadTail) {
+  const auto flits = packetize(make_info(1), {});
+  ASSERT_EQ(flits.size(), 1u);
+  EXPECT_EQ(flits[0].type, FlitType::kHeadTail);
+  EXPECT_TRUE(flits[0].is_head());
+  EXPECT_TRUE(flits[0].is_tail());
+}
+
+TEST(Packetize, MultiFlitStructure) {
+  const std::vector<std::uint64_t> payload = {0x11, 0x22, 0x33, 0x44};
+  const auto flits = packetize(make_info(5), payload);
+  ASSERT_EQ(flits.size(), 5u);
+  EXPECT_EQ(flits[0].type, FlitType::kHead);
+  EXPECT_EQ(flits[1].type, FlitType::kBody);
+  EXPECT_EQ(flits[2].type, FlitType::kBody);
+  EXPECT_EQ(flits[3].type, FlitType::kBody);
+  EXPECT_EQ(flits[4].type, FlitType::kTail);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(flits[static_cast<std::size_t>(i)].seq, i);
+    EXPECT_EQ(flits[static_cast<std::size_t>(i)].packet, 42u);
+    EXPECT_EQ(flits[static_cast<std::size_t>(i)].length, 5);
+  }
+}
+
+TEST(Packetize, HeadWireCarriesHeaderFields) {
+  const auto flits = packetize(make_info(2), {0xABCD});
+  const wire::HeaderFields h = wire::unpack_header(flits[0].wire);
+  EXPECT_EQ(h.src, 1);
+  EXPECT_EQ(h.dest, 8);
+  EXPECT_EQ(h.mem_addr, 0xCAFE0000u);
+  EXPECT_EQ(h.length, 2u);
+  EXPECT_EQ(h.pclass, PacketClass::kRequest);
+  EXPECT_EQ(h.type, FlitType::kHead);
+}
+
+TEST(Packetize, BodyWireCarriesStampedPayload) {
+  const auto flits = packetize(make_info(3), {0x1111, 0x2222});
+  EXPECT_EQ(wire::type_of(flits[1].wire), FlitType::kBody);
+  EXPECT_EQ(wire::type_of(flits[2].wire), FlitType::kTail);
+  // Payload bits below the type field survive.
+  EXPECT_EQ(extract_bits(flits[1].wire, 0, 16), 0x1111u);
+  EXPECT_EQ(extract_bits(flits[2].wire, 0, 16), 0x2222u);
+}
+
+TEST(Packetize, RejectsShortPayload) {
+  EXPECT_THROW((void)packetize(make_info(4), {0x1}), ContractViolation);
+}
+
+TEST(Packetize, RejectsZeroLength) {
+  EXPECT_THROW((void)packetize(make_info(0), {}), ContractViolation);
+}
+
+TEST(Flit, UidDistinguishesSeqAndPacket) {
+  const auto a = packetize(make_info(3), {1, 2});
+  PacketInfo other = make_info(3);
+  other.id = 43;
+  const auto b = packetize(other, {1, 2});
+  EXPECT_NE(a[0].flit_uid(), a[1].flit_uid());
+  EXPECT_NE(a[0].flit_uid(), b[0].flit_uid());
+}
+
+TEST(ObfuscationTag, DefaultInactive) {
+  const ObfuscationTag t;
+  EXPECT_FALSE(t.active());
+  ObfuscationTag u;
+  u.method = ObfMethod::kInvert;
+  EXPECT_TRUE(u.active());
+}
+
+TEST(Strings, EnumNames) {
+  EXPECT_EQ(to_string(ObfMethod::kScramble), "scramble");
+  EXPECT_EQ(to_string(ObfGranularity::kHeader), "header");
+  EXPECT_EQ(to_string(FlitType::kHeadTail), "head_tail");
+  EXPECT_EQ(to_string(Direction::kNorth), "N");
+}
+
+}  // namespace
+}  // namespace htnoc

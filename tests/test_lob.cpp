@@ -1,0 +1,153 @@
+#include "mitigation/lob.hpp"
+
+#include <gtest/gtest.h>
+
+namespace htnoc::mitigation {
+namespace {
+
+Flit make_flit(PacketId packet, RouterId src, RouterId dest) {
+  Flit f;
+  f.packet = packet;
+  f.seq = 0;
+  f.src_router = src;
+  f.dest_router = dest;
+  return f;
+}
+
+TEST(LOb, NeverObfuscatesUntroubledFlits) {
+  LObController lob;
+  const Flit f = make_flit(1, 0, 5);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_FALSE(lob.plan(attempt, f, attempt, /*escalate=*/false,
+                          /*partner_available=*/true)
+                     .active());
+  }
+  EXPECT_EQ(lob.stats().obfuscated_attempts, 0u);
+}
+
+TEST(LOb, EscalationStartsTheSequence) {
+  LObController lob;
+  const Flit f = make_flit(1, 0, 5);
+  const ObfuscationTag t = lob.plan(10, f, 2, true, true);
+  ASSERT_TRUE(t.active());
+  EXPECT_EQ(t.method, ObfMethod::kInvert);
+  EXPECT_EQ(t.granularity, ObfGranularity::kHeader);
+}
+
+TEST(LOb, NackAdvancesToNextMethod) {
+  LObController lob;
+  const Flit f = make_flit(1, 0, 5);
+  const ObfuscationTag t1 = lob.plan(10, f, 2, true, true);
+  lob.on_nack(11, f, t1);
+  const ObfuscationTag t2 = lob.plan(12, f, 3, true, true);
+  EXPECT_TRUE(t2.active());
+  EXPECT_FALSE(t1.method == t2.method && t1.granularity == t2.granularity);
+}
+
+TEST(LOb, WalksEntireSequenceOnRepeatedFailure) {
+  LObParams params;
+  LObController lob(params);
+  const Flit f = make_flit(1, 0, 5);
+  std::set<std::pair<ObfMethod, ObfGranularity>> seen;
+  ObfuscationTag t;
+  for (std::size_t i = 0; i < params.sequence.size(); ++i) {
+    t = lob.plan(10 + i, f, static_cast<int>(i) + 2, true, true);
+    seen.insert({t.method, t.granularity});
+    lob.on_nack(11 + i, f, t);
+  }
+  EXPECT_EQ(seen.size(), params.sequence.size());
+  // Exhaustion wraps around rather than giving up.
+  const ObfuscationTag again = lob.plan(100, f, 10, true, true);
+  EXPECT_TRUE(again.active());
+  EXPECT_EQ(lob.stats().method_exhaustions, 1u);
+}
+
+TEST(LOb, ScrambleSkippedWithoutPartner) {
+  LObParams params;
+  params.sequence = {{ObfMethod::kScramble, ObfGranularity::kFlit},
+                     {ObfMethod::kInvert, ObfGranularity::kFlit}};
+  LObController lob(params);
+  const Flit f = make_flit(1, 0, 5);
+  const ObfuscationTag t = lob.plan(10, f, 2, true, /*partner_available=*/false);
+  EXPECT_EQ(t.method, ObfMethod::kInvert);  // scramble unusable, skipped
+  // After that attempt fails, the walk wraps and scramble is chosen once a
+  // partner shows up.
+  lob.on_nack(11, f, t);
+  const ObfuscationTag t2 = lob.plan(12, f, 3, true, /*partner_available=*/true);
+  EXPECT_EQ(t2.method, ObfMethod::kScramble);
+}
+
+TEST(LOb, ScrambleOnlySequenceFallsBackToPlain) {
+  LObParams params;
+  params.sequence = {{ObfMethod::kScramble, ObfGranularity::kFlit}};
+  LObController lob(params);
+  const Flit f = make_flit(1, 0, 5);
+  EXPECT_FALSE(lob.plan(10, f, 2, true, false).active());
+}
+
+TEST(LOb, SuccessIsLoggedPerFlow) {
+  LObController lob;
+  const Flit f = make_flit(1, 2, 9);
+  const ObfuscationTag t1 = lob.plan(10, f, 2, true, true);
+  lob.on_nack(11, f, t1);
+  const ObfuscationTag t2 = lob.plan(12, f, 3, true, true);
+  lob.on_ack(13, f, t2);
+  EXPECT_EQ(lob.stats().successes, 1u);
+  EXPECT_GE(lob.logged_method(2, 9), 1);
+
+  // A different flit of the same flow jumps straight to the logged method.
+  const Flit g = make_flit(2, 2, 9);
+  const ObfuscationTag t3 = lob.plan(20, g, 2, true, true);
+  EXPECT_EQ(t3.method, t2.method);
+  EXPECT_EQ(t3.granularity, t2.granularity);
+  EXPECT_EQ(lob.stats().log_hits, 1u);
+}
+
+TEST(LOb, LogDisabledWhenConfiguredOff) {
+  LObParams params;
+  params.use_success_log = false;
+  LObController lob(params);
+  const Flit f = make_flit(1, 2, 9);
+  const ObfuscationTag t = lob.plan(10, f, 2, true, true);
+  lob.on_ack(11, f, t);
+  EXPECT_EQ(lob.logged_method(2, 9), -1);
+}
+
+TEST(LOb, AckOfPlainAttemptIsNotASuccess) {
+  LObController lob;
+  const Flit f = make_flit(1, 0, 5);
+  lob.on_ack(10, f, ObfuscationTag{});
+  EXPECT_EQ(lob.stats().successes, 0u);
+}
+
+TEST(LOb, FlitStateClearedAfterAck) {
+  LObController lob;
+  const Flit f = make_flit(1, 0, 5);
+  const ObfuscationTag t = lob.plan(10, f, 2, true, true);
+  lob.on_ack(11, f, t);
+  // Same flit uid again (hypothetical new epoch): starts from the log, not
+  // from stale per-flit state.
+  const ObfuscationTag t2 = lob.plan(20, f, 0, true, true);
+  EXPECT_TRUE(t2.active());
+}
+
+TEST(LOb, DistinctFlowsLogIndependently) {
+  LObParams params;
+  LObController lob(params);
+  const Flit f1 = make_flit(1, 0, 5);
+  const Flit f2 = make_flit(2, 1, 6);
+  const ObfuscationTag a = lob.plan(10, f1, 2, true, true);
+  lob.on_ack(11, f1, a);
+  EXPECT_GE(lob.logged_method(0, 5), 0);
+  EXPECT_EQ(lob.logged_method(1, 6), -1);
+  (void)f2;
+}
+
+TEST(LOb, RejectsEmptySequence) {
+  LObParams params;
+  params.sequence.clear();
+  EXPECT_THROW(LObController{params}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace htnoc::mitigation

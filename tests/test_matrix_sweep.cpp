@@ -1,0 +1,165 @@
+// Configuration-space regression net: every trojan target kind against
+// every mitigation mode, each run to workload completion (or to the
+// documented non-completion for kNone against a sustained trigger). Also a
+// randomized reroute property: random connected link-failure sets must
+// always reconfigure and complete.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/generator.hpp"
+
+namespace htnoc {
+namespace {
+
+using trojan::TargetKind;
+
+sim::AttackSpec attack_for(TargetKind kind) {
+  sim::AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.tasp.kind = kind;
+  a.tasp.target_dest = 0;
+  a.tasp.target_src = 8;   // column-0 source whose dest-0 flow crosses r4->N
+  a.tasp.target_vc = 0;
+  a.tasp.target_thread = 32;  // a core on router 8
+  a.tasp.target_mem = traffic::blackscholes_profile().mem_base;
+  a.tasp.mem_mask = 0xF0000000u;
+  a.enable_killsw_at = 500;
+  return a;
+}
+
+class AttackDefenseMatrix
+    : public ::testing::TestWithParam<std::tuple<TargetKind, sim::MitigationMode>> {};
+
+TEST_P(AttackDefenseMatrix, WorkloadCompletesUnderMitigation) {
+  const auto [kind, mode] = GetParam();
+  sim::SimConfig sc;
+  sc.mode = mode;
+  sc.attacks = {attack_for(kind)};
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 7u + static_cast<std::uint64_t>(kind) * 13 +
+            static_cast<std::uint64_t>(mode);
+  gp.total_requests = 1500;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  simulator.set_drop_callback([&](PacketId id) { gen.requeue(id); });
+
+  Cycle c = 0;
+  while (!gen.done() && c < 400000) {
+    gen.step();
+    simulator.step();
+    ++c;
+  }
+  EXPECT_TRUE(gen.done()) << trojan::to_string(kind) << " under "
+                          << to_string(mode);
+  EXPECT_EQ(net.check_invariants(), "");
+  // The trigger actually fired for this kind (the sweep is meaningful).
+  EXPECT_GT(simulator.tasp(0).stats().injections, 0u)
+      << trojan::to_string(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllDefenses, AttackDefenseMatrix,
+    ::testing::Combine(::testing::Values(TargetKind::kDest, TargetKind::kSrc,
+                                         TargetKind::kDestSrc,
+                                         TargetKind::kMem, TargetKind::kVc,
+                                         TargetKind::kThread,
+                                         TargetKind::kFull),
+                       ::testing::Values(sim::MitigationMode::kLOb,
+                                         sim::MitigationMode::kReroute)));
+
+class UnmitigatedMatrix : public ::testing::TestWithParam<TargetKind> {};
+
+TEST_P(UnmitigatedMatrix, SustainedTriggerNeverCompletesWithoutMitigation) {
+  const TargetKind kind = GetParam();
+  sim::SimConfig sc;
+  sc.mode = sim::MitigationMode::kNone;
+  sc.attacks = {attack_for(kind)};
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 19u + static_cast<std::uint64_t>(kind);
+  gp.total_requests = 1500;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  Cycle c = 0;
+  while (!gen.done() && c < 30000) {
+    gen.step();
+    simulator.step();
+    ++c;
+  }
+  EXPECT_FALSE(gen.done()) << trojan::to_string(kind)
+                           << ": the first struck flit wedges forever";
+  EXPECT_EQ(net.check_invariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, UnmitigatedMatrix,
+                         ::testing::Values(TargetKind::kDest, TargetKind::kSrc,
+                                           TargetKind::kMem,
+                                           TargetKind::kThread,
+                                           TargetKind::kFull));
+
+TEST(RandomFailureSets, RerouteCompletesOverRandomConnectedFailures) {
+  // Property: for random trojan-link sets whose bidirectional removal keeps
+  // the mesh connected, the reroute policy always reconfigures and the
+  // workload always completes.
+  Rng rng(0xFEED5EED);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Draw up to 4 random links, skipping draws that would disconnect.
+    NocConfig probe_cfg;
+    Network probe(probe_cfg);
+    std::vector<LinkRef> links;
+    for (int k = 0; k < 4; ++k) {
+      const auto r = static_cast<RouterId>(rng.next_below(16));
+      const auto d = static_cast<Direction>(rng.next_below(4));
+      if (!probe.geometry().has_neighbor(r, d)) continue;
+      if (probe.would_disconnect({r, d})) continue;
+      probe.disable_link({r, d});
+      probe.disable_link({probe.geometry().neighbor(r, d), opposite(d)});
+      links.push_back({r, d});
+    }
+    if (links.empty()) continue;
+
+    sim::SimConfig sc;
+    sc.mode = sim::MitigationMode::kReroute;
+    sc.reroute_latency = 50;
+    for (const LinkRef& l : links) {
+      sim::AttackSpec a;
+      a.link = l;
+      a.tasp.kind = TargetKind::kDest;
+      a.tasp.target_dest = 0;
+      a.enable_killsw_at = 400;
+      sc.attacks.push_back(a);
+    }
+    sim::Simulator simulator(std::move(sc));
+    Network& net = simulator.network();
+    traffic::DeliveryDispatcher disp;
+    disp.install(net);
+    traffic::AppTrafficModel model(net.geometry(),
+                                   traffic::blackscholes_profile());
+    traffic::TrafficGenerator::Params gp;
+    gp.seed = 100u + static_cast<std::uint64_t>(trial);
+    gp.total_requests = 400;
+    traffic::TrafficGenerator gen(net, model, gp, disp);
+    simulator.set_drop_callback([&](PacketId id) { gen.requeue(id); });
+    Cycle c = 0;
+    while (!gen.done() && c < 500000) {
+      gen.step();
+      ASSERT_NO_THROW(simulator.step()) << "trial " << trial;
+      ++c;
+    }
+    EXPECT_TRUE(gen.done()) << "trial " << trial;
+    EXPECT_EQ(net.check_invariants(), "") << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace htnoc

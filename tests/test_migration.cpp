@@ -1,0 +1,87 @@
+// OS process migration as a mitigation complement (paper Sec. IV-B:
+// "more aggressive approaches ... such as rerouting packets or invoking the
+// OS to migrate processes from one network region to another which can be
+// used to complement our proposed design").
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "traffic/generator.hpp"
+
+namespace htnoc::traffic {
+namespace {
+
+TEST(Migration, HotspotWeightMoves) {
+  const MeshGeometry geom(4, 4, 4);
+  AppTrafficModel model(geom, blackscholes_profile());
+  Rng rng(71);
+  int to_r0_before = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (geom.router_of_core(model.pick_dest(37, rng)) == 0) ++to_r0_before;
+  }
+  model.migrate_hotspot(0, 15);
+  int to_r0_after = 0;
+  int to_r15_after = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const RouterId d = geom.router_of_core(model.pick_dest(37, rng));
+    if (d == 0) ++to_r0_after;
+    if (d == 15) ++to_r15_after;
+  }
+  EXPECT_LT(to_r0_after, to_r0_before / 3);
+  EXPECT_GT(to_r15_after, to_r0_before / 3);
+}
+
+TEST(Migration, RejectsBadRouters) {
+  const MeshGeometry geom(4, 4, 4);
+  AppTrafficModel model(geom, blackscholes_profile());
+  EXPECT_THROW(model.migrate_hotspot(99, 0), ContractViolation);
+  EXPECT_THROW(model.migrate_hotspot(0, 99), ContractViolation);
+}
+
+TEST(Migration, StarvesTheTrojanOfTargets) {
+  // Detection -> migrate the victim app away from router 0 -> the dest-0
+  // trojan stops sighting targets and new traffic recovers. (Old wedged
+  // flits stay wedged: migration complements, not replaces, L-Ob/reroute.)
+  sim::SimConfig sc;
+  sc.mode = sim::MitigationMode::kLOb;  // detector wired; L-Ob helps drain
+  sim::AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.tasp.kind = trojan::TargetKind::kDest;
+  a.tasp.target_dest = 0;
+  a.enable_killsw_at = 800;
+  sc.attacks.push_back(a);
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  AppTrafficModel model(net.geometry(), blackscholes_profile());
+  TrafficGenerator::Params gp;
+  gp.seed = 72;
+  TrafficGenerator gen(net, model, gp, disp);
+
+  bool migrated = false;
+  std::uint64_t sightings_at_migration = 0;
+  for (Cycle c = 0; c < 4000; ++c) {
+    gen.step();
+    simulator.step();
+    if (!migrated &&
+        simulator.detector(0).classification(
+            direction_port(Direction::kSouth)) ==
+            mitigation::LinkThreatClass::kTrojan) {
+      gen.migrate_hotspot(0, 15);  // OS moves the victim processes
+      migrated = true;
+      sightings_at_migration = simulator.tasp(0).stats().target_sightings;
+    }
+  }
+  ASSERT_TRUE(migrated);
+  EXPECT_EQ(gen.stats().migrations, 1u);
+  // New traffic no longer feeds the trojan: sightings taper off (a small
+  // residue drains from pre-migration backlogs).
+  const std::uint64_t post = simulator.tasp(0).stats().target_sightings -
+                             sightings_at_migration;
+  EXPECT_LT(post, sightings_at_migration + 300);
+  // The application keeps making progress after migration.
+  EXPECT_GT(gen.stats().packets_delivered, 1000u);
+}
+
+}  // namespace
+}  // namespace htnoc::traffic

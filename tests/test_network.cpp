@@ -1,0 +1,146 @@
+#include "noc/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace htnoc {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NocConfig cfg;
+  Network net{cfg};
+
+  PacketInfo make_packet(NodeId src, NodeId dest, int len = 1) {
+    PacketInfo info;
+    info.id = net.next_packet_id();
+    info.src_core = src;
+    info.dest_core = dest;
+    info.src_router = net.geometry().router_of_core(src);
+    info.dest_router = net.geometry().router_of_core(dest);
+    info.length = len;
+    return info;
+  }
+};
+
+TEST_F(NetworkTest, TopologyHas48MeshLinks) {
+  // 4x4 mesh: 2*( (4-1)*4 + 4*(4-1) ) = 48 unidirectional links — the
+  // paper's "TASP on all 48 links" worst case.
+  EXPECT_EQ(net.all_links().size(), 48u);
+}
+
+TEST_F(NetworkTest, LinkAccessorsMatchGeometry) {
+  EXPECT_TRUE(net.has_link(0, Direction::kEast));
+  EXPECT_FALSE(net.has_link(0, Direction::kWest));
+  EXPECT_TRUE(net.has_link(5, Direction::kNorth));
+  EXPECT_EQ(net.link(0, Direction::kEast).latency(), cfg.stage_lt);
+}
+
+TEST_F(NetworkTest, CyclesAdvance) {
+  EXPECT_EQ(net.now(), 0u);
+  net.run(10);
+  EXPECT_EQ(net.now(), 10u);
+}
+
+TEST_F(NetworkTest, InjectValidatesCoreIds) {
+  PacketInfo bad = make_packet(0, 1);
+  bad.src_core = 64;
+  EXPECT_THROW((void)net.try_inject(bad, {}), ContractViolation);
+}
+
+TEST_F(NetworkTest, DeliveryCountsAggregate) {
+  ASSERT_TRUE(net.try_inject(make_packet(3, 62), {}));
+  ASSERT_TRUE(net.try_inject(make_packet(62, 3), {}));
+  net.run(200);
+  EXPECT_EQ(net.packets_injected(), 2u);
+  EXPECT_EQ(net.packets_delivered(), 2u);
+  EXPECT_TRUE(net.quiescent());
+}
+
+TEST_F(NetworkTest, UtilizationSampleCleanWhenIdle) {
+  net.run(50);
+  const auto s = net.sample_utilization();
+  EXPECT_EQ(s.input_port_flits, 0);
+  EXPECT_EQ(s.output_port_flits, 0);
+  EXPECT_EQ(s.injection_port_flits, 0);
+  EXPECT_EQ(s.routers_all_cores_full, 0);
+  EXPECT_EQ(s.routers_with_blocked_port, 0);
+}
+
+TEST_F(NetworkTest, UtilizationSeesInFlightTraffic) {
+  for (int i = 0; i < 10; ++i) {
+    (void)net.try_inject(make_packet(0, 63, 5),
+                         std::vector<std::uint64_t>(4, 1));
+  }
+  net.run(6);
+  const auto s = net.sample_utilization();
+  EXPECT_GT(s.injection_port_flits + s.input_port_flits + s.output_port_flits,
+            0);
+}
+
+TEST_F(NetworkTest, DisableLinkTracksSet) {
+  net.disable_link({0, Direction::kEast});
+  EXPECT_TRUE(net.disabled_links().contains(LinkRef{0, Direction::kEast}));
+  EXPECT_TRUE(net.link(0, Direction::kEast).disabled());
+}
+
+TEST_F(NetworkTest, UpdownReconfigurationDeliversAroundDeadLink) {
+  net.disable_link({0, Direction::kEast});
+  net.disable_link({1, Direction::kWest});
+  net.use_updown_routing();
+  int delivered = 0;
+  net.set_delivery_callback([&](Cycle, const PacketInfo&, Cycle) { ++delivered; });
+  ASSERT_TRUE(net.try_inject(make_packet(0, 4), {}));  // r0 -> r1
+  net.run(300);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkTest, XyRoutingRequiresHealthyTopology) {
+  net.disable_link({0, Direction::kEast});
+  EXPECT_THROW(net.use_xy_routing(), ContractViolation);
+}
+
+TEST_F(NetworkTest, PurgeUnknownPacketIsHarmless) {
+  const auto ids = net.purge_packet(9999);
+  EXPECT_EQ(ids.size(), 1u);  // the requested id itself, nothing else
+  EXPECT_TRUE(net.quiescent());
+}
+
+TEST_F(NetworkTest, PacketIdsAreUnique) {
+  const PacketId a = net.next_packet_id();
+  const PacketId b = net.next_packet_id();
+  EXPECT_NE(a, b);
+}
+
+TEST_F(NetworkTest, NonDefaultGeometry) {
+  NocConfig small;
+  small.mesh_width = 2;
+  small.mesh_height = 2;
+  small.concentration = 1;
+  Network n2(small);
+  EXPECT_EQ(n2.all_links().size(), 8u);
+  int delivered = 0;
+  n2.set_delivery_callback([&](Cycle, const PacketInfo&, Cycle) { ++delivered; });
+  PacketInfo info;
+  info.id = n2.next_packet_id();
+  info.src_core = 0;
+  info.dest_core = 3;
+  info.src_router = 0;
+  info.dest_router = 3;
+  info.length = 2;
+  ASSERT_TRUE(n2.try_inject(info, {0xFF}));
+  n2.run(100);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkTest, ConfigValidationRejectsBadShapes) {
+  NocConfig bad;
+  bad.mesh_width = 1;
+  EXPECT_THROW(Network{bad}, ContractViolation);
+  NocConfig bad2;
+  bad2.vcs_per_port = 3;
+  bad2.tdm_enabled = true;  // TDM needs an even VC split
+  EXPECT_THROW(Network{bad2}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace htnoc

@@ -1,0 +1,126 @@
+#include "noc/ni.hpp"
+
+#include <gtest/gtest.h>
+
+#include "noc/network.hpp"
+
+namespace htnoc {
+namespace {
+
+class NiTest : public ::testing::Test {
+ protected:
+  NocConfig cfg;
+  Network net{cfg};
+
+  PacketInfo make_packet(NodeId src, NodeId dest, int len,
+                         PacketClass pclass = PacketClass::kRequest) {
+    PacketInfo info;
+    info.id = net.next_packet_id();
+    info.src_core = src;
+    info.dest_core = dest;
+    info.src_router = net.geometry().router_of_core(src);
+    info.dest_router = net.geometry().router_of_core(dest);
+    info.length = len;
+    info.pclass = pclass;
+    return info;
+  }
+};
+
+TEST_F(NiTest, InjectionIsAtomicPerPacket) {
+  NetworkInterface& ni = net.ni(0);
+  // Queue depth 8: a 5-flit packet fits, then a 5-flit packet does not.
+  EXPECT_TRUE(net.try_inject(make_packet(0, 10, 5),
+                             std::vector<std::uint64_t>(4, 0)));
+  EXPECT_FALSE(net.try_inject(make_packet(0, 10, 5),
+                              std::vector<std::uint64_t>(4, 0)));
+  EXPECT_TRUE(ni.injection_full());  // reject marks saturation
+  EXPECT_EQ(ni.stats().inject_rejects, 1u);
+  // A small packet still fits and clears the saturation flag.
+  EXPECT_TRUE(net.try_inject(make_packet(0, 10, 3),
+                             std::vector<std::uint64_t>(2, 0)));
+  EXPECT_FALSE(ni.injection_full());
+}
+
+TEST_F(NiTest, InjectionOccupancyDrainsOverTime) {
+  ASSERT_TRUE(net.try_inject(make_packet(0, 20, 5),
+                             std::vector<std::uint64_t>(4, 0)));
+  const int before = net.ni(0).injection_occupancy();
+  EXPECT_GT(before, 0);
+  net.run(100);
+  EXPECT_EQ(net.ni(0).injection_occupancy(), 0);
+}
+
+TEST_F(NiTest, ReassemblyDeliversOnTail) {
+  std::vector<int> lens;
+  net.set_delivery_callback([&](Cycle, const PacketInfo& info, Cycle) {
+    lens.push_back(info.length);
+  });
+  ASSERT_TRUE(net.try_inject(make_packet(5, 40, 4),
+                             std::vector<std::uint64_t>(3, 9)));
+  net.run(150);
+  ASSERT_EQ(lens.size(), 1u);
+  EXPECT_EQ(lens[0], 4);
+  EXPECT_EQ(net.ni(40).stats().flits_delivered, 4u);
+  EXPECT_EQ(net.ni(40).stats().packets_delivered, 1u);
+}
+
+TEST_F(NiTest, DeliveryCallbackCarriesLatencyAndIdentity) {
+  PacketInfo sent = make_packet(2, 50, 2, PacketClass::kReply);
+  PacketInfo got;
+  Cycle latency = 0;
+  net.set_delivery_callback([&](Cycle, const PacketInfo& info, Cycle lat) {
+    got = info;
+    latency = lat;
+  });
+  ASSERT_TRUE(net.try_inject(sent, {0x5}));
+  net.run(150);
+  EXPECT_EQ(got.id, sent.id);
+  EXPECT_EQ(got.src_core, 2);
+  EXPECT_EQ(got.dest_core, 50);
+  EXPECT_EQ(got.pclass, PacketClass::kReply);
+  EXPECT_GT(latency, 0u);
+}
+
+TEST_F(NiTest, RequestAndReplyClassesUseDisjointVcs) {
+  const auto [rlo, rhi] = allowed_vc_range(PacketClass::kRequest,
+                                           TdmDomain::kD1, cfg);
+  const auto [plo, phi] = allowed_vc_range(PacketClass::kReply,
+                                           TdmDomain::kD1, cfg);
+  EXPECT_LT(rhi, plo);
+  EXPECT_EQ(rlo, 0);
+  EXPECT_EQ(phi, cfg.vcs_per_port - 1);
+  (void)plo;
+}
+
+TEST_F(NiTest, TdmSplitsVcsByDomain) {
+  NocConfig tdm = cfg;
+  tdm.tdm_enabled = true;
+  const auto [d1lo, d1hi] = allowed_vc_range(PacketClass::kRequest,
+                                             TdmDomain::kD1, tdm);
+  const auto [d2lo, d2hi] = allowed_vc_range(PacketClass::kRequest,
+                                             TdmDomain::kD2, tdm);
+  EXPECT_LE(d1hi, tdm.vcs_per_port / 2 - 1);
+  EXPECT_GE(d2lo, tdm.vcs_per_port / 2);
+  (void)d1lo;
+  (void)d2hi;
+}
+
+TEST_F(NiTest, TdmSlotsAlternate) {
+  EXPECT_TRUE(tdm_slot_allows(TdmDomain::kD1, 0));
+  EXPECT_FALSE(tdm_slot_allows(TdmDomain::kD2, 0));
+  EXPECT_FALSE(tdm_slot_allows(TdmDomain::kD1, 1));
+  EXPECT_TRUE(tdm_slot_allows(TdmDomain::kD2, 1));
+}
+
+TEST_F(NiTest, BackToBackPacketsShareTheNi) {
+  int delivered = 0;
+  net.set_delivery_callback([&](Cycle, const PacketInfo&, Cycle) { ++delivered; });
+  for (int i = 0; i < 6; ++i) {
+    while (!net.try_inject(make_packet(0, 30, 2), {0x1})) net.step();
+  }
+  net.run(300);
+  EXPECT_EQ(delivered, 6);
+}
+
+}  // namespace
+}  // namespace htnoc

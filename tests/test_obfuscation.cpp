@@ -1,0 +1,161 @@
+#include "noc/obfuscation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace htnoc::obf {
+namespace {
+
+constexpr ObfGranularity kGrans[] = {ObfGranularity::kFlit,
+                                     ObfGranularity::kHeader,
+                                     ObfGranularity::kPayload};
+
+// Property: every method at every granularity is perfectly invertible.
+class ObfRoundTrip
+    : public ::testing::TestWithParam<std::tuple<ObfMethod, ObfGranularity>> {};
+
+TEST_P(ObfRoundTrip, UndoRestoresOriginal) {
+  const auto [method, gran] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(method) * 31 +
+          static_cast<std::uint64_t>(gran));
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t w = rng.next_u64();
+    const std::uint64_t partner = rng.next_u64();
+    ObfuscationTag tag;
+    tag.method = method;
+    tag.granularity = gran;
+    const std::uint64_t obf_w = apply(w, tag, partner);
+    EXPECT_EQ(undo(obf_w, tag, partner), w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, ObfRoundTrip,
+    ::testing::Combine(::testing::Values(ObfMethod::kInvert, ObfMethod::kShuffle,
+                                         ObfMethod::kScramble),
+                       ::testing::Values(ObfGranularity::kFlit,
+                                         ObfGranularity::kHeader,
+                                         ObfGranularity::kPayload)));
+
+TEST(Obfuscation, InvertIsSelfInverse) {
+  Rng rng(1);
+  for (const auto g : kGrans) {
+    const std::uint64_t w = rng.next_u64();
+    EXPECT_EQ(invert(invert(w, g), g), w);
+  }
+}
+
+TEST(Obfuscation, InvertChangesEveryWindowBit) {
+  for (const auto g : kGrans) {
+    const Window win = window_of(g);
+    const std::uint64_t w = 0;
+    const std::uint64_t inv = invert(w, g);
+    const std::uint64_t expect_mask =
+        (win.width >= 64 ? ~std::uint64_t{0}
+                         : ((std::uint64_t{1} << win.width) - 1))
+        << win.pos;
+    EXPECT_EQ(inv, expect_mask);
+  }
+}
+
+TEST(Obfuscation, ShuffleIsNeverIdentityOnAsymmetricData) {
+  // A rotation must actually move bits for the DPI comparator to miss.
+  for (const auto g : kGrans) {
+    const Window win = window_of(g);
+    const std::uint64_t w = std::uint64_t{1} << win.pos;  // single bit set
+    EXPECT_NE(shuffle(w, g), w) << "granularity " << static_cast<int>(g);
+  }
+}
+
+TEST(Obfuscation, ShuffleOnlyTouchesWindow) {
+  Rng rng(3);
+  for (const auto g : kGrans) {
+    const Window win = window_of(g);
+    const std::uint64_t w = rng.next_u64();
+    const std::uint64_t s = shuffle(w, g);
+    const std::uint64_t outside_mask =
+        ~((win.width >= 64 ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << win.width) - 1))
+          << win.pos);
+    EXPECT_EQ(s & outside_mask, w & outside_mask);
+  }
+}
+
+TEST(Obfuscation, ScrambleWithSelfZeroesWindow) {
+  Rng rng(4);
+  const std::uint64_t w = rng.next_u64();
+  const std::uint64_t s = scramble(w, w, ObfGranularity::kFlit);
+  EXPECT_EQ(s, 0u);
+}
+
+TEST(Obfuscation, ScrambleIsSelfInverseGivenPartner) {
+  Rng rng(5);
+  for (const auto g : kGrans) {
+    const std::uint64_t w = rng.next_u64();
+    const std::uint64_t partner = rng.next_u64();
+    EXPECT_EQ(scramble(scramble(w, partner, g), partner, g), w);
+  }
+}
+
+TEST(Obfuscation, HeaderObfuscationHidesDpiTargets) {
+  // The attack-relevant property: after header-granularity obfuscation the
+  // DPI target region reads differently (so a tuned comparator misses).
+  // Invert guarantees it for any word; shuffle guarantees it whenever the
+  // window is not rotation-symmetric (any realistic header).
+  wire::HeaderFields h;
+  h.dest = 0;
+  h.src = 3;
+  h.mem_addr = 0x40001000;  // realistic non-uniform header content
+  const std::uint64_t w = wire::pack_header(h);
+  for (const ObfMethod m : {ObfMethod::kInvert, ObfMethod::kShuffle}) {
+    ObfuscationTag tag;
+    tag.method = m;
+    tag.granularity = ObfGranularity::kHeader;
+    const std::uint64_t o = apply(w, tag);
+    EXPECT_NE(extract_bits(o, 0, wire::kFullTargetWidth),
+              extract_bits(w, 0, wire::kFullTargetWidth))
+        << to_string(m) << " left the target region intact";
+  }
+  // Invert moves the dest field for every value, including dest = 0.
+  ObfuscationTag inv;
+  inv.method = ObfMethod::kInvert;
+  inv.granularity = ObfGranularity::kHeader;
+  EXPECT_NE(wire::unpack_header(apply(w, inv)).dest, h.dest);
+}
+
+TEST(Obfuscation, PayloadGranularityLeavesHeaderReadable) {
+  wire::HeaderFields h;
+  h.dest = 9;
+  h.src = 2;
+  h.mem_addr = 0x1234;
+  const std::uint64_t w = wire::pack_header(h);
+  ObfuscationTag tag;
+  tag.method = ObfMethod::kInvert;
+  tag.granularity = ObfGranularity::kPayload;
+  const std::uint64_t o = apply(w, tag);
+  EXPECT_EQ(wire::unpack_header(o).dest, h.dest);
+  EXPECT_EQ(wire::unpack_header(o).src, h.src);
+  EXPECT_EQ(wire::unpack_header(o).mem_addr, h.mem_addr);
+}
+
+TEST(Obfuscation, UndoPenaltiesMatchPaper) {
+  // 1-3 cycle penalties (Sec. I / IV).
+  EXPECT_EQ(undo_penalty_cycles(ObfMethod::kNone), 0);
+  EXPECT_EQ(undo_penalty_cycles(ObfMethod::kInvert), 1);
+  EXPECT_EQ(undo_penalty_cycles(ObfMethod::kShuffle), 1);
+  EXPECT_GE(undo_penalty_cycles(ObfMethod::kScramble), 1);
+}
+
+TEST(Obfuscation, WindowsPartitionTheWireWord) {
+  const Window header = window_of(ObfGranularity::kHeader);
+  const Window payload = window_of(ObfGranularity::kPayload);
+  const Window flit = window_of(ObfGranularity::kFlit);
+  EXPECT_EQ(header.pos, 0u);
+  EXPECT_EQ(header.pos + header.width, payload.pos);
+  EXPECT_EQ(payload.pos + payload.width, 64u);
+  EXPECT_EQ(flit.width, 64u);
+}
+
+}  // namespace
+}  // namespace htnoc::obf

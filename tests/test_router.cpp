@@ -1,0 +1,128 @@
+// Router pipeline tests, driven through a real Network (NIs + links) so the
+// 5-stage timing, credits and wormhole behaviour are exercised end to end.
+#include "noc/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "noc/network.hpp"
+
+namespace htnoc {
+namespace {
+
+class RouterPipelineTest : public ::testing::Test {
+ protected:
+  NocConfig cfg;
+  Network net{cfg};
+
+  PacketInfo make_packet(NodeId src, NodeId dest, int len) {
+    PacketInfo info;
+    info.id = net.next_packet_id();
+    info.src_core = src;
+    info.dest_core = dest;
+    info.src_router = net.geometry().router_of_core(src);
+    info.dest_router = net.geometry().router_of_core(dest);
+    info.length = len;
+    info.pclass = PacketClass::kRequest;
+    return info;
+  }
+
+  std::vector<std::uint64_t> payload(int len) {
+    return std::vector<std::uint64_t>(static_cast<std::size_t>(len), 0x77);
+  }
+};
+
+TEST_F(RouterPipelineTest, SingleHopLatencyMatchesPipeline) {
+  // Core 0 -> core 1 (same router 0): NI link + 5-stage pipeline + NI link.
+  std::vector<Cycle> latencies;
+  net.set_delivery_callback(
+      [&](Cycle, const PacketInfo&, Cycle lat) { latencies.push_back(lat); });
+  ASSERT_TRUE(net.try_inject(make_packet(0, 1, 1), {}));
+  net.run(40);
+  ASSERT_EQ(latencies.size(), 1u);
+  // inject->NI queue->local link (1) -> BW/RC,VA,SA,ST (4) -> LT (1) -> NI.
+  EXPECT_GE(latencies[0], 7u);
+  EXPECT_LE(latencies[0], 12u);
+}
+
+TEST_F(RouterPipelineTest, PerHopCostIsFiveStages) {
+  std::vector<Cycle> lat1hop;
+  std::vector<Cycle> lat3hop;
+  net.set_delivery_callback([&](Cycle, const PacketInfo& info, Cycle lat) {
+    if (info.dest_router == 1) lat1hop.push_back(lat);
+    if (info.dest_router == 3) lat3hop.push_back(lat);
+  });
+  ASSERT_TRUE(net.try_inject(make_packet(0, 4, 1), {}));   // r0 -> r1
+  ASSERT_TRUE(net.try_inject(make_packet(0, 12, 1), {}));  // r0 -> r3
+  net.run(80);
+  ASSERT_EQ(lat1hop.size(), 1u);
+  ASSERT_EQ(lat3hop.size(), 1u);
+  // Two extra mesh hops at ~5-6 cycles each.
+  const Cycle delta = lat3hop[0] - lat1hop[0];
+  EXPECT_GE(delta, 8u);
+  EXPECT_LE(delta, 14u);
+}
+
+TEST_F(RouterPipelineTest, MultiFlitPacketStaysContiguousPerVc) {
+  std::uint64_t delivered_flits = 0;
+  net.set_delivery_callback([&](Cycle, const PacketInfo& info, Cycle) {
+    delivered_flits += static_cast<std::uint64_t>(info.length);
+  });
+  ASSERT_TRUE(net.try_inject(make_packet(0, 20, 5), payload(4)));
+  net.run(100);
+  EXPECT_EQ(delivered_flits, 5u);
+}
+
+TEST_F(RouterPipelineTest, ManyPacketsAllDeliveredNoLoss) {
+  int delivered = 0;
+  net.set_delivery_callback([&](Cycle, const PacketInfo&, Cycle) { ++delivered; });
+  int injected = 0;
+  for (NodeId src = 0; src < 64; src += 3) {
+    for (NodeId dest = 1; dest < 64; dest += 17) {
+      if (src == dest) continue;
+      if (net.try_inject(make_packet(src, dest, 1 + (src % 4)),
+                         payload(4))) {
+        ++injected;
+      }
+      net.step();
+    }
+  }
+  net.run(3000);
+  EXPECT_EQ(delivered, injected);
+  EXPECT_TRUE(net.quiescent());
+}
+
+TEST_F(RouterPipelineTest, RouterStatsCountSwitchedFlits) {
+  ASSERT_TRUE(net.try_inject(make_packet(0, 4, 3), payload(2)));
+  net.run(60);
+  // All 3 flits crossed router 0 and router 1.
+  EXPECT_EQ(net.router(0).stats().flits_switched, 3u);
+  EXPECT_EQ(net.router(1).stats().flits_switched, 3u);
+}
+
+TEST_F(RouterPipelineTest, OccupancyReturnsToZeroAfterDrain) {
+  for (int i = 0; i < 5; ++i) {
+    // Retry while the injection queue is full; depth 8 holds two packets.
+    while (!net.try_inject(make_packet(0, 60, 4), payload(3))) net.step();
+  }
+  net.run(500);
+  for (RouterId r = 0; r < 16; ++r) {
+    EXPECT_EQ(net.router(r).input_occupancy(), 0) << "router " << r;
+    EXPECT_EQ(net.router(r).output_occupancy(), 0) << "router " << r;
+  }
+}
+
+TEST_F(RouterPipelineTest, InvalidateWaitingRoutesForcesRecompute) {
+  ASSERT_TRUE(net.try_inject(make_packet(0, 60, 1), {}));
+  int delivered = 0;
+  net.set_delivery_callback([&](Cycle, const PacketInfo&, Cycle) { ++delivered; });
+  // Aggressively invalidate mid-flight every cycle; the packet must still
+  // arrive (RC simply recomputes).
+  for (int i = 0; i < 300; ++i) {
+    for (RouterId r = 0; r < 16; ++r) net.router(r).invalidate_waiting_routes();
+    net.step();
+  }
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace htnoc

@@ -1,0 +1,96 @@
+#include "noc/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace htnoc {
+namespace {
+
+class XyTest : public ::testing::Test {
+ protected:
+  MeshGeometry geom{4, 4, 4};
+  XyRouting xy{geom};
+
+  Flit flit_to(RouterId dest_router, NodeId dest_core) const {
+    Flit f;
+    f.dest_router = dest_router;
+    f.dest_core = dest_core;
+    return f;
+  }
+};
+
+TEST_F(XyTest, LocalDelivery) {
+  // dest core 2 lives on router 0, slot 2.
+  const RouteDecision d = xy.route(0, flit_to(0, 2));
+  EXPECT_EQ(d.out_port, kPortLocalBase + 2);
+}
+
+TEST_F(XyTest, XBeforeY) {
+  // From r0 (0,0) to r15 (3,3): east first.
+  EXPECT_EQ(xy.route(0, flit_to(15, 60)).out_port, kPortEast);
+  // From r3 (3,0) to r12 (0,3): west first.
+  EXPECT_EQ(xy.route(3, flit_to(12, 48)).out_port, kPortWest);
+  // Same column: go vertical.
+  EXPECT_EQ(xy.route(1, flit_to(13, 52)).out_port, kPortSouth);
+  EXPECT_EQ(xy.route(13, flit_to(1, 4)).out_port, kPortNorth);
+}
+
+TEST_F(XyTest, EveryPairReachesDestination) {
+  // Walk the route hop by hop for every (src, dest) pair; it must terminate
+  // at the destination within the Manhattan distance.
+  for (RouterId s = 0; s < 16; ++s) {
+    for (NodeId dc = 0; dc < 64; ++dc) {
+      const RouterId dr = geom.router_of_core(dc);
+      RouterId here = s;
+      int hops = 0;
+      while (true) {
+        const RouteDecision d = xy.route(here, flit_to(dr, dc));
+        ASSERT_GE(d.out_port, 0);
+        if (is_local_port(d.out_port)) {
+          EXPECT_EQ(here, dr);
+          EXPECT_EQ(d.out_port - kPortLocalBase, geom.local_slot_of_core(dc));
+          break;
+        }
+        here = geom.neighbor(here, port_direction(d.out_port));
+        ++hops;
+        ASSERT_LE(hops, geom.hop_distance(s, dr)) << "non-minimal route";
+      }
+      EXPECT_EQ(hops, geom.hop_distance(s, dr));
+    }
+  }
+}
+
+TEST_F(XyTest, NoIllegalTurns) {
+  // Dimension-order: once a packet moves vertically it never moves
+  // horizontally again. Verify over all pairs.
+  for (RouterId s = 0; s < 16; ++s) {
+    for (RouterId dr = 0; dr < 16; ++dr) {
+      if (s == dr) continue;
+      RouterId here = s;
+      bool moved_vertically = false;
+      while (here != dr) {
+        const RouteDecision d =
+            xy.route(here, flit_to(dr, geom.core_at(dr, 0)));
+        const Direction dir = port_direction(d.out_port);
+        if (dir == Direction::kNorth || dir == Direction::kSouth) {
+          moved_vertically = true;
+        } else {
+          EXPECT_FALSE(moved_vertically)
+              << "y->x turn from " << s << " to " << dr;
+        }
+        here = geom.neighbor(here, dir);
+      }
+    }
+  }
+}
+
+TEST_F(XyTest, PortConventions) {
+  EXPECT_EQ(direction_port(Direction::kNorth), kPortNorth);
+  EXPECT_EQ(direction_port(Direction::kWest), kPortWest);
+  EXPECT_EQ(port_direction(2), Direction::kEast);
+  EXPECT_FALSE(is_local_port(3));
+  EXPECT_TRUE(is_local_port(4));
+  EXPECT_EQ(xy.name(), "xy");
+}
+
+}  // namespace
+}  // namespace htnoc

@@ -1,0 +1,149 @@
+#include "ecc/secded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace htnoc::ecc {
+namespace {
+
+class SecdedTest : public ::testing::Test {
+ protected:
+  const Secded& codec = secded();
+};
+
+TEST_F(SecdedTest, CleanRoundTrip) {
+  for (const std::uint64_t d :
+       {std::uint64_t{0}, ~std::uint64_t{0}, std::uint64_t{0xDEADBEEF12345678}}) {
+    const Codeword72 cw = codec.encode(d);
+    const DecodeResult r = codec.decode(cw);
+    EXPECT_EQ(r.status, DecodeStatus::kClean);
+    EXPECT_EQ(r.data, d);
+    EXPECT_EQ(r.syndrome, 0);
+    EXPECT_FALSE(needs_retransmission(r.status));
+  }
+}
+
+TEST_F(SecdedTest, ExtractDataInvertsEncode) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t d = rng.next_u64();
+    EXPECT_EQ(codec.extract_data(codec.encode(d)), d);
+  }
+}
+
+// Property: every single-bit error in any of the 72 positions is corrected.
+class SecdedSingleError : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SecdedSingleError, CorrectedAtEveryPosition) {
+  const Secded& codec = secded();
+  const unsigned pos = GetParam();
+  Rng rng(pos * 977 + 13);
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t d = rng.next_u64();
+    Codeword72 cw = codec.encode(d);
+    cw.flip(pos);
+    const DecodeResult r = codec.decode(cw);
+    EXPECT_EQ(r.status, DecodeStatus::kCorrectedSingle) << "pos=" << pos;
+    EXPECT_EQ(r.data, d) << "pos=" << pos;
+    ASSERT_TRUE(r.corrected_position.has_value());
+    EXPECT_EQ(*r.corrected_position, pos);
+    EXPECT_FALSE(needs_retransmission(r.status));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, SecdedSingleError,
+                         ::testing::Range(0u, 72u));
+
+// Property: every double-bit error is detected and never miscorrected —
+// the exact ECC response the TASP trojan weaponizes.
+TEST_F(SecdedTest, AllDoubleErrorsDetectedExhaustive) {
+  const std::uint64_t d = 0xA5A5'5A5A'0F0F'F0F0ULL;
+  const Codeword72 clean = codec.encode(d);
+  for (unsigned i = 0; i < 72; ++i) {
+    for (unsigned j = i + 1; j < 72; ++j) {
+      Codeword72 cw = clean;
+      cw.flip(i);
+      cw.flip(j);
+      const DecodeResult r = codec.decode(cw);
+      EXPECT_EQ(r.status, DecodeStatus::kDetectedDouble)
+          << "i=" << i << " j=" << j;
+      EXPECT_TRUE(needs_retransmission(r.status));
+    }
+  }
+}
+
+TEST_F(SecdedTest, DoubleErrorsDetectedRandomData) {
+  Rng rng(42);
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t d = rng.next_u64();
+    Codeword72 cw = codec.encode(d);
+    const unsigned i = static_cast<unsigned>(rng.next_below(72));
+    unsigned j;
+    do {
+      j = static_cast<unsigned>(rng.next_below(72));
+    } while (j == i);
+    cw.flip(i);
+    cw.flip(j);
+    EXPECT_TRUE(needs_retransmission(codec.decode(cw).status));
+  }
+}
+
+TEST_F(SecdedTest, TripleErrorsNeverPassAsClean) {
+  // Odd-weight >=3 errors either alias to a (wrong) "corrected single" — the
+  // silent-corruption channel — or report as multiple. They must never look
+  // clean.
+  Rng rng(99);
+  int sdc = 0;
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t d = rng.next_u64();
+    Codeword72 cw = codec.encode(d);
+    unsigned p[3];
+    p[0] = static_cast<unsigned>(rng.next_below(72));
+    do {
+      p[1] = static_cast<unsigned>(rng.next_below(72));
+    } while (p[1] == p[0]);
+    do {
+      p[2] = static_cast<unsigned>(rng.next_below(72));
+    } while (p[2] == p[0] || p[2] == p[1]);
+    for (const unsigned q : p) cw.flip(q);
+    const DecodeResult r = codec.decode(cw);
+    EXPECT_NE(r.status, DecodeStatus::kClean);
+    EXPECT_NE(r.status, DecodeStatus::kDetectedDouble);
+    if (r.status == DecodeStatus::kCorrectedSingle && r.data != d) ++sdc;
+  }
+  // Most triples mis-correct: this is precisely why a 3-bit payload trojan
+  // causes silent data corruption instead of retransmission.
+  EXPECT_GT(sdc, 0);
+}
+
+TEST_F(SecdedTest, ParityBitPositionsAreReserved) {
+  for (unsigned pos : {0u, 1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    EXPECT_TRUE(Secded::is_check_position(pos)) << pos;
+  }
+  for (unsigned pos : {3u, 5u, 6u, 7u, 9u, 63u, 65u, 71u}) {
+    EXPECT_FALSE(Secded::is_check_position(pos)) << pos;
+  }
+}
+
+TEST_F(SecdedTest, DataPositionsAreDistinctAndNonCheck) {
+  bool seen[72] = {};
+  for (unsigned i = 0; i < Secded::kDataBits; ++i) {
+    const unsigned pos = codec.position_of_data_bit(i);
+    ASSERT_LT(pos, 72u);
+    EXPECT_FALSE(Secded::is_check_position(pos));
+    EXPECT_FALSE(seen[pos]);
+    seen[pos] = true;
+  }
+}
+
+TEST_F(SecdedTest, EncodedWordHasEvenTotalParity) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Codeword72 cw = codec.encode(rng.next_u64());
+    EXPECT_EQ(cw.popcount() % 2, 0);
+  }
+}
+
+}  // namespace
+}  // namespace htnoc::ecc

@@ -1,0 +1,242 @@
+#include "trojan/tasp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/flit.hpp"
+
+namespace htnoc::trojan {
+namespace {
+
+std::uint64_t head_wire(RouterId src, RouterId dest, VcId vc, std::uint32_t mem) {
+  wire::HeaderFields h;
+  h.src = src;
+  h.dest = dest;
+  h.vc = vc;
+  h.mem_addr = mem;
+  h.type = FlitType::kHead;
+  return wire::pack_header(h);
+}
+
+LinkPhit phit_of(std::uint64_t w) {
+  LinkPhit p;
+  p.flit.wire = w;
+  p.codeword = ecc::secded().encode(w);
+  return p;
+}
+
+TaspParams dest_params(RouterId dest) {
+  TaspParams p;
+  p.kind = TargetKind::kDest;
+  p.target_dest = dest;
+  return p;
+}
+
+TEST(Tasp, DormantWithoutKillSwitch) {
+  Tasp t(dest_params(0));
+  LinkPhit p = phit_of(head_wire(3, 0, 0, 0));
+  const Codeword72 before = p.codeword;
+  t.on_traverse(1, p);
+  EXPECT_EQ(p.codeword, before);
+  EXPECT_EQ(t.state(), Tasp::State::kIdle);
+  EXPECT_EQ(t.stats().injections, 0u);
+}
+
+TEST(Tasp, KillSwitchPlusTargetTriggers) {
+  Tasp t(dest_params(0));
+  t.set_kill_switch(true);
+  LinkPhit p = phit_of(head_wire(3, 0, 0, 0));
+  const Codeword72 before = p.codeword;
+  t.on_traverse(1, p);
+  EXPECT_EQ(before.distance(p.codeword), 2);  // exactly two flipped wires
+  EXPECT_EQ(t.state(), Tasp::State::kAttacking);
+  EXPECT_EQ(t.stats().injections, 1u);
+}
+
+TEST(Tasp, NonTargetPassesUntouched) {
+  Tasp t(dest_params(0));
+  t.set_kill_switch(true);
+  LinkPhit p = phit_of(head_wire(3, 7, 0, 0));  // dest 7 != 0
+  const Codeword72 before = p.codeword;
+  t.on_traverse(1, p);
+  EXPECT_EQ(p.codeword, before);
+  EXPECT_EQ(t.state(), Tasp::State::kActive);
+  EXPECT_EQ(t.stats().target_sightings, 0u);
+}
+
+TEST(Tasp, TwoBitPayloadIsUncorrectableButDetectable) {
+  Tasp t(dest_params(5));
+  t.set_kill_switch(true);
+  for (int i = 0; i < 20; ++i) {
+    LinkPhit p = phit_of(head_wire(1, 5, 0, 0x100u + static_cast<unsigned>(i)));
+    t.on_traverse(static_cast<Cycle>(i * 3), p);
+    const auto r = ecc::secded().decode(p.codeword);
+    EXPECT_TRUE(ecc::needs_retransmission(r.status)) << "injection " << i;
+  }
+}
+
+TEST(Tasp, PayloadLocationsWalkAcrossStates) {
+  TaspParams params = dest_params(0);
+  params.payload_states = 8;
+  Tasp t(params);
+  std::set<std::vector<unsigned>> signatures;
+  for (int s = 0; s < params.payload_states; ++s) {
+    const auto wires = t.payload_wires(s);
+    ASSERT_EQ(wires.size(), 2u);
+    EXPECT_NE(wires[0], wires[1]);
+    signatures.insert(wires);
+  }
+  // Locations shift between states (the transient-fault disguise).
+  EXPECT_GT(signatures.size(), 4u);
+}
+
+TEST(Tasp, SequentialInjectionAdvancesPayloadState) {
+  Tasp t(dest_params(0));
+  t.set_kill_switch(true);
+  EXPECT_EQ(t.payload_state(), 0);
+  for (int i = 1; i <= 3; ++i) {
+    LinkPhit p = phit_of(head_wire(2, 0, 0, 0));
+    t.on_traverse(static_cast<Cycle>(i * 5), p);
+    EXPECT_EQ(t.payload_state(), i % t.params().payload_states);
+  }
+}
+
+TEST(Tasp, MinGapThrottlesInjections) {
+  TaspParams params = dest_params(0);
+  params.min_gap = 10;
+  Tasp t(params);
+  t.set_kill_switch(true);
+
+  LinkPhit p1 = phit_of(head_wire(2, 0, 0, 0));
+  t.on_traverse(100, p1);
+  EXPECT_EQ(t.stats().injections, 1u);
+
+  LinkPhit p2 = phit_of(head_wire(2, 0, 0, 0));
+  const Codeword72 before = p2.codeword;
+  t.on_traverse(105, p2);  // inside the gap: sighted but spared
+  EXPECT_EQ(p2.codeword, before);
+  EXPECT_EQ(t.stats().injections, 1u);
+  EXPECT_EQ(t.stats().target_sightings, 2u);
+
+  LinkPhit p3 = phit_of(head_wire(2, 0, 0, 0));
+  t.on_traverse(110, p3);
+  EXPECT_EQ(t.stats().injections, 2u);
+}
+
+TEST(Tasp, KillSwitchOffReturnsToIdle) {
+  Tasp t(dest_params(0));
+  t.set_kill_switch(true);
+  LinkPhit p = phit_of(head_wire(2, 0, 0, 0));
+  t.on_traverse(1, p);
+  EXPECT_EQ(t.state(), Tasp::State::kAttacking);
+  t.set_kill_switch(false);
+  LinkPhit q = phit_of(head_wire(2, 0, 0, 0));
+  const Codeword72 before = q.codeword;
+  t.on_traverse(2, q);
+  EXPECT_EQ(q.codeword, before);
+  EXPECT_EQ(t.state(), Tasp::State::kIdle);
+}
+
+TEST(Tasp, BodyFlitsIgnoredWhenHeadOnly) {
+  Tasp t(dest_params(0));
+  t.set_kill_switch(true);
+  // Body flit whose payload bits happen to decode as dest 0.
+  const std::uint64_t w = wire::stamp_type(0, FlitType::kBody);
+  LinkPhit p = phit_of(w);
+  const Codeword72 before = p.codeword;
+  t.on_traverse(1, p);
+  EXPECT_EQ(p.codeword, before);
+}
+
+TEST(Tasp, TargetKindMatching) {
+  struct Case {
+    TargetKind kind;
+    std::uint64_t matching;
+    std::uint64_t non_matching;
+  };
+  TaspParams p;
+  p.target_src = 3;
+  p.target_dest = 7;
+  p.target_vc = 1;
+  p.target_mem = 0xAAAA0000;
+  const std::vector<Case> cases = {
+      {TargetKind::kSrc, head_wire(3, 9, 0, 0), head_wire(4, 9, 0, 0)},
+      {TargetKind::kDest, head_wire(1, 7, 0, 0), head_wire(1, 8, 0, 0)},
+      {TargetKind::kDestSrc, head_wire(3, 7, 2, 1), head_wire(3, 6, 2, 1)},
+      {TargetKind::kVc, head_wire(0, 0, 1, 0), head_wire(0, 0, 2, 0)},
+      {TargetKind::kMem, head_wire(0, 0, 0, 0xAAAA0000),
+       head_wire(0, 0, 0, 0xAAAA0001)},
+      {TargetKind::kFull, head_wire(3, 7, 1, 0xAAAA0000),
+       head_wire(3, 7, 1, 0xAAAA0002)},
+  };
+  for (const auto& c : cases) {
+    p.kind = c.kind;
+    Tasp t(p);
+    EXPECT_TRUE(t.matches(c.matching)) << to_string(c.kind);
+    EXPECT_FALSE(t.matches(c.non_matching)) << to_string(c.kind);
+  }
+}
+
+TEST(Tasp, MemMaskEnablesRangeTargeting) {
+  TaspParams p;
+  p.kind = TargetKind::kMem;
+  p.target_mem = 0x12340000;
+  p.mem_mask = 0xFFFF0000;  // whole 64 KiB page
+  Tasp t(p);
+  EXPECT_TRUE(t.matches(head_wire(0, 0, 0, 0x12340000)));
+  EXPECT_TRUE(t.matches(head_wire(0, 0, 0, 0x1234BEEF)));
+  EXPECT_FALSE(t.matches(head_wire(0, 0, 0, 0x12350000)));
+}
+
+TEST(Tasp, SilentCorruptionVariantFlipsThreeBits) {
+  TaspParams p = dest_params(0);
+  p.pattern = PayloadPattern::kTripleSdc;
+  Tasp t(p);
+  t.set_kill_switch(true);
+  LinkPhit q = phit_of(head_wire(2, 0, 0, 0));
+  const Codeword72 before = q.codeword;
+  t.on_traverse(1, q);
+  EXPECT_EQ(before.distance(q.codeword), 3);
+}
+
+TEST(Tasp, SingleCorrectableVariantIsAbsorbedByEcc) {
+  TaspParams p = dest_params(0);
+  p.pattern = PayloadPattern::kSingleCorrectable;
+  Tasp t(p);
+  t.set_kill_switch(true);
+  LinkPhit q = phit_of(head_wire(2, 0, 0, 0));
+  t.on_traverse(1, q);
+  const auto r = ecc::secded().decode(q.codeword);
+  EXPECT_EQ(r.status, ecc::DecodeStatus::kCorrectedSingle);
+  EXPECT_EQ(r.data, q.flit.wire);
+}
+
+TEST(Tasp, NeverAnswersBistProbes) {
+  Tasp t(dest_params(0));
+  t.set_kill_switch(true);
+  Codeword72 cw;
+  t.probe(cw);
+  EXPECT_EQ(cw, Codeword72{});
+}
+
+TEST(Tasp, TargetWidthsMatchPaperTableI) {
+  EXPECT_EQ(target_width(TargetKind::kFull), 42u);
+  EXPECT_EQ(target_width(TargetKind::kDest), 4u);
+  EXPECT_EQ(target_width(TargetKind::kSrc), 4u);
+  EXPECT_EQ(target_width(TargetKind::kDestSrc), 8u);
+  EXPECT_EQ(target_width(TargetKind::kMem), 32u);
+  EXPECT_EQ(target_width(TargetKind::kVc), 2u);
+}
+
+TEST(Tasp, RejectsDegenerateParams) {
+  TaspParams p = dest_params(0);
+  p.payload_states = 1;
+  EXPECT_THROW(Tasp{p}, ContractViolation);
+  p.payload_states = 8;
+  p.min_gap = 0;
+  EXPECT_THROW(Tasp{p}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace htnoc::trojan

@@ -1,0 +1,126 @@
+// Thread/process-id targeting — the last comparator option the paper's
+// target block lists (Sec. III-B: "source, destination, virtual channel
+// (VC), process or thread ID, and memory address").
+#include <gtest/gtest.h>
+
+#include "power/blocks.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/generator.hpp"
+#include "trojan/tasp.hpp"
+
+namespace htnoc::trojan {
+namespace {
+
+TEST(ThreadTarget, WireCarriesThreadId) {
+  wire::HeaderFields h;
+  h.thread = 42;
+  h.pid_low = 0x99;
+  const std::uint64_t w = wire::pack_header(h);
+  const wire::HeaderFields u = wire::unpack_header(w);
+  EXPECT_EQ(u.thread, 42);
+  EXPECT_EQ(u.pid_low, 0x99u);
+}
+
+TEST(ThreadTarget, PacketizeDefaultsThreadToSourceCore) {
+  PacketInfo info;
+  info.id = 1;
+  info.src_core = 37;
+  info.dest_core = 2;
+  info.src_router = 9;
+  info.dest_router = 0;
+  info.length = 1;
+  const auto flits = packetize(info, {});
+  EXPECT_EQ(flits[0].thread, 37);
+  EXPECT_EQ(wire::unpack_header(flits[0].wire).thread, 37);
+}
+
+TEST(ThreadTarget, ExplicitThreadOverrides) {
+  PacketInfo info;
+  info.id = 2;
+  info.src_core = 37;
+  info.dest_core = 2;
+  info.src_router = 9;
+  info.dest_router = 0;
+  info.thread = 5;
+  info.length = 1;
+  const auto flits = packetize(info, {});
+  EXPECT_EQ(flits[0].thread, 5);
+}
+
+TEST(ThreadTarget, ComparatorMatchesOnThread) {
+  TaspParams p;
+  p.kind = TargetKind::kThread;
+  p.target_thread = 37;
+  const Tasp t(p);
+
+  wire::HeaderFields h;
+  h.thread = 37;
+  h.type = FlitType::kHead;
+  EXPECT_TRUE(t.matches(wire::pack_header(h)));
+  h.thread = 38;
+  EXPECT_FALSE(t.matches(wire::pack_header(h)));
+  EXPECT_EQ(target_width(TargetKind::kThread), 6u);
+  EXPECT_EQ(to_string(TargetKind::kThread), "thread");
+}
+
+TEST(ThreadTarget, WedgesOnlyTheVictimThreadsTraffic) {
+  // A thread-keyed trojan on a busy link: only the victim core's packets
+  // get struck; everyone else's flow through the same link untouched.
+  sim::SimConfig sc;
+  sim::AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.tasp.kind = TargetKind::kThread;
+  a.tasp.target_thread = 32;  // core 32 lives on router 8, routes via r4->N
+  a.enable_killsw_at = 0;
+  sc.attacks.push_back(a);
+  sc.mode = sim::MitigationMode::kNone;
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+
+  int victim_delivered = 0;
+  int bystander_delivered = 0;
+  net.set_delivery_callback([&](Cycle, const PacketInfo& info, Cycle) {
+    if (info.src_core == 32) {
+      ++victim_delivered;
+    } else {
+      ++bystander_delivered;
+    }
+  });
+
+  // One victim packet (it will wedge one retransmission slot forever),
+  // then a stream of bystander packets from the same router through the
+  // same infected link.
+  const auto send = [&](NodeId src) {
+    PacketInfo info;
+    info.id = net.next_packet_id();
+    info.src_core = src;
+    info.dest_core = 0;
+    info.src_router = 8;
+    info.dest_router = 0;
+    info.length = 1;
+    info.inject_cycle = net.now();
+    while (!net.try_inject(info, {})) net.step();
+    net.run(6);
+  };
+  simulator.step();  // cycle 0: the kill switch schedule fires
+  send(32);  // victim thread
+  for (int i = 0; i < 10; ++i) send(33);
+  for (int i = 0; i < 600; ++i) simulator.step();
+  EXPECT_EQ(bystander_delivered, 10);  // untouched traffic flows past
+  EXPECT_EQ(victim_delivered, 0);      // the victim is NACK-looped forever
+  EXPECT_GT(simulator.tasp(0).stats().injections, 10u);
+}
+
+TEST(ThreadTarget, Fig9AreaOrderingIncludesThread) {
+  // 6-bit thread comparator sits between VC (2) and dest_src (8) in area.
+  const double vc = power::tasp_block(TargetKind::kVc).area_um2();
+  const double thread = power::tasp_block(TargetKind::kThread).area_um2();
+  const double ds = power::tasp_block(TargetKind::kDestSrc).area_um2();
+  EXPECT_LT(vc, thread);
+  EXPECT_LT(thread, ds);
+}
+
+}  // namespace
+}  // namespace htnoc::trojan

@@ -1,0 +1,92 @@
+#include "noc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace htnoc::wire {
+namespace {
+
+TEST(Wire, HeaderPackUnpackRoundTrip) {
+  HeaderFields h;
+  h.src = 5;
+  h.dest = 12;
+  h.vc = 3;
+  h.mem_addr = 0xDEADBEEF;
+  h.length = 5;
+  h.pclass = PacketClass::kReply;
+  h.thread = 21;
+  h.pid_low = 0xBC;  // 8 wire bits
+  h.type = FlitType::kHead;
+
+  const HeaderFields u = unpack_header(pack_header(h));
+  EXPECT_EQ(u.src, h.src);
+  EXPECT_EQ(u.dest, h.dest);
+  EXPECT_EQ(u.vc, h.vc);
+  EXPECT_EQ(u.mem_addr, h.mem_addr);
+  EXPECT_EQ(u.length, h.length);
+  EXPECT_EQ(u.pclass, h.pclass);
+  EXPECT_EQ(u.thread, h.thread);
+  EXPECT_EQ(u.pid_low, h.pid_low);
+  EXPECT_EQ(u.type, h.type);
+}
+
+TEST(Wire, FieldWidthsMatchPaperTableI) {
+  // src 4, dest 4, VC 2, mem 32 => full target region 42 bits.
+  EXPECT_EQ(kSrcWidth, 4u);
+  EXPECT_EQ(kDestWidth, 4u);
+  EXPECT_EQ(kVcWidth, 2u);
+  EXPECT_EQ(kMemWidth, 32u);
+  EXPECT_EQ(kSrcWidth + kDestWidth + kVcWidth + kMemWidth, kFullTargetWidth);
+  EXPECT_EQ(kHeaderBits, 42u);
+}
+
+TEST(Wire, FieldsDoNotOverlap) {
+  // Setting one field must not disturb the others.
+  HeaderFields h;
+  h.src = 0xF;
+  std::uint64_t w = pack_header(h);
+  EXPECT_EQ(unpack_header(w).dest, 0);
+  EXPECT_EQ(unpack_header(w).mem_addr, 0u);
+
+  HeaderFields m;
+  m.mem_addr = 0xFFFFFFFFu;
+  w = pack_header(m);
+  EXPECT_EQ(unpack_header(w).src, 0);
+  EXPECT_EQ(unpack_header(w).vc, 0);
+  EXPECT_EQ(unpack_header(w).length, 0u);
+}
+
+TEST(Wire, TypeStampingPreservesPayloadBits) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t payload = rng.next_u64();
+    const std::uint64_t w = stamp_type(payload, FlitType::kBody);
+    EXPECT_EQ(type_of(w), FlitType::kBody);
+    // All bits except the type field are untouched.
+    const std::uint64_t mask =
+        ~(((std::uint64_t{1} << kTypeWidth) - 1) << kTypePos);
+    EXPECT_EQ(w & mask, payload & mask);
+  }
+}
+
+TEST(Wire, AllFlitTypesRepresentable) {
+  for (const FlitType t : {FlitType::kHead, FlitType::kBody, FlitType::kTail,
+                           FlitType::kHeadTail}) {
+    EXPECT_EQ(type_of(stamp_type(0, t)), t);
+  }
+}
+
+TEST(Wire, FullTargetRegionIsLow42Bits) {
+  HeaderFields h;
+  h.src = 0xF;
+  h.dest = 0xF;
+  h.vc = 0x3;
+  h.mem_addr = 0xFFFFFFFFu;
+  const std::uint64_t w = pack_header(h);
+  EXPECT_EQ(htnoc::extract_bits(w, 0, kFullTargetWidth),
+            (std::uint64_t{1} << kFullTargetWidth) - 1);
+}
+
+}  // namespace
+}  // namespace htnoc::wire
