@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_potency.dir/bench_attack_potency.cpp.o"
+  "CMakeFiles/bench_attack_potency.dir/bench_attack_potency.cpp.o.d"
+  "bench_attack_potency"
+  "bench_attack_potency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_potency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

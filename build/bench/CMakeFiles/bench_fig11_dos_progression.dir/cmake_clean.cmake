@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dos_progression.dir/bench_fig11_dos_progression.cpp.o"
+  "CMakeFiles/bench_fig11_dos_progression.dir/bench_fig11_dos_progression.cpp.o.d"
+  "bench_fig11_dos_progression"
+  "bench_fig11_dos_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dos_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

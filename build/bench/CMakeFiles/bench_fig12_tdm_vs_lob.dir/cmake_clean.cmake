@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_tdm_vs_lob.dir/bench_fig12_tdm_vs_lob.cpp.o"
+  "CMakeFiles/bench_fig12_tdm_vs_lob.dir/bench_fig12_tdm_vs_lob.cpp.o.d"
+  "bench_fig12_tdm_vs_lob"
+  "bench_fig12_tdm_vs_lob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_tdm_vs_lob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_power_pies.dir/bench_fig8_power_pies.cpp.o"
+  "CMakeFiles/bench_fig8_power_pies.dir/bench_fig8_power_pies.cpp.o.d"
+  "bench_fig8_power_pies"
+  "bench_fig8_power_pies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_power_pies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_power_pies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_fig9_tasp_overhead.dir/bench_tab1_fig9_tasp_overhead.cpp.o"
+  "CMakeFiles/bench_tab1_fig9_tasp_overhead.dir/bench_tab1_fig9_tasp_overhead.cpp.o.d"
+  "bench_tab1_fig9_tasp_overhead"
+  "bench_tab1_fig9_tasp_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_fig9_tasp_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab1_fig9_tasp_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htnoc_common.dir/bits.cpp.o"
+  "CMakeFiles/htnoc_common.dir/bits.cpp.o.d"
+  "CMakeFiles/htnoc_common.dir/config.cpp.o"
+  "CMakeFiles/htnoc_common.dir/config.cpp.o.d"
+  "CMakeFiles/htnoc_common.dir/log.cpp.o"
+  "CMakeFiles/htnoc_common.dir/log.cpp.o.d"
+  "CMakeFiles/htnoc_common.dir/types.cpp.o"
+  "CMakeFiles/htnoc_common.dir/types.cpp.o.d"
+  "libhtnoc_common.a"
+  "libhtnoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htnoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

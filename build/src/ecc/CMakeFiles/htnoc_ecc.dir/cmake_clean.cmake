@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htnoc_ecc.dir/codec.cpp.o"
+  "CMakeFiles/htnoc_ecc.dir/codec.cpp.o.d"
+  "CMakeFiles/htnoc_ecc.dir/secded.cpp.o"
+  "CMakeFiles/htnoc_ecc.dir/secded.cpp.o.d"
+  "libhtnoc_ecc.a"
+  "libhtnoc_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htnoc_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

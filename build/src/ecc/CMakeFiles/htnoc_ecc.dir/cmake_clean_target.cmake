@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhtnoc_ecc.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mitigation/lob.cpp" "src/mitigation/CMakeFiles/htnoc_mitigation.dir/lob.cpp.o" "gcc" "src/mitigation/CMakeFiles/htnoc_mitigation.dir/lob.cpp.o.d"
+  "/root/repo/src/mitigation/threat_detector.cpp" "src/mitigation/CMakeFiles/htnoc_mitigation.dir/threat_detector.cpp.o" "gcc" "src/mitigation/CMakeFiles/htnoc_mitigation.dir/threat_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/htnoc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/htnoc_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

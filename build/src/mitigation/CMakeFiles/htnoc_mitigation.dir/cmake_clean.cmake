@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htnoc_mitigation.dir/lob.cpp.o"
+  "CMakeFiles/htnoc_mitigation.dir/lob.cpp.o.d"
+  "CMakeFiles/htnoc_mitigation.dir/threat_detector.cpp.o"
+  "CMakeFiles/htnoc_mitigation.dir/threat_detector.cpp.o.d"
+  "libhtnoc_mitigation.a"
+  "libhtnoc_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htnoc_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/flit.cpp" "src/noc/CMakeFiles/htnoc_noc.dir/flit.cpp.o" "gcc" "src/noc/CMakeFiles/htnoc_noc.dir/flit.cpp.o.d"
+  "/root/repo/src/noc/input_unit.cpp" "src/noc/CMakeFiles/htnoc_noc.dir/input_unit.cpp.o" "gcc" "src/noc/CMakeFiles/htnoc_noc.dir/input_unit.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/htnoc_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/htnoc_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/ni.cpp" "src/noc/CMakeFiles/htnoc_noc.dir/ni.cpp.o" "gcc" "src/noc/CMakeFiles/htnoc_noc.dir/ni.cpp.o.d"
+  "/root/repo/src/noc/output_unit.cpp" "src/noc/CMakeFiles/htnoc_noc.dir/output_unit.cpp.o" "gcc" "src/noc/CMakeFiles/htnoc_noc.dir/output_unit.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/htnoc_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/htnoc_noc.dir/router.cpp.o.d"
+  "/root/repo/src/noc/updown.cpp" "src/noc/CMakeFiles/htnoc_noc.dir/updown.cpp.o" "gcc" "src/noc/CMakeFiles/htnoc_noc.dir/updown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/htnoc_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

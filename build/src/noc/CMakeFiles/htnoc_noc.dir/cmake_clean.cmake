@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htnoc_noc.dir/flit.cpp.o"
+  "CMakeFiles/htnoc_noc.dir/flit.cpp.o.d"
+  "CMakeFiles/htnoc_noc.dir/input_unit.cpp.o"
+  "CMakeFiles/htnoc_noc.dir/input_unit.cpp.o.d"
+  "CMakeFiles/htnoc_noc.dir/network.cpp.o"
+  "CMakeFiles/htnoc_noc.dir/network.cpp.o.d"
+  "CMakeFiles/htnoc_noc.dir/ni.cpp.o"
+  "CMakeFiles/htnoc_noc.dir/ni.cpp.o.d"
+  "CMakeFiles/htnoc_noc.dir/output_unit.cpp.o"
+  "CMakeFiles/htnoc_noc.dir/output_unit.cpp.o.d"
+  "CMakeFiles/htnoc_noc.dir/router.cpp.o"
+  "CMakeFiles/htnoc_noc.dir/router.cpp.o.d"
+  "CMakeFiles/htnoc_noc.dir/updown.cpp.o"
+  "CMakeFiles/htnoc_noc.dir/updown.cpp.o.d"
+  "libhtnoc_noc.a"
+  "libhtnoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htnoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

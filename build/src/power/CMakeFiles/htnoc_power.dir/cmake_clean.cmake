@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htnoc_power.dir/blocks.cpp.o"
+  "CMakeFiles/htnoc_power.dir/blocks.cpp.o.d"
+  "CMakeFiles/htnoc_power.dir/energy.cpp.o"
+  "CMakeFiles/htnoc_power.dir/energy.cpp.o.d"
+  "libhtnoc_power.a"
+  "libhtnoc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htnoc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htnoc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/htnoc_sim.dir/simulator.cpp.o.d"
+  "libhtnoc_sim.a"
+  "libhtnoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htnoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

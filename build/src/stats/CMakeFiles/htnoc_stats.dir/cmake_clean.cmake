@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htnoc_stats.dir/stats.cpp.o"
+  "CMakeFiles/htnoc_stats.dir/stats.cpp.o.d"
+  "libhtnoc_stats.a"
+  "libhtnoc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htnoc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

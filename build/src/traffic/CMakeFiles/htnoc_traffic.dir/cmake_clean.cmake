@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htnoc_traffic.dir/app_profile.cpp.o"
+  "CMakeFiles/htnoc_traffic.dir/app_profile.cpp.o.d"
+  "CMakeFiles/htnoc_traffic.dir/generator.cpp.o"
+  "CMakeFiles/htnoc_traffic.dir/generator.cpp.o.d"
+  "CMakeFiles/htnoc_traffic.dir/trace.cpp.o"
+  "CMakeFiles/htnoc_traffic.dir/trace.cpp.o.d"
+  "libhtnoc_traffic.a"
+  "libhtnoc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htnoc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

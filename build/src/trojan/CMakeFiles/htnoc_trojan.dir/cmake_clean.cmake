@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htnoc_trojan.dir/tasp.cpp.o"
+  "CMakeFiles/htnoc_trojan.dir/tasp.cpp.o.d"
+  "libhtnoc_trojan.a"
+  "libhtnoc_trojan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htnoc_trojan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

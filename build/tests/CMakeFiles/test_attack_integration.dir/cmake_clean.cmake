@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_integration.dir/test_attack_integration.cpp.o"
+  "CMakeFiles/test_attack_integration.dir/test_attack_integration.cpp.o.d"
+  "test_attack_integration"
+  "test_attack_integration.pdb"
+  "test_attack_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

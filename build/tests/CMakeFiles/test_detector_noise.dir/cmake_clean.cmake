@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector_noise.dir/test_detector_noise.cpp.o"
+  "CMakeFiles/test_detector_noise.dir/test_detector_noise.cpp.o.d"
+  "test_detector_noise"
+  "test_detector_noise.pdb"
+  "test_detector_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flit.dir/test_flit.cpp.o"
+  "CMakeFiles/test_flit.dir/test_flit.cpp.o.d"
+  "test_flit"
+  "test_flit.pdb"
+  "test_flit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

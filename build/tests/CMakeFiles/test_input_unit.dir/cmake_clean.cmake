@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input_unit.dir/test_input_unit.cpp.o"
+  "CMakeFiles/test_input_unit.dir/test_input_unit.cpp.o.d"
+  "test_input_unit"
+  "test_input_unit.pdb"
+  "test_input_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency_auditor.dir/test_latency_auditor.cpp.o"
+  "CMakeFiles/test_latency_auditor.dir/test_latency_auditor.cpp.o.d"
+  "test_latency_auditor"
+  "test_latency_auditor.pdb"
+  "test_latency_auditor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency_auditor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lob.dir/test_lob.cpp.o"
+  "CMakeFiles/test_lob.dir/test_lob.cpp.o.d"
+  "test_lob"
+  "test_lob.pdb"
+  "test_lob[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mitigation_integration.dir/test_mitigation_integration.cpp.o"
+  "CMakeFiles/test_mitigation_integration.dir/test_mitigation_integration.cpp.o.d"
+  "test_mitigation_integration"
+  "test_mitigation_integration.pdb"
+  "test_mitigation_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mitigation_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ni.dir/test_ni.cpp.o"
+  "CMakeFiles/test_ni.dir/test_ni.cpp.o.d"
+  "test_ni"
+  "test_ni.pdb"
+  "test_ni[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obfuscation.dir/test_obfuscation.cpp.o"
+  "CMakeFiles/test_obfuscation.dir/test_obfuscation.cpp.o.d"
+  "test_obfuscation"
+  "test_obfuscation.pdb"
+  "test_obfuscation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

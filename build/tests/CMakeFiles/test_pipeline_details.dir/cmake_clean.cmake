@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_details.dir/test_pipeline_details.cpp.o"
+  "CMakeFiles/test_pipeline_details.dir/test_pipeline_details.cpp.o.d"
+  "test_pipeline_details"
+  "test_pipeline_details.pdb"
+  "test_pipeline_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_purge.dir/test_purge.cpp.o"
+  "CMakeFiles/test_purge.dir/test_purge.cpp.o.d"
+  "test_purge"
+  "test_purge.pdb"
+  "test_purge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_purge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retrans_scheme.dir/test_retrans_scheme.cpp.o"
+  "CMakeFiles/test_retrans_scheme.dir/test_retrans_scheme.cpp.o.d"
+  "test_retrans_scheme"
+  "test_retrans_scheme.pdb"
+  "test_retrans_scheme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retrans_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/test_rng.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_rng.dir/test_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/htnoc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/htnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trojan/CMakeFiles/htnoc_trojan.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/htnoc_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/htnoc_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/htnoc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/htnoc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/htnoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

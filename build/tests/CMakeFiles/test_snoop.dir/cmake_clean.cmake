@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snoop.dir/test_snoop.cpp.o"
+  "CMakeFiles/test_snoop.dir/test_snoop.cpp.o.d"
+  "test_snoop"
+  "test_snoop.pdb"
+  "test_snoop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

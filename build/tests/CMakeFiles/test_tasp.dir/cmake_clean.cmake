@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasp.dir/test_tasp.cpp.o"
+  "CMakeFiles/test_tasp.dir/test_tasp.cpp.o.d"
+  "test_tasp"
+  "test_tasp.pdb"
+  "test_tasp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tdm.dir/test_tdm.cpp.o"
+  "CMakeFiles/test_tdm.dir/test_tdm.cpp.o.d"
+  "test_tdm"
+  "test_tdm.pdb"
+  "test_tdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

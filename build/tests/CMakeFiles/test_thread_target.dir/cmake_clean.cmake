@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_target.dir/test_thread_target.cpp.o"
+  "CMakeFiles/test_thread_target.dir/test_thread_target.cpp.o.d"
+  "test_thread_target"
+  "test_thread_target.pdb"
+  "test_thread_target[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

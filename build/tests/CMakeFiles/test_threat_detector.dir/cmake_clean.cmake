@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threat_detector.dir/test_threat_detector.cpp.o"
+  "CMakeFiles/test_threat_detector.dir/test_threat_detector.cpp.o.d"
+  "test_threat_detector"
+  "test_threat_detector.pdb"
+  "test_threat_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threat_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
