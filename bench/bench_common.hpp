@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,21 @@
 #include "traffic/generator.hpp"
 
 namespace htnoc::bench {
+
+/// Worker-thread count for sweep-based benches: `--jobs N` / `--jobs=N` on
+/// the command line, else 0 (the sweep engine then consults $HTNOC_JOBS and
+/// finally hardware_concurrency).
+inline int parse_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      return std::atoi(argv[i] + 7);
+    }
+  }
+  return 0;
+}
 
 /// The attack configuration used across the network-behaviour benches:
 /// a single TASP on the column-0 northbound feeder into router 0, tuned to

@@ -5,79 +5,117 @@
 //      because an in-network DPI trojan keys on the routing fields e2e
 //      cannot hide);
 //  (b) the same period with no active trojan.
-#include <iostream>
+//
+// Both grid points (and their seed replicates) are dispatched through the
+// sweep engine, so the whole figure regenerates in parallel under
+// `--jobs N` / $HTNOC_JOBS; the printed series and aggregates are
+// byte-identical for any thread count.
+#include <chrono>
+#include <cstdio>
 
 #include "bench_common.hpp"
 #include "mitigation/e2e.hpp"
-#include "stats/stats.hpp"
+#include "sweep/runner.hpp"
 
 namespace {
 
 using namespace htnoc;
 
-void run_case(bool attack, const char* label) {
-  sim::SimConfig sc;
-  sc.mode = sim::MitigationMode::kNone;
-  sc.attacks.push_back(
-      bench::paper_attack(attack ? 1500 : 100000000ULL));
-  sim::Simulator simulator(std::move(sc));
-  Network& net = simulator.network();
-
-  traffic::DeliveryDispatcher disp;
-  disp.install(net);
-  traffic::AppTrafficModel model(net.geometry(),
-                                 traffic::blackscholes_profile());
-  traffic::TrafficGenerator::Params gp;
-  gp.seed = 1;
-  // e2e obfuscation of the memory address (the data a Fort-NoCs-style
-  // scheme can scramble); the dest field must remain routable.
-  const mitigation::E2eObfuscator e2e(0xF0E7);
-  gp.packet_transform = [&e2e](PacketInfo& info) {
-    info.mem_addr = e2e.scramble_mem(info.src_core, info.dest_core,
-                                     info.mem_addr);
-  };
-  traffic::TrafficGenerator gen(net, model, gp, disp);
-
-  stats::UtilizationProbe probe(50);
-  std::uint64_t delivered_at_attack = 0;
-  for (Cycle c = 0; c < 3000; ++c) {
-    gen.step();
-    simulator.step();
-    probe.maybe_sample(net);
-    if (c == 1499) delivered_at_attack = gen.stats().packets_delivered;
-  }
-
+void print_series(const sweep::RunResult& r, Cycle origin, const char* label) {
   std::printf("\n--- %s ---\n", label);
-  probe.print_csv(std::cout, 1500, label);
-  const auto end = net.sample_utilization();
+  std::printf("# %s\n", label);
+  std::printf("cycle,input_port,output_port,injection_port,all_cores_full,"
+              "majority_cores_full,port_blocked\n");
+  for (const auto& s : r.util_series) {
+    std::printf("%lld,%d,%d,%d,%d,%d,%d\n",
+                static_cast<long long>(s.cycle) - static_cast<long long>(origin),
+                s.input_port_flits, s.output_port_flits,
+                s.injection_port_flits, s.routers_all_cores_full,
+                s.routers_majority_cores_full, s.routers_with_blocked_port);
+  }
+  const auto& end = r.final_util;
   std::printf("at t+1500: input=%d output=%d injection=%d | blocked=%d/16 "
               "majority_cores_full=%d/16 all_cores_full=%d/16\n",
               end.input_port_flits, end.output_port_flits,
               end.injection_port_flits, end.routers_with_blocked_port,
               end.routers_majority_cores_full, end.routers_all_cores_full);
+  std::uint64_t at_attack = 0;
+  for (const auto& t : r.throughput_series) {
+    if (t.cycle <= origin) at_attack = t.primary_delivered;
+  }
   std::printf("throughput: %llu packets in warm-up half, %llu after\n",
-              static_cast<unsigned long long>(delivered_at_attack),
-              static_cast<unsigned long long>(
-                  gen.stats().packets_delivered - delivered_at_attack));
-  if (attack) {
+              static_cast<unsigned long long>(at_attack),
+              static_cast<unsigned long long>(r.traffic.packets_delivered -
+                                              at_attack));
+  if (r.trojan_injections > 0) {
     std::printf("trojan injections: %llu (e2e obfuscation failed to prevent "
                 "triggering)\n",
-                static_cast<unsigned long long>(
-                    simulator.tasp(0).stats().injections));
+                static_cast<unsigned long long>(r.trojan_injections));
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace htnoc;
   bench::print_header(
       "Figure 11",
       "DoS progression: single TASP without mitigation vs no HT");
-  run_case(true, "(a) single active TASP HT, no mitigation, e2e failed");
-  run_case(false, "(b) no HT (normal operation)");
+
+  sweep::SweepSpec spec;
+  spec.modes = {sim::MitigationMode::kNone};
+  spec.attack_scenarios = {
+      {"single_tasp", {bench::paper_attack(1500)}},
+      {"no_ht", {bench::paper_attack(100000000ULL)}},
+  };
+  spec.profiles = {"blackscholes"};
+  spec.replicates = 3;
+  spec.base_seed = 1;
+  spec.run_cycles = 3000;
+  spec.probe_period = 50;
+  // e2e obfuscation of the memory address (the data a Fort-NoCs-style
+  // scheme can scramble); the dest field must remain routable — which is
+  // exactly why the attack still triggers.
+  spec.transform_factory = [](const sweep::RunSpec& rs) {
+    std::function<void(PacketInfo&)> transform;
+    if (rs.attack_name == "single_tasp") {
+      const mitigation::E2eObfuscator e2e(0xF0E7);
+      transform = [e2e](PacketInfo& info) {
+        info.mem_addr =
+            e2e.scramble_mem(info.src_core, info.dest_core, info.mem_addr);
+      };
+    }
+    return transform;
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const sweep::SweepRunner runner({bench::parse_jobs(argc, argv)});
+  const sweep::SweepResult result = runner.run(spec);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  print_series(result.runs[0], 1500,
+               "(a) single active TASP HT, no mitigation, e2e failed");
+  print_series(result.runs[3], 1500, "(b) no HT (normal operation)");
+
+  std::printf("\nreplicate aggregates (n=%d per case):\n", spec.replicates);
+  const auto& names = sweep::RunResult::metric_names();
+  for (const auto& gs : result.summary) {
+    std::printf("  %s:\n", gs.label.c_str());
+    for (std::size_t k = 0; k < names.size(); ++k) {
+      if (names[k] == "delivered" || names[k] == "trojan_injections" ||
+          names[k] == "util_blocked" || names[k] == "util_all_full") {
+        std::printf("    %-18s mean=%.1f stddev=%.2f min=%.0f max=%.0f\n",
+                    names[k].c_str(), gs.metrics[k].mean, gs.metrics[k].stddev,
+                    gs.metrics[k].min, gs.metrics[k].max);
+      }
+    }
+  }
   std::printf("\n(paper: within 50-100 cycles back pressure reaches 68%% "
               "(11/16) of routers; by 1500 cycles 81%% (13/16) of injection "
-              "ports are deadlocked)\n\n");
-  return 0;
+              "ports are deadlocked)\n");
+  std::printf("[sweep: %zu runs on %d thread(s) in %.2fs]\n\n",
+              result.runs.size(), result.threads_used, secs);
+  return result.failures() == 0 ? 0 : 1;
 }

@@ -4,14 +4,20 @@
 //      work. The DoS collapses D2 but is contained there.
 //  (b) our threat detector + s2s L-Ob: minimal degradation, the trojan is
 //      sidestepped with 1-3 cycle obfuscation penalties.
-#include <iostream>
+//
+// Each case is a sweep spec (with seed replicates) executed by the
+// parallel sweep engine; pass `--jobs N` or set $HTNOC_JOBS.
+#include <chrono>
+#include <cstdio>
 
 #include "bench_common.hpp"
-#include "stats/stats.hpp"
+#include "sweep/runner.hpp"
 
 namespace {
 
 using namespace htnoc;
+
+constexpr int kReplicates = 3;
 
 sim::AttackSpec app_targeted_attack(Cycle enable_at) {
   // The trojan hunts the target *application* by its memory footprint
@@ -25,108 +31,119 @@ sim::AttackSpec app_targeted_attack(Cycle enable_at) {
   return a;
 }
 
-void run_tdm_case() {
-  sim::SimConfig sc;
-  sc.noc.tdm_enabled = true;
-  sc.mode = sim::MitigationMode::kNone;
-  sc.attacks.push_back(app_targeted_attack(1500));
-  sim::Simulator simulator(std::move(sc));
-  Network& net = simulator.network();
-  traffic::DeliveryDispatcher disp;
-  disp.install(net);
+sweep::SweepSpec common_spec() {
+  sweep::SweepSpec spec;
+  spec.attack_scenarios = {{"app_targeted", {app_targeted_attack(1500)}}};
+  spec.profiles = {"blackscholes"};
+  spec.replicates = kReplicates;
+  spec.run_cycles = 3500;
+  spec.probe_period = 250;
+  return spec;
+}
 
-  auto bg = traffic::fft_profile();
-  bg.injection_rate = 0.008;
-  traffic::AppTrafficModel m1(net.geometry(), bg);
-  traffic::TrafficGenerator::Params p1;
-  p1.seed = 10;
-  p1.domain = TdmDomain::kD1;
-  traffic::TrafficGenerator g1(net, m1, p1, disp);
+double mean_of(const sweep::GridSummary& gs, const char* metric) {
+  const auto& names = sweep::RunResult::metric_names();
+  for (std::size_t k = 0; k < names.size(); ++k) {
+    if (names[k] == metric) return gs.metrics[k].mean;
+  }
+  return 0.0;
+}
 
-  auto app = traffic::blackscholes_profile();
-  app.injection_rate = 0.008;
-  traffic::AppTrafficModel m2(net.geometry(), app);
-  traffic::TrafficGenerator::Params p2;
-  p2.seed = 20;
-  p2.domain = TdmDomain::kD2;
-  traffic::TrafficGenerator g2(net, m2, p2, disp);
+void run_tdm_case(const sweep::SweepRunner& runner, double rate_008_scale) {
+  sweep::SweepSpec spec = common_spec();
+  spec.base_seed = 10;
+  spec.base.noc.tdm_enabled = true;
+  spec.modes = {sim::MitigationMode::kNone};
+  // The measured application lives in TDM domain D2 at an absolute 0.008
+  // injection rate; FFT-class background work fills D1 at the same rate.
+  spec.primary_domain = TdmDomain::kD2;
+  spec.rate_scales = {rate_008_scale};
+  spec.background = sweep::BackgroundTraffic{"fft", 0.008, TdmDomain::kD1};
+
+  const sweep::SweepResult result = runner.run(spec);
+  const sweep::RunResult& r = result.runs[0];
 
   std::printf("\n--- (a) TDM, two domains, TASP targets the D2 app ---\n");
   std::printf("t_after_attack,d1_throughput,d2_throughput,input_util,"
               "blocked_routers\n");
   std::uint64_t d1_prev = 0;
   std::uint64_t d2_prev = 0;
-  for (Cycle c = 0; c < 3500; ++c) {
-    g1.step();
-    g2.step();
-    simulator.step();
-    if (c >= 1000 && (c - 1000) % 250 == 0) {
-      const auto u = net.sample_utilization();
+  for (std::size_t k = 0; k < r.throughput_series.size(); ++k) {
+    const auto& t = r.throughput_series[k];
+    const auto& u = r.util_series[k];
+    if (t.cycle >= 1000) {
       std::printf("%lld,%llu,%llu,%d,%d\n",
-                  static_cast<long long>(c) - 1500,
-                  static_cast<unsigned long long>(
-                      g1.stats().packets_delivered - d1_prev),
-                  static_cast<unsigned long long>(
-                      g2.stats().packets_delivered - d2_prev),
+                  static_cast<long long>(t.cycle) - 1500,
+                  static_cast<unsigned long long>(t.background_delivered -
+                                                  d1_prev),
+                  static_cast<unsigned long long>(t.primary_delivered -
+                                                  d2_prev),
                   u.input_port_flits, u.routers_with_blocked_port);
-      d1_prev = g1.stats().packets_delivered;
-      d2_prev = g2.stats().packets_delivered;
     }
+    d1_prev = t.background_delivered;
+    d2_prev = t.primary_delivered;
   }
   std::printf("summary: D2 (target domain) collapses after t=0; D1 keeps "
               "its throughput — the threat is contained to the attacked "
               "domain's resources\n");
+  std::printf("replicate means (n=%d): d1_delivered=%.1f d2_delivered=%.1f "
+              "trojan_injections=%.1f\n",
+              kReplicates, mean_of(result.summary[0], "bg_delivered"),
+              mean_of(result.summary[0], "delivered"),
+              mean_of(result.summary[0], "trojan_injections"));
 }
 
-void run_lob_case() {
-  sim::SimConfig sc;
-  sc.mode = sim::MitigationMode::kLOb;
-  sc.attacks.push_back(app_targeted_attack(1500));
-  sim::Simulator simulator(std::move(sc));
-  Network& net = simulator.network();
-  traffic::DeliveryDispatcher disp;
-  disp.install(net);
-  traffic::AppTrafficModel model(net.geometry(),
-                                 traffic::blackscholes_profile());
-  traffic::TrafficGenerator::Params gp;
-  gp.seed = 30;
-  traffic::TrafficGenerator gen(net, model, gp, disp);
+void run_lob_case(const sweep::SweepRunner& runner) {
+  sweep::SweepSpec spec = common_spec();
+  spec.base_seed = 30;
+  spec.modes = {sim::MitigationMode::kLOb};
+
+  const sweep::SweepResult result = runner.run(spec);
+  const sweep::RunResult& r = result.runs[0];
 
   std::printf("\n--- (b) threat detector + s2s L-Ob ---\n");
   std::printf("t_after_attack,throughput,input_util,blocked_routers,"
               "all_cores_full\n");
   std::uint64_t prev = 0;
-  for (Cycle c = 0; c < 3500; ++c) {
-    gen.step();
-    simulator.step();
-    if (c >= 1000 && (c - 1000) % 250 == 0) {
-      const auto u = net.sample_utilization();
-      std::printf("%lld,%llu,%d,%d,%d\n", static_cast<long long>(c) - 1500,
-                  static_cast<unsigned long long>(
-                      gen.stats().packets_delivered - prev),
+  for (std::size_t k = 0; k < r.throughput_series.size(); ++k) {
+    const auto& t = r.throughput_series[k];
+    const auto& u = r.util_series[k];
+    if (t.cycle >= 1000) {
+      std::printf("%lld,%llu,%d,%d,%d\n",
+                  static_cast<long long>(t.cycle) - 1500,
+                  static_cast<unsigned long long>(t.primary_delivered - prev),
                   u.input_port_flits, u.routers_with_blocked_port,
                   u.routers_all_cores_full);
-      prev = gen.stats().packets_delivered;
     }
+    prev = t.primary_delivered;
   }
-  const auto& lob = simulator.lob(4, direction_port(Direction::kNorth));
   std::printf("summary: trojan injected %llu faults; L-Ob succeeded %llu "
               "times (%llu via the per-flow method log); network "
               "degradation stays within the 1-3 cycle obfuscation "
               "penalties\n",
-              static_cast<unsigned long long>(
-                  simulator.tasp(0).stats().injections),
-              static_cast<unsigned long long>(lob.stats().successes),
-              static_cast<unsigned long long>(lob.stats().log_hits));
+              static_cast<unsigned long long>(r.trojan_injections),
+              static_cast<unsigned long long>(r.lob_successes),
+              static_cast<unsigned long long>(r.lob_log_hits));
+  std::printf("replicate means (n=%d): delivered=%.1f lob_successes=%.1f\n",
+              kReplicates, mean_of(result.summary[0], "delivered"),
+              mean_of(result.summary[0], "lob_successes"));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace htnoc;
   bench::print_header("Figure 12", "TDM containment vs s2s L-Ob mitigation");
-  run_tdm_case();
-  run_lob_case();
-  std::printf("\n");
+  const auto t0 = std::chrono::steady_clock::now();
+  const sweep::SweepRunner runner({bench::parse_jobs(argc, argv)});
+  const double rate_008_scale =
+      0.008 / traffic::blackscholes_profile().injection_rate;
+  run_tdm_case(runner, rate_008_scale);
+  run_lob_case(runner);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("\n[sweep: 2 cases x %d replicates in %.2fs]\n\n", kReplicates,
+              secs);
   return 0;
 }

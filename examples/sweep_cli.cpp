@@ -1,0 +1,199 @@
+// sweep_cli — compose and run a parallel experiment sweep from the command
+// line: a cartesian grid over mitigation mode x attack placement x traffic
+// profile x injection-rate scale x seed replicates, executed on N worker
+// threads with bit-deterministic results (same output for any -j).
+//
+//   sweep_cli --modes none,lob,reroute --attacks none,single \
+//             --profiles blackscholes,fft --rates 0.5,1.0,1.5 \
+//             --replicates 4 --cycles 3000 --jobs 8 --json sweep.json
+//
+// Prints the aggregated summary (mean/stddev/min/max per grid point) as
+// CSV on stdout; --json / --runs-csv write the full result to files.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sweep/emit.hpp"
+#include "sweep/runner.hpp"
+
+namespace {
+
+using namespace htnoc;
+
+void usage() {
+  std::printf(
+      "usage: sweep_cli [options]\n"
+      "  --modes M,..       mitigation modes: none, lob, reroute "
+      "(default none)\n"
+      "  --attacks A,..     attack scenarios: none, single, mem, multi "
+      "(default none)\n"
+      "  --profiles P,..    traffic profiles: blackscholes, facesim, "
+      "ferret, fft\n"
+      "  --rates R,..       injection-rate scale factors (default 1.0)\n"
+      "  --replicates N     seed replicates per grid point (default 3)\n"
+      "  --cycles N         fixed-horizon run length (default 3000)\n"
+      "  --requests N       run to completion of N requests instead\n"
+      "  --budget N         cycle budget in completion mode (default 2e6)\n"
+      "  --seed S           sweep base seed (default 0x5EED)\n"
+      "  --jobs N           worker threads (default: $HTNOC_JOBS or cores)\n"
+      "  --json FILE        write the full result as JSON\n"
+      "  --runs-csv FILE    write per-run metrics as CSV\n"
+      "  --help             this text\n");
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+sim::MitigationMode parse_mode(const std::string& s) {
+  if (s == "none") return sim::MitigationMode::kNone;
+  if (s == "lob") return sim::MitigationMode::kLOb;
+  if (s == "reroute") return sim::MitigationMode::kReroute;
+  throw std::runtime_error("unknown mode: " + s);
+}
+
+sweep::AttackScenario parse_attack(const std::string& s) {
+  sweep::AttackScenario sc;
+  sc.name = s;
+  if (s == "none") return sc;
+  sim::AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.enable_killsw_at = 1000;
+  if (s == "single") {
+    // The paper's setup: one dest-targeted TASP on the column-0 feeder.
+    a.tasp.kind = trojan::TargetKind::kDest;
+    a.tasp.target_dest = 0;
+    sc.attacks.push_back(a);
+  } else if (s == "mem") {
+    // Application-targeted DPI on the Blackscholes memory footprint.
+    a.tasp.kind = trojan::TargetKind::kMem;
+    a.tasp.target_mem = traffic::blackscholes_profile().mem_base;
+    a.tasp.mem_mask = 0xF0000000u;
+    sc.attacks.push_back(a);
+  } else if (s == "multi") {
+    // Three implants on distinct dest-0 feeder links (Fig. 10's ~5-10%).
+    for (const LinkRef l : {LinkRef{4, Direction::kNorth},
+                            LinkRef{2, Direction::kWest},
+                            LinkRef{8, Direction::kNorth}}) {
+      sim::AttackSpec m;
+      m.link = l;
+      m.tasp.kind = trojan::TargetKind::kDest;
+      m.tasp.target_dest = 0;
+      m.enable_killsw_at = 1000;
+      sc.attacks.push_back(m);
+    }
+  } else {
+    throw std::runtime_error("unknown attack scenario: " + s);
+  }
+  return sc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace htnoc;
+  sweep::SweepSpec spec;
+  spec.replicates = 3;
+  int jobs = 0;
+  std::string json_path;
+  std::string runs_csv_path;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::runtime_error(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (arg == "--modes") {
+        spec.modes.clear();
+        for (const auto& m : split_csv(value())) {
+          spec.modes.push_back(parse_mode(m));
+        }
+      } else if (arg == "--attacks") {
+        spec.attack_scenarios.clear();
+        for (const auto& a : split_csv(value())) {
+          spec.attack_scenarios.push_back(parse_attack(a));
+        }
+      } else if (arg == "--profiles") {
+        spec.profiles = split_csv(value());
+      } else if (arg == "--rates") {
+        spec.rate_scales.clear();
+        for (const auto& r : split_csv(value())) {
+          spec.rate_scales.push_back(std::stod(r));
+        }
+      } else if (arg == "--replicates") {
+        spec.replicates = std::stoi(value());
+      } else if (arg == "--cycles") {
+        spec.run_cycles = std::stoull(value());
+      } else if (arg == "--requests") {
+        spec.total_requests = std::stoull(value());
+      } else if (arg == "--budget") {
+        spec.cycle_budget = std::stoull(value());
+      } else if (arg == "--seed") {
+        spec.base_seed = std::stoull(value(), nullptr, 0);
+      } else if (arg == "--jobs") {
+        jobs = std::stoi(value());
+      } else if (arg == "--json") {
+        json_path = value();
+      } else if (arg == "--runs-csv") {
+        runs_csv_path = value();
+      } else {
+        throw std::runtime_error("unknown option: " + arg);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_cli: %s\n", e.what());
+    usage();
+    return 2;
+  }
+
+  try {
+    const auto t0 = std::chrono::steady_clock::now();
+    const sweep::SweepRunner runner({jobs});
+    const sweep::SweepResult result = runner.run(spec);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    sweep::write_summary_csv(std::cout, result);
+    if (!json_path.empty()) {
+      std::ofstream f(json_path);
+      sweep::write_json(f, result);
+    }
+    if (!runs_csv_path.empty()) {
+      std::ofstream f(runs_csv_path);
+      sweep::write_runs_csv(f, result);
+    }
+
+    std::fprintf(stderr,
+                 "[sweep] %zu runs (%zu grid points x %d replicates) on %d "
+                 "thread(s) in %.2fs, %zu failed\n",
+                 result.runs.size(), spec.num_grid_points(), spec.replicates,
+                 result.threads_used, secs, result.failures());
+    for (const auto& r : result.runs) {
+      if (!r.ok) {
+        std::fprintf(stderr, "[sweep] FAILED %s: %s\n", r.spec.label().c_str(),
+                     r.error.c_str());
+      }
+    }
+    return result.failures() == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_cli: %s\n", e.what());
+    return 1;
+  }
+}

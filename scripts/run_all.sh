@@ -1,18 +1,44 @@
 #!/usr/bin/env bash
 # Build, test and regenerate every paper table/figure in one go.
 #
-#   scripts/run_all.sh [build-dir]
+#   scripts/run_all.sh [--jobs N] [build-dir]
 #
+# --jobs N controls build/ctest parallelism AND the sweep-based bench
+# drivers (exported as HTNOC_JOBS; results are bit-identical for any N).
 # Outputs: <build-dir>, test_output.txt, bench_output.txt in the repo root.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+build_dir="$repo_root/build"
+jobs="$(nproc)"
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs)
+      jobs="$2"
+      shift 2
+      ;;
+    --jobs=*)
+      jobs="${1#*=}"
+      shift
+      ;;
+    -h|--help)
+      sed -n '2,8p' "$0"
+      exit 0
+      ;;
+    *)
+      build_dir="$1"
+      shift
+      ;;
+  esac
+done
+
+export HTNOC_JOBS="$jobs"
 
 cmake -B "$build_dir" -G Ninja -S "$repo_root"
-cmake --build "$build_dir"
+cmake --build "$build_dir" -j "$jobs"
 
-ctest --test-dir "$build_dir" -j "$(nproc)" 2>&1 | tee "$repo_root/test_output.txt"
+ctest --test-dir "$build_dir" -j "$jobs" 2>&1 | tee "$repo_root/test_output.txt"
 
 {
   for b in "$build_dir"/bench/*; do

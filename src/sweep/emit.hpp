@@ -1,0 +1,28 @@
+// Deterministic CSV / JSON serialization of sweep results. Output depends
+// only on the runs' contents (never on thread count, schedule or wall
+// clock), so byte-comparing two emissions is a valid determinism check —
+// the cross-mode determinism tests and CI rely on that.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "sweep/runner.hpp"
+
+namespace htnoc::sweep {
+
+/// Long-format aggregate table: one row per (grid point, metric) with
+/// mean/stddev/min/max over the point's successful replicates.
+void write_summary_csv(std::ostream& os, const SweepResult& result);
+
+/// Per-run scalar metrics, one row per run (replicates included).
+void write_runs_csv(std::ostream& os, const SweepResult& result);
+
+/// Full result (per-run metrics + aggregates) as a single JSON document.
+/// threads_used is deliberately omitted.
+void write_json(std::ostream& os, const SweepResult& result);
+
+/// write_json into a string (the determinism tests byte-compare these).
+[[nodiscard]] std::string to_json(const SweepResult& result);
+
+}  // namespace htnoc::sweep

@@ -1,0 +1,91 @@
+#include "sweep/spec.hpp"
+
+#include <cstdio>
+
+#include "common/expect.hpp"
+
+namespace htnoc::sweep {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string format_rate(double scale) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", scale);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  return splitmix64(seed ^ splitmix64(salt));
+}
+
+std::uint64_t derive_run_seed(std::uint64_t base_seed,
+                              std::uint64_t point_linear,
+                              std::uint64_t replicate) {
+  // Three chained splitmix64 rounds decorrelate the coordinates; xor alone
+  // would alias {point=1, rep=0} with {point=0, rep=1}.
+  return splitmix64(splitmix64(splitmix64(base_seed) ^ point_linear) ^
+                    (replicate * 0xd1342543de82ef95ULL));
+}
+
+std::string RunSpec::point_label() const {
+  std::string s = "mode=" + sim::to_string(mode);
+  s += " attack=" + attack_name;
+  s += " profile=" + profile;
+  s += " rate=" + format_rate(rate_scale);
+  return s;
+}
+
+std::string RunSpec::label() const {
+  return point_label() + " rep=" + std::to_string(replicate);
+}
+
+std::vector<RunSpec> expand(const SweepSpec& spec) {
+  HTNOC_EXPECT(!spec.modes.empty());
+  HTNOC_EXPECT(!spec.attack_scenarios.empty());
+  HTNOC_EXPECT(!spec.profiles.empty());
+  HTNOC_EXPECT(!spec.rate_scales.empty());
+  HTNOC_EXPECT(spec.replicates >= 1);
+  for (const AttackScenario& a : spec.attack_scenarios) {
+    HTNOC_EXPECT(!a.name.empty());
+  }
+
+  std::vector<RunSpec> runs;
+  runs.reserve(spec.num_grid_points() *
+               static_cast<std::size_t>(spec.replicates));
+  std::size_t linear = 0;
+  for (std::size_t mi = 0; mi < spec.modes.size(); ++mi) {
+    for (std::size_t ai = 0; ai < spec.attack_scenarios.size(); ++ai) {
+      for (std::size_t pi = 0; pi < spec.profiles.size(); ++pi) {
+        for (std::size_t ri = 0; ri < spec.rate_scales.size(); ++ri) {
+          for (int rep = 0; rep < spec.replicates; ++rep) {
+            RunSpec rs;
+            rs.point = {mi, ai, pi, ri, linear};
+            rs.replicate = rep;
+            rs.seed = derive_run_seed(spec.base_seed, linear,
+                                      static_cast<std::uint64_t>(rep));
+            rs.mode = spec.modes[mi];
+            rs.attack_name = spec.attack_scenarios[ai].name;
+            rs.attacks = spec.attack_scenarios[ai].attacks;
+            rs.profile = spec.profiles[pi];
+            rs.rate_scale = spec.rate_scales[ri];
+            runs.push_back(std::move(rs));
+          }
+          ++linear;
+        }
+      }
+    }
+  }
+  return runs;
+}
+
+}  // namespace htnoc::sweep

@@ -1,0 +1,158 @@
+// Replicate independence: a Simulator must carry no hidden global state,
+// or parallel sweep replicates would contaminate each other. Two instances
+// with identical configs stepped in interleaved order from one thread must
+// produce exactly the stats of back-to-back execution, and interleaving
+// with a *differently*-seeded instance must not perturb a run at all.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "traffic/generator.hpp"
+
+namespace htnoc {
+namespace {
+
+/// One self-contained run: simulator + traffic, attack + L-Ob mitigation
+/// (the mode with the most auxiliary state: detectors, controllers).
+struct Instance {
+  std::unique_ptr<sim::Simulator> simulator;
+  std::unique_ptr<traffic::DeliveryDispatcher> disp;
+  std::unique_ptr<traffic::AppTrafficModel> model;
+  std::unique_ptr<traffic::TrafficGenerator> gen;
+
+  explicit Instance(std::uint64_t seed) {
+    sim::SimConfig sc;
+    sc.mode = sim::MitigationMode::kLOb;
+    sc.seed = seed ^ 0x51u;
+    sc.noc.seed = seed ^ 0x52u;
+    sim::AttackSpec a;
+    a.link = {4, Direction::kNorth};
+    a.tasp.kind = trojan::TargetKind::kDest;
+    a.tasp.target_dest = 0;
+    a.enable_killsw_at = 100;
+    sc.attacks = {a};
+    simulator = std::make_unique<sim::Simulator>(std::move(sc));
+    disp = std::make_unique<traffic::DeliveryDispatcher>();
+    disp->install(simulator->network());
+    model = std::make_unique<traffic::AppTrafficModel>(
+        simulator->network().geometry(), traffic::blackscholes_profile());
+    traffic::TrafficGenerator::Params gp;
+    gp.seed = seed;
+    gen = std::make_unique<traffic::TrafficGenerator>(simulator->network(),
+                                                      *model, gp, *disp);
+    simulator->set_drop_callback(
+        [this](PacketId id) { gen->requeue(id); });
+  }
+
+  void step() {
+    gen->step();
+    simulator->step();
+  }
+};
+
+struct Snapshot {
+  traffic::TrafficGenerator::Stats traffic;
+  sim::Simulator::Stats sim;
+  std::uint64_t injections = 0;
+  Network::UtilizationSample util;
+  std::string invariants;
+};
+
+Snapshot snap(Instance& inst) {
+  Snapshot s;
+  s.traffic = inst.gen->stats();
+  s.sim = inst.simulator->stats();
+  s.injections = inst.simulator->tasp(0).stats().injections;
+  s.util = inst.simulator->network().sample_utilization();
+  s.invariants = inst.simulator->network().check_invariants();
+  return s;
+}
+
+void expect_eq(const Snapshot& a, const Snapshot& b, const char* what) {
+  EXPECT_EQ(a.traffic.requests_generated, b.traffic.requests_generated)
+      << what;
+  EXPECT_EQ(a.traffic.packets_injected, b.traffic.packets_injected) << what;
+  EXPECT_EQ(a.traffic.packets_delivered, b.traffic.packets_delivered) << what;
+  EXPECT_EQ(a.traffic.flits_injected, b.traffic.flits_injected) << what;
+  EXPECT_EQ(a.traffic.latency_sum, b.traffic.latency_sum) << what;
+  EXPECT_EQ(a.traffic.latency_max, b.traffic.latency_max) << what;
+  EXPECT_EQ(a.traffic.backlog_peak, b.traffic.backlog_peak) << what;
+  EXPECT_EQ(a.sim.links_disabled, b.sim.links_disabled) << what;
+  EXPECT_EQ(a.sim.packets_purged, b.sim.packets_purged) << what;
+  EXPECT_EQ(a.injections, b.injections) << what;
+  EXPECT_EQ(a.util.input_port_flits, b.util.input_port_flits) << what;
+  EXPECT_EQ(a.util.output_port_flits, b.util.output_port_flits) << what;
+  EXPECT_EQ(a.util.injection_port_flits, b.util.injection_port_flits) << what;
+  EXPECT_EQ(a.util.routers_with_blocked_port, b.util.routers_with_blocked_port)
+      << what;
+  EXPECT_EQ(a.invariants, "") << what;
+  EXPECT_EQ(b.invariants, "") << what;
+}
+
+constexpr Cycle kCycles = 600;
+
+TEST(ReplicateIndependence, InterleavedEqualsSequential) {
+  // Reference: two identically-seeded instances run back-to-back.
+  Snapshot seq_a, seq_b;
+  {
+    Instance a(0x11AA);
+    for (Cycle c = 0; c < kCycles; ++c) a.step();
+    seq_a = snap(a);
+  }
+  {
+    Instance b(0x11AA);
+    for (Cycle c = 0; c < kCycles; ++c) b.step();
+    seq_b = snap(b);
+  }
+  expect_eq(seq_a, seq_b, "same seed, sequential: runs must be identical");
+
+  // Interleaved A,B,A,B,... from the same thread.
+  Instance a(0x11AA);
+  Instance b(0x11AA);
+  for (Cycle c = 0; c < kCycles; ++c) {
+    a.step();
+    b.step();
+  }
+  expect_eq(snap(a), seq_a, "interleaving changed instance A");
+  expect_eq(snap(b), seq_b, "interleaving changed instance B");
+}
+
+TEST(ReplicateIndependence, ForeignInstanceDoesNotPerturb) {
+  // A run interleaved with a differently-seeded neighbour must be
+  // bit-identical to the same run executed alone.
+  Snapshot solo;
+  {
+    Instance a(0x22BB);
+    for (Cycle c = 0; c < kCycles; ++c) a.step();
+    solo = snap(a);
+  }
+  Instance a(0x22BB);
+  Instance other(0x33CC);
+  for (Cycle c = 0; c < kCycles; ++c) {
+    other.step();
+    a.step();
+    if (c % 3 == 0) other.step();  // deliberately lopsided interleave
+  }
+  expect_eq(snap(a), solo, "foreign instance leaked state into this run");
+}
+
+TEST(ReplicateIndependence, ConstructionOrderDoesNotMatter) {
+  // Construct B first, A second, then run A: still identical to solo A —
+  // catches global-counter leakage at construction time (e.g. a shared
+  // PacketId source).
+  Snapshot solo;
+  {
+    Instance a(0x44DD);
+    for (Cycle c = 0; c < kCycles; ++c) a.step();
+    solo = snap(a);
+  }
+  Instance first(0x9999);
+  for (Cycle c = 0; c < 50; ++c) first.step();  // warm the other instance
+  Instance a(0x44DD);
+  for (Cycle c = 0; c < kCycles; ++c) a.step();
+  expect_eq(snap(a), solo, "construction order leaked state");
+}
+
+}  // namespace
+}  // namespace htnoc

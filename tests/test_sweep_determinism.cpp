@@ -1,0 +1,147 @@
+// Cross-mode determinism: the sweep engine must produce byte-identical
+// results regardless of worker-thread count or schedule, and any single
+// grid point must be exactly replayable from its RunSpec alone. These are
+// the tests the TSan CI job runs to shake out data races in the engine.
+#include <gtest/gtest.h>
+
+#include "sweep/emit.hpp"
+#include "sweep/runner.hpp"
+
+namespace htnoc {
+namespace {
+
+sim::AttackSpec single_tasp(Cycle enable_at) {
+  sim::AttackSpec a;
+  a.link = {4, Direction::kNorth};
+  a.tasp.kind = trojan::TargetKind::kDest;
+  a.tasp.target_dest = 0;
+  a.enable_killsw_at = enable_at;
+  return a;
+}
+
+/// A grid that exercises attack + mitigation machinery, kept small enough
+/// for the TSan job: 2 modes x 2 attacks x 2 replicates = 8 runs.
+sweep::SweepSpec fixture_spec() {
+  sweep::SweepSpec spec;
+  spec.modes = {sim::MitigationMode::kNone, sim::MitigationMode::kLOb};
+  spec.attack_scenarios = {{"none", {}}, {"single_tasp", {single_tasp(150)}}};
+  spec.profiles = {"blackscholes"};
+  spec.rate_scales = {1.0};
+  spec.replicates = 2;
+  spec.run_cycles = 400;
+  spec.probe_period = 100;
+  spec.base_seed = 0xD15EA5E;
+  return spec;
+}
+
+void expect_samples_eq(const Network::UtilizationSample& a,
+                       const Network::UtilizationSample& b) {
+  EXPECT_EQ(a.cycle, b.cycle);
+  EXPECT_EQ(a.input_port_flits, b.input_port_flits);
+  EXPECT_EQ(a.output_port_flits, b.output_port_flits);
+  EXPECT_EQ(a.injection_port_flits, b.injection_port_flits);
+  EXPECT_EQ(a.routers_all_cores_full, b.routers_all_cores_full);
+  EXPECT_EQ(a.routers_majority_cores_full, b.routers_majority_cores_full);
+  EXPECT_EQ(a.routers_with_blocked_port, b.routers_with_blocked_port);
+}
+
+TEST(SweepDeterminism, ThreadCountDoesNotChangeResults) {
+  const sweep::SweepSpec spec = fixture_spec();
+  const auto r1 = sweep::SweepRunner({1}).run(spec);
+  const auto r2 = sweep::SweepRunner({2}).run(spec);
+  const auto r8 = sweep::SweepRunner({8}).run(spec);
+
+  EXPECT_EQ(r1.threads_used, 1);
+  EXPECT_EQ(r2.threads_used, 2);
+  EXPECT_EQ(r8.threads_used, 8);
+  EXPECT_EQ(r1.failures(), 0u);
+
+  // The serialized document (per-run metrics + aggregates) is the
+  // determinism contract: byte-identical across thread counts.
+  const std::string j1 = sweep::to_json(r1);
+  EXPECT_EQ(j1, sweep::to_json(r2));
+  EXPECT_EQ(j1, sweep::to_json(r8));
+
+  // The time series (not part of the JSON) must match too.
+  ASSERT_EQ(r1.runs.size(), r8.runs.size());
+  for (std::size_t i = 0; i < r1.runs.size(); ++i) {
+    const auto& a = r1.runs[i];
+    const auto& b = r8.runs[i];
+    ASSERT_EQ(a.util_series.size(), b.util_series.size()) << a.spec.label();
+    for (std::size_t k = 0; k < a.util_series.size(); ++k) {
+      expect_samples_eq(a.util_series[k], b.util_series[k]);
+    }
+    ASSERT_EQ(a.throughput_series.size(), b.throughput_series.size());
+    for (std::size_t k = 0; k < a.throughput_series.size(); ++k) {
+      EXPECT_EQ(a.throughput_series[k].primary_delivered,
+                b.throughput_series[k].primary_delivered);
+    }
+  }
+
+  // Sanity: the attack grid points actually saw trojan activity, so the
+  // byte-equality above compares non-trivial state.
+  bool saw_injections = false;
+  for (const auto& r : r1.runs) {
+    if (r.trojan_injections > 0) saw_injections = true;
+  }
+  EXPECT_TRUE(saw_injections);
+}
+
+TEST(SweepDeterminism, CompletionModeThreadInvariance) {
+  sweep::SweepSpec spec = fixture_spec();
+  // Mitigated runs only: an unmitigated sustained trigger never completes
+  // (that non-completion is itself regression-tested in test_matrix_sweep).
+  spec.modes = {sim::MitigationMode::kLOb};
+  spec.probe_period = 0;
+  spec.total_requests = 150;  // run-to-completion termination
+  spec.cycle_budget = 100000;
+  const auto r1 = sweep::SweepRunner({1}).run(spec);
+  const auto r4 = sweep::SweepRunner({4}).run(spec);
+  EXPECT_EQ(sweep::to_json(r1), sweep::to_json(r4));
+  for (const auto& r : r1.runs) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.completed) << r.spec.label();
+  }
+}
+
+TEST(SweepDeterminism, SingleGridPointReplaysExactly) {
+  const sweep::SweepSpec spec = fixture_spec();
+  const auto swept = sweep::SweepRunner({8}).run(spec);
+
+  for (const std::size_t idx : {std::size_t{2}, swept.runs.size() - 1}) {
+    const auto& original = swept.runs[idx];
+    ASSERT_TRUE(original.ok);
+    // Replay from the RunSpec alone, in this thread, no pool involved.
+    const auto replay = sweep::SweepRunner::run_single(spec, original.spec);
+
+    EXPECT_EQ(replay.metrics(), original.metrics()) << original.spec.label();
+    EXPECT_EQ(replay.cycles, original.cycles);
+    EXPECT_EQ(replay.traffic.packets_delivered,
+              original.traffic.packets_delivered);
+    EXPECT_EQ(replay.traffic.latency_sum, original.traffic.latency_sum);
+    EXPECT_EQ(replay.traffic.requests_generated,
+              original.traffic.requests_generated);
+    EXPECT_EQ(replay.trojan_injections, original.trojan_injections);
+    EXPECT_EQ(replay.sim.links_disabled, original.sim.links_disabled);
+    EXPECT_EQ(replay.sim.packets_purged, original.sim.packets_purged);
+    expect_samples_eq(replay.final_util, original.final_util);
+    ASSERT_EQ(replay.util_series.size(), original.util_series.size());
+    for (std::size_t k = 0; k < replay.util_series.size(); ++k) {
+      expect_samples_eq(replay.util_series[k], original.util_series[k]);
+    }
+  }
+}
+
+TEST(SweepDeterminism, SeedChangesResults) {
+  // Guard against the seed being silently ignored: a different base_seed
+  // must produce a different document.
+  sweep::SweepSpec a = fixture_spec();
+  sweep::SweepSpec b = fixture_spec();
+  b.base_seed = a.base_seed + 1;
+  const auto ra = sweep::SweepRunner({2}).run(a);
+  const auto rb = sweep::SweepRunner({2}).run(b);
+  EXPECT_NE(sweep::to_json(ra), sweep::to_json(rb));
+}
+
+}  // namespace
+}  // namespace htnoc
