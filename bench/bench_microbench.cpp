@@ -126,6 +126,37 @@ void BM_NetworkStepUnderAttack(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkStepUnderAttack);
 
+// Same scenario with full event capture — the delta against
+// BM_NetworkStepUnderAttack is the price of tracing *enabled*; the
+// tracing-*disabled* cost (a dead branch per instrumentation site) is
+// already inside every other network benchmark.
+void BM_NetworkStepUnderAttackTraced(benchmark::State& state) {
+  sim::SimConfig sc;
+  sc.mode = sim::MitigationMode::kLOb;
+  sc.attacks.push_back(bench::paper_attack(0));
+  sc.trace.enabled = true;
+  sc.trace.capacity = std::size_t{1} << 16;
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 2;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  for (auto _ : state) {
+    gen.step();
+    simulator.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (simulator.trace_sink() != nullptr) {
+    state.counters["events"] =
+        static_cast<double>(simulator.trace_sink()->total_recorded());
+  }
+}
+BENCHMARK(BM_NetworkStepUnderAttackTraced);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -9,9 +9,11 @@
 //
 // Prints the aggregated summary (mean/stddev/min/max per grid point) as
 // CSV on stdout; --json / --runs-csv write the full result to files.
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -20,6 +22,8 @@
 
 #include "sweep/emit.hpp"
 #include "sweep/runner.hpp"
+#include "trace/export.hpp"
+#include "trace/forensics.hpp"
 
 namespace {
 
@@ -43,7 +47,24 @@ void usage() {
       "  --jobs N           worker threads (default: $HTNOC_JOBS or cores)\n"
       "  --json FILE        write the full result as JSON\n"
       "  --runs-csv FILE    write per-run metrics as CSV\n"
+      "  --trace DIR        capture an event trace per run; writes\n"
+      "                     <label>.trace.{bin,json} + .timeline.txt to DIR\n"
+      "  --trace-categories C,..  categories to capture (default all);\n"
+      "                     e.g. link,ecc,retransmission,saturation\n"
       "  --help             this text\n");
+}
+
+/// A run label like "mode=lob attack=single ... rep=0" as a filename stem.
+std::string sanitize_label(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                          c == '=' || c == '.' || c == '-'
+                      ? c
+                      : '_');
+  }
+  return out;
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -108,6 +129,7 @@ int main(int argc, char** argv) {
   int jobs = 0;
   std::string json_path;
   std::string runs_csv_path;
+  std::string trace_dir;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -152,6 +174,11 @@ int main(int argc, char** argv) {
         json_path = value();
       } else if (arg == "--runs-csv") {
         runs_csv_path = value();
+      } else if (arg == "--trace") {
+        trace_dir = value();
+        spec.base.trace.enabled = true;
+      } else if (arg == "--trace-categories") {
+        spec.base.trace.categories = trace::parse_categories(value());
       } else {
         throw std::runtime_error("unknown option: " + arg);
       }
@@ -178,6 +205,34 @@ int main(int argc, char** argv) {
     if (!runs_csv_path.empty()) {
       std::ofstream f(runs_csv_path);
       sweep::write_runs_csv(f, result);
+    }
+    if (!trace_dir.empty()) {
+      if (!trace::kCompiledIn) {
+        std::fprintf(stderr,
+                     "[sweep] --trace ignored: built with HTNOC_TRACE=0\n");
+      }
+      std::filesystem::create_directories(trace_dir);
+      std::size_t written = 0;
+      for (const auto& r : result.runs) {
+        if (!r.ok || !r.trace) continue;
+        const std::string stem =
+            trace_dir + "/" + sanitize_label(r.spec.label());
+        {
+          std::ofstream f(stem + ".trace.bin", std::ios::binary);
+          trace::write_binary(f, *r.trace);
+        }
+        {
+          std::ofstream f(stem + ".trace.json");
+          trace::write_chrome_json(f, *r.trace);
+        }
+        {
+          std::ofstream f(stem + ".timeline.txt");
+          trace::print_timeline(f, *r.trace, trace::analyze(*r.trace));
+        }
+        ++written;
+      }
+      std::fprintf(stderr, "[sweep] wrote %zu trace(s) to %s\n", written,
+                   trace_dir.c_str());
     }
 
     std::fprintf(stderr,

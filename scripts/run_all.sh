@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Build, test and regenerate every paper table/figure in one go.
 #
-#   scripts/run_all.sh [--jobs N] [build-dir]
+#   scripts/run_all.sh [--jobs N] [--trace DIR] [build-dir]
 #
 # --jobs N controls build/ctest parallelism AND the sweep-based bench
 # drivers (exported as HTNOC_JOBS; results are bit-identical for any N).
+# --trace DIR additionally captures an event trace of each bench scenario
+# and writes per-scenario forensic timelines plus Perfetto-loadable JSON
+# into DIR (see docs/OBSERVABILITY.md).
 # Outputs: <build-dir>, test_output.txt, bench_output.txt in the repo root.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build"
 jobs="$(nproc)"
+trace_dir=""
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -22,8 +26,16 @@ while [ $# -gt 0 ]; do
       jobs="${1#*=}"
       shift
       ;;
+    --trace)
+      trace_dir="$2"
+      shift 2
+      ;;
+    --trace=*)
+      trace_dir="${1#*=}"
+      shift
+      ;;
     -h|--help)
-      sed -n '2,8p' "$0"
+      sed -n '2,11p' "$0"
       exit 0
       ;;
     *)
@@ -48,5 +60,20 @@ ctest --test-dir "$build_dir" -j "$jobs" 2>&1 | tee "$repo_root/test_output.txt"
     fi
   done
 } 2>&1 | tee "$repo_root/bench_output.txt"
+
+if [ -n "$trace_dir" ]; then
+  mkdir -p "$trace_dir"
+  echo "===== tracing bench scenarios into $trace_dir ====="
+  # The Fig. 11 cascade, end to end, with a full forensic timeline.
+  "$build_dir/examples/attack_forensics" "$trace_dir"
+  # One traced replay per mitigation x attack grid point of the paper's
+  # core comparison; each gets a .trace.{bin,json} + .timeline.txt.
+  "$build_dir/examples/sweep_cli" \
+    --modes none,lob,reroute --attacks single \
+    --replicates 1 --cycles 3000 --jobs "$jobs" \
+    --trace "$trace_dir" >/dev/null
+  echo "forensic timelines:"
+  ls "$trace_dir"/*.timeline.txt
+fi
 
 echo "done: test_output.txt and bench_output.txt written to $repo_root"

@@ -4,7 +4,6 @@ namespace htnoc::mitigation {
 
 ObfuscationTag LObController::plan(Cycle now, const Flit& flit, int attempt,
                                    bool escalate, bool partner_available) {
-  (void)now;
   (void)attempt;
   const std::uint64_t uid = flit.flit_uid();
   auto it = flit_states_.find(uid);
@@ -47,6 +46,16 @@ ObfuscationTag LObController::plan(Cycle now, const Flit& flit, int attempt,
       if (it->second.seq_index == 0) ++stats_.method_exhaustions;
     }
     ++stats_.obfuscated_attempts;
+    if (tap_.on(trace::Category::kLOb)) {
+      trace::Event e = trace::make_event(trace::EventType::kLObMethodApplied,
+                                         now, trace::Scope::kRouter,
+                                         trace_node_, trace_port_);
+      e.packet = flit.packet;
+      e.seq = static_cast<std::uint32_t>(flit.seq);
+      e.arg = static_cast<std::uint64_t>(method);
+      e.aux = static_cast<std::uint8_t>(idx);
+      tap_.emit(e);
+    }
     return tag;
   }
   // Only scramble entries and no partner: fall back to plain.
@@ -54,7 +63,6 @@ ObfuscationTag LObController::plan(Cycle now, const Flit& flit, int attempt,
 }
 
 void LObController::on_ack(Cycle now, const Flit& flit, const ObfuscationTag& tag) {
-  (void)now;
   const std::uint64_t uid = flit.flit_uid();
   const auto it = flit_states_.find(uid);
   if (tag.active()) {
@@ -63,12 +71,23 @@ void LObController::on_ack(Cycle now, const Flit& flit, const ObfuscationTag& ta
       success_log_[flow_key(flit.src_router, flit.dest_router)] =
           it->second.seq_index;
     }
+    if (tap_.on(trace::Category::kLOb)) {
+      trace::Event e = trace::make_event(trace::EventType::kLObMethodSuccess,
+                                         now, trace::Scope::kRouter,
+                                         trace_node_, trace_port_);
+      e.packet = flit.packet;
+      e.seq = static_cast<std::uint32_t>(flit.seq);
+      e.arg = static_cast<std::uint64_t>(tag.method);
+      if (it != flit_states_.end()) {
+        e.aux = static_cast<std::uint8_t>(it->second.seq_index);
+      }
+      tap_.emit(e);
+    }
   }
   if (it != flit_states_.end()) flit_states_.erase(it);
 }
 
 void LObController::on_nack(Cycle now, const Flit& flit, const ObfuscationTag& tag) {
-  (void)now;
   if (!tag.active()) return;  // plain attempt failed; detector will escalate
   const auto it = flit_states_.find(flit.flit_uid());
   if (it == flit_states_.end()) return;
@@ -78,6 +97,15 @@ void LObController::on_nack(Cycle now, const Flit& flit, const ObfuscationTag& t
   if (it->second.seq_index >= n) {
     it->second.seq_index = 0;
     ++stats_.method_exhaustions;
+    if (tap_.on(trace::Category::kLOb)) {
+      trace::Event e = trace::make_event(trace::EventType::kLObExhausted, now,
+                                         trace::Scope::kRouter, trace_node_,
+                                         trace_port_);
+      e.packet = flit.packet;
+      e.seq = static_cast<std::uint32_t>(flit.seq);
+      e.arg = static_cast<std::uint64_t>(tag.method);
+      tap_.emit(e);
+    }
   }
 }
 

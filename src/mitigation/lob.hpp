@@ -16,6 +16,7 @@
 
 #include "noc/hooks.hpp"
 #include "noc/obfuscation.hpp"
+#include "trace/sink.hpp"
 
 namespace htnoc::mitigation {
 
@@ -55,6 +56,14 @@ class LObController final : public htnoc::LObController {
   void on_ack(Cycle now, const Flit& flit, const ObfuscationTag& tag) override;
   void on_nack(Cycle now, const Flit& flit, const ObfuscationTag& tag) override;
 
+  /// Install the trace tap under the owning router's track, tagged with the
+  /// output port this controller guards.
+  void set_trace(trace::Tap tap, std::uint16_t router, std::int8_t port) {
+    tap_ = tap;
+    trace_node_ = router;
+    trace_port_ = port;
+  }
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   /// Logged successful sequence index for a flow, or -1. For tests.
   [[nodiscard]] int logged_method(RouterId src, RouterId dest) const {
@@ -76,6 +85,9 @@ class LObController final : public htnoc::LObController {
   LObParams params_;
   std::map<std::uint64_t, FlitState> flit_states_;  // by flit uid
   std::map<std::uint32_t, int> success_log_;        // flow key -> seq index
+  trace::Tap tap_;
+  std::uint16_t trace_node_ = 0;
+  std::int8_t trace_port_ = -1;
   Stats stats_;
 };
 

@@ -23,10 +23,17 @@ void RouterThreatDetector::maybe_complete_bist(Cycle now, int port,
   if (ps.link != nullptr) {
     ps.bist_report = bist_scan(*ps.link);
   }
-  reclassify(port, ps);
+  if (tap_.on(trace::Category::kBist)) {
+    trace::Event e = trace::make_event(trace::EventType::kBistCompleted, now,
+                                       trace::Scope::kRouter, trace_node_,
+                                       static_cast<std::int8_t>(port));
+    e.aux = ps.bist_report.permanent_fault_found ? 1 : 0;
+    tap_.emit(e);
+  }
+  reclassify(now, port, ps);
 }
 
-void RouterThreatDetector::reclassify(int port, PortState& ps) {
+void RouterThreatDetector::reclassify(Cycle now, int port, PortState& ps) {
   LinkThreatClass next = ps.cls;
   if (ps.bist_ran && ps.bist_report.permanent_fault_found) {
     next = LinkThreatClass::kPermanent;
@@ -42,6 +49,13 @@ void RouterThreatDetector::reclassify(int port, PortState& ps) {
   }
   if (next != ps.cls) {
     ps.cls = next;
+    if (tap_.on(trace::Category::kDetector)) {
+      trace::Event e = trace::make_event(
+          trace::EventType::kDetectorClassified, now, trace::Scope::kRouter,
+          trace_node_, static_cast<std::int8_t>(port));
+      e.aux = static_cast<std::uint8_t>(next);
+      tap_.emit(e);
+    }
     if (on_classified_ != nullptr &&
         (next == LinkThreatClass::kTrojan || next == LinkThreatClass::kPermanent)) {
       on_classified_(port, next);
@@ -92,14 +106,31 @@ NackAdvice RouterThreatDetector::on_uncorrectable(const FaultObservation& obs) {
     // that the next method can be used."
     advice.escalate_obfuscation = true;
     ++ps.stats.escalations_advised;
+    if (tap_.on(trace::Category::kDetector)) {
+      trace::Event e = trace::make_event(
+          trace::EventType::kDetectorEscalation, obs.now, trace::Scope::kRouter,
+          trace_node_, static_cast<std::int8_t>(obs.in_port));
+      e.packet = obs.flit.packet;
+      e.seq = static_cast<std::uint32_t>(obs.flit.seq);
+      e.aux = static_cast<std::uint8_t>(
+          it->fault_count > 255 ? 255 : it->fault_count);
+      tap_.emit(e);
+    }
     if (!ps.bist_pending && !ps.bist_ran) {
       ps.bist_pending = true;
       ps.bist_done_at = obs.now + params_.bist_latency;
       ++ps.stats.bist_scans;
       advice.request_bist = true;
+      if (tap_.on(trace::Category::kBist)) {
+        trace::Event e = trace::make_event(
+            trace::EventType::kBistDispatched, obs.now, trace::Scope::kRouter,
+            trace_node_, static_cast<std::int8_t>(obs.in_port));
+        e.arg = ps.bist_done_at;
+        tap_.emit(e);
+      }
     }
   }
-  reclassify(obs.in_port, ps);
+  reclassify(obs.now, obs.in_port, ps);
   return advice;
 }
 
@@ -107,7 +138,7 @@ void RouterThreatDetector::on_corrected(const FaultObservation& obs) {
   PortState& ps = ports_[obs.in_port];
   ++ps.stats.corrected;
   maybe_complete_bist(obs.now, obs.in_port, ps);
-  reclassify(obs.in_port, ps);
+  reclassify(obs.now, obs.in_port, ps);
 }
 
 void RouterThreatDetector::on_clean(const FaultObservation& obs) {

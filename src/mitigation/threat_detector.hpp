@@ -24,6 +24,7 @@
 #include "mitigation/bist.hpp"
 #include "noc/hooks.hpp"
 #include "noc/link.hpp"
+#include "trace/sink.hpp"
 
 namespace htnoc::mitigation {
 
@@ -73,6 +74,12 @@ class RouterThreatDetector final : public ThreatDetector {
   /// Give the detector the link feeding input port `port`, enabling BIST.
   void set_port_link(int port, const Link* link) {
     ports_[port].link = link;
+  }
+
+  /// Install the trace tap under the owning router's track.
+  void set_trace(trace::Tap tap, std::uint16_t router) {
+    tap_ = tap;
+    trace_node_ = router;
   }
 
   /// Optional notification when a port's link is first classified TROJAN or
@@ -125,11 +132,13 @@ class RouterThreatDetector final : public ThreatDetector {
   };
 
   void maybe_complete_bist(Cycle now, int port, PortState& ps);
-  void reclassify(int port, PortState& ps);
+  void reclassify(Cycle now, int port, PortState& ps);
 
   ThreatDetectorParams params_;
   std::map<int, PortState> ports_;
   ClassificationCallback on_classified_;
+  trace::Tap tap_;
+  std::uint16_t trace_node_ = 0;
 };
 
 }  // namespace htnoc::mitigation

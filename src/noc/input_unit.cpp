@@ -32,12 +32,39 @@ void InputUnit::process_arrivals(Cycle now) {
       nack.bist_requested = advice.request_bist;
       link_->send_ack(now, nack);
       ++stats_.nacks_sent;
+      if (tap_.on(trace::Category::kEcc)) {
+        trace::Event e =
+            trace::make_event(trace::EventType::kEccUncorrectable, now,
+                              trace_scope_, trace_node_,
+                              static_cast<std::int8_t>(port_));
+        e.packet = phit.flit.packet;
+        e.seq = static_cast<std::uint32_t>(phit.flit.seq);
+        e.vc = static_cast<std::uint8_t>(phit.flit.vc);
+        e.arg = static_cast<std::uint64_t>(phit.attempt);
+        tap_.emit(e);
+        e.type = trace::EventType::kNackSent;
+        e.aux = static_cast<std::uint8_t>(
+            (advice.escalate_obfuscation ? 1u : 0u) |
+            (advice.request_bist ? 2u : 0u));
+        tap_.emit(e);
+      }
       continue;
     }
 
     if (res.status == ecc::DecodeStatus::kCorrectedSingle) {
       ++stats_.corrected_singles;
       if (detector_ != nullptr) detector_->on_corrected(obs);
+      if (tap_.on(trace::Category::kEcc)) {
+        trace::Event e =
+            trace::make_event(trace::EventType::kEccCorrected, now,
+                              trace_scope_, trace_node_,
+                              static_cast<std::int8_t>(port_));
+        e.packet = phit.flit.packet;
+        e.seq = static_cast<std::uint32_t>(phit.flit.seq);
+        e.vc = static_cast<std::uint8_t>(phit.flit.vc);
+        e.arg = static_cast<std::uint64_t>(phit.attempt);
+        tap_.emit(e);
+      }
     } else if (detector_ != nullptr) {
       detector_->on_clean(obs);
     }

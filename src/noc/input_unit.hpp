@@ -81,6 +81,14 @@ class InputUnit {
   }
   void set_detector(ThreatDetector* det) { detector_ = det; }
 
+  /// Install the trace tap with this unit's track identity (router port or
+  /// NI core — NIs reuse InputUnit with an invalid router id).
+  void set_trace(trace::Tap tap, trace::Scope scope, std::uint16_t node) {
+    tap_ = tap;
+    trace_scope_ = scope;
+    trace_node_ = node;
+  }
+
   /// Pull this cycle's phit arrivals off the link: decode, ack/nack,
   /// de-obfuscate, buffer.
   void process_arrivals(Cycle now);
@@ -195,6 +203,9 @@ class InputUnit {
   int port_;
   Link* link_ = nullptr;
   ThreatDetector* detector_ = nullptr;
+  trace::Tap tap_;
+  trace::Scope trace_scope_ = trace::Scope::kRouter;
+  std::uint16_t trace_node_ = 0;
   std::vector<VcBuf> vcs_;
   std::vector<StationEntry> station_;
   std::deque<CachedWire> wire_cache_;

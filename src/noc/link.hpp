@@ -15,6 +15,7 @@
 #include "noc/fault_model.hpp"
 #include "noc/flit.hpp"
 #include "noc/protocol.hpp"
+#include "trace/sink.hpp"
 
 namespace htnoc {
 
@@ -46,7 +47,24 @@ class Link {
     const Codeword72 before = phit.codeword;
     for (const auto& inj : injectors_) inj->on_traverse(now, phit);
     ++stats_.phits_sent;
-    if (!(phit.codeword == before)) ++stats_.phits_with_injected_faults;
+    const bool faulted = !(phit.codeword == before);
+    if (faulted) ++stats_.phits_with_injected_faults;
+    if (tap_.on(trace::Category::kLink)) {
+      trace::Event e = trace::make_event(trace::EventType::kLinkTraversal, now,
+                                         trace::Scope::kLink, trace_node_,
+                                         trace_port_);
+      e.packet = phit.flit.packet;
+      e.seq = phit.flit.seq;
+      e.vc = static_cast<std::uint8_t>(phit.flit.vc);
+      e.aux = static_cast<std::uint8_t>(
+          phit.attempt > 255 ? 255 : phit.attempt);
+      e.arg = phit.flit.wire;
+      tap_.emit(e);
+      if (faulted) {
+        e.type = trace::EventType::kLinkFaultInjected;
+        tap_.emit(e);
+      }
+    }
     in_flight_.push_back({now + static_cast<Cycle>(latency_), std::move(phit)});
   }
 
@@ -143,6 +161,19 @@ class Link {
   void set_disabled(bool d) noexcept { disabled_ = d; }
   [[nodiscard]] bool disabled() const noexcept { return disabled_; }
 
+  /// Install the trace tap plus this link's track identity: `node` is the
+  /// source router (mesh links) or core (local links), `port` a direction
+  /// code 0..3 or trace::kLinkPortInjection / kLinkPortEjection.
+  void set_trace(trace::Tap tap, std::uint16_t node, std::int8_t port) {
+    tap_ = tap;
+    trace_node_ = node;
+    trace_port_ = port;
+  }
+  [[nodiscard]] std::uint16_t trace_node() const noexcept {
+    return trace_node_;
+  }
+  [[nodiscard]] std::int8_t trace_port() const noexcept { return trace_port_; }
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] int latency() const noexcept { return latency_; }
@@ -171,6 +202,9 @@ class Link {
   std::deque<PendingAck> acks_;
   std::vector<std::shared_ptr<LinkFaultInjector>> injectors_;
   Stats stats_;
+  trace::Tap tap_;
+  std::uint16_t trace_node_ = 0;
+  std::int8_t trace_port_ = -1;
 };
 
 }  // namespace htnoc

@@ -69,6 +69,46 @@ void Network::step() {
   for (auto& r : routers_) r->step(now_);
   for (auto& ni : nis_) ni->step(now_);
   ++now_;
+  if (tap_.on(trace::Category::kSaturation)) trace_saturation();
+}
+
+void Network::trace_saturation() {
+  const std::size_t nr = routers_.size();
+  if (router_blocked_.size() != nr) router_blocked_.assign(nr, 0);
+  for (std::size_t i = 0; i < nr; ++i) {
+    const bool blocked = routers_[i]->any_port_blocked(now_);
+    if (blocked == (router_blocked_[i] != 0)) continue;
+    router_blocked_[i] = blocked ? 1 : 0;
+    tap_.emit(trace::make_event(blocked ? trace::EventType::kRouterBlocked
+                                        : trace::EventType::kRouterUnblocked,
+                                now_, trace::Scope::kRouter,
+                                static_cast<std::uint16_t>(i)));
+  }
+}
+
+void Network::set_trace(trace::TraceSink* sink) {
+  tap_ = trace::Tap(sink);
+  router_blocked_.assign(routers_.size(), 0);
+  if (sink != nullptr) {
+    sink->set_topology(static_cast<std::uint16_t>(geom_.num_routers()),
+                       static_cast<std::uint8_t>(cfg_.mesh_width),
+                       static_cast<std::uint8_t>(cfg_.mesh_height),
+                       static_cast<std::uint8_t>(cfg_.concentration));
+  }
+  for (RouterId r = 0; r < geom_.num_routers(); ++r) {
+    for (Direction d : kDirs) {
+      if (!has_link(r, d)) continue;
+      link(r, d).set_trace(tap_, r, static_cast<std::int8_t>(direction_port(d)));
+    }
+  }
+  for (NodeId c = 0; c < geom_.num_cores(); ++c) {
+    inj_links_[static_cast<std::size_t>(c)]->set_trace(
+        tap_, c, trace::kLinkPortInjection);
+    ej_links_[static_cast<std::size_t>(c)]->set_trace(tap_, c,
+                                                      trace::kLinkPortEjection);
+  }
+  for (auto& r : routers_) r->set_trace(tap_);
+  for (auto& ni : nis_) ni->set_trace(tap_);
 }
 
 bool Network::try_inject(const PacketInfo& info,
@@ -107,6 +147,11 @@ void Network::disable_link(const LinkRef& l) {
   HTNOC_EXPECT(has_link(l.from, l.dir));
   link(l.from, l.dir).set_disabled(true);
   disabled_.insert(l);
+  if (tap_.on(trace::Category::kReroute)) {
+    tap_.emit(trace::make_event(
+        trace::EventType::kLinkDisabled, now_, trace::Scope::kLink, l.from,
+        static_cast<std::int8_t>(direction_port(l.dir))));
+  }
 }
 
 bool Network::would_disconnect(const LinkRef& l) const {
@@ -175,22 +220,36 @@ std::vector<PacketId> Network::purge_packet(PacketId p) {
     purged_ids.push_back(cur);
 
     std::set<std::uint64_t> buffered;
+    // Distinct flits of `cur` removed anywhere: a flit can exist in several
+    // places at once (in-flight slot + link phit, or slot + receiver buffer
+    // with the ACK in flight), so accounting deduplicates by uid.
+    std::set<std::uint64_t> removed;
+    std::vector<std::uint64_t> removed_pass;
 
     // Pass 1: sweep phits off every link.
     for (auto& l : mesh_links_) {
-      if (l) (void)l->purge_packet(cur);
+      if (l) {
+        for (const auto uid : l->purge_packet(cur)) removed.insert(uid);
+      }
     }
     for (auto& l : inj_links_) {
-      if (l) (void)l->purge_packet(cur);
+      if (l) {
+        for (const auto uid : l->purge_packet(cur)) removed.insert(uid);
+      }
     }
     for (auto& l : ej_links_) {
-      if (l) (void)l->purge_packet(cur);
+      if (l) {
+        for (const auto uid : l->purge_packet(cur)) removed.insert(uid);
+      }
     }
 
     // Pass 2: inputs (router ports and NI ejection). Credits return through
     // the normal reverse channels; held output VCs are released here.
     auto absorb = [&](const InputUnit::PurgeResult& res, Router* owner) {
-      for (const auto uid : res.buffered_uids) buffered.insert(uid);
+      for (const auto uid : res.buffered_uids) {
+        buffered.insert(uid);
+        removed.insert(uid);
+      }
       if (owner != nullptr && res.held_out_port >= 0) {
         owner->output(res.held_out_port).release_vc_if_allocated(res.held_out_vc);
       }
@@ -210,11 +269,22 @@ std::vector<PacketId> Network::purge_packet(PacketId p) {
     // Pass 3: outputs (retransmission buffers) and NI source queues.
     for (auto& r : routers_) {
       for (int port = 0; port < r->num_ports(); ++port) {
-        (void)r->output(port).purge_packet(cur, buffered);
+        (void)r->output(port).purge_packet(cur, buffered, &removed_pass);
       }
     }
     for (auto& ni : nis_) {
-      (void)ni->purge_injection(now_, cur, buffered);
+      (void)ni->purge_injection(now_, cur, buffered, &removed_pass);
+    }
+    for (const auto uid : removed_pass) removed.insert(uid);
+
+    ++purge_totals_.packets;
+    purge_totals_.flits += removed.size();
+    if (tap_.on(trace::Category::kPurge)) {
+      trace::Event e = trace::make_event(trace::EventType::kPacketPurged, now_,
+                                         trace::Scope::kNetwork, 0);
+      e.packet = cur;
+      e.arg = removed.size();
+      tap_.emit(e);
     }
   }
   return purged_ids;

@@ -87,6 +87,22 @@ class Network {
   /// Flits of `p` anywhere in the network (for tests).
   [[nodiscard]] bool packet_in_flight(PacketId p) const;
 
+  /// Cumulative purge accounting: packets purged and the distinct flits
+  /// actually removed (buffers + retransmission slots + in-flight phits +
+  /// NI queues, deduplicated by flit uid).
+  struct PurgeTotals {
+    std::uint64_t packets = 0;
+    std::uint64_t flits = 0;
+  };
+  [[nodiscard]] const PurgeTotals& purge_totals() const noexcept {
+    return purge_totals_;
+  }
+
+  /// Install (or clear, with nullptr) the trace sink: distributes an
+  /// identity-stamped tap to every link, router unit and NI, and enables
+  /// the per-cycle saturation-wavefront scan when that category is on.
+  void set_trace(trace::TraceSink* sink);
+
   /// Verify the credit-conservation invariant on every (link, VC): for
   /// each hop, buffer_depth equals the upstream credit counter plus credits
   /// on the reverse wire plus occupied resources (retransmission slots and
@@ -133,6 +149,9 @@ class Network {
 
  private:
   [[nodiscard]] static std::string link_name(RouterId from, Direction d);
+  /// Emit router blocked/unblocked transitions (kSaturation category). Runs
+  /// after ++now_ so its view matches sample_utilization at the same cycle.
+  void trace_saturation();
 
   NocConfig cfg_;
   MeshGeometry geom_;
@@ -149,6 +168,9 @@ class Network {
   std::vector<std::unique_ptr<Link>> ej_links_;
 
   std::set<LinkRef> disabled_;
+  PurgeTotals purge_totals_;
+  trace::Tap tap_;
+  std::vector<char> router_blocked_;  ///< Last traced blocked state.
 };
 
 }  // namespace htnoc

@@ -6,16 +6,27 @@ namespace htnoc {
 
 bool NetworkInterface::try_inject(Cycle now, const PacketInfo& info,
                                   const std::vector<std::uint64_t>& payload) {
-  (void)now;
   DomainStream& s = stream_of(info.domain);
   if (static_cast<int>(s.queue.size()) + info.length >
       cfg_.injection_queue_depth) {
     ++stats_.inject_rejects;
+    if (!saturated_ && tap_.on(trace::Category::kInjection)) {
+      trace::Event e = trace::make_event(trace::EventType::kInjectionBlocked,
+                                         now, trace::Scope::kCore, core_);
+      e.packet = info.id;
+      tap_.emit(e);
+    }
     saturated_ = true;
     return false;
   }
   for (Flit& f : packetize(info, payload)) s.queue.push_back(std::move(f));
   ++stats_.packets_injected;
+  if (saturated_ && tap_.on(trace::Category::kInjection)) {
+    trace::Event e = trace::make_event(trace::EventType::kInjectionUnblocked,
+                                       now, trace::Scope::kCore, core_);
+    e.packet = info.id;
+    tap_.emit(e);
+  }
   saturated_ = false;
   return true;
 }
@@ -104,12 +115,16 @@ void NetworkInterface::step_ejection(Cycle now) {
 }
 
 int NetworkInterface::purge_injection(
-    Cycle now, PacketId p, const std::set<std::uint64_t>& buffered_uids) {
+    Cycle now, PacketId p, const std::set<std::uint64_t>& buffered_uids,
+    std::vector<std::uint64_t>* removed_uids) {
   (void)now;
   int purged = 0;
   for (auto& s : streams_) {
     for (auto it = s.queue.begin(); it != s.queue.end();) {
       if (it->packet == p) {
+        if (removed_uids != nullptr) {
+          removed_uids->push_back(it->flit_uid());
+        }
         it = s.queue.erase(it);
         ++purged;
       } else {
@@ -122,7 +137,7 @@ int NetworkInterface::purge_injection(
       s.packet = kInvalidPacket;
     }
   }
-  purged += out_.purge_packet(p, buffered_uids);
+  purged += out_.purge_packet(p, buffered_uids, removed_uids);
   return purged;
 }
 

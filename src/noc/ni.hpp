@@ -77,8 +77,18 @@ class NetworkInterface {
     return in_.purge_packet(now, p);
   }
   /// Purge pass over the source queues and local-link retransmission buffer.
+  /// Appends purged flit uids to `removed_uids` when non-null.
   int purge_injection(Cycle now, PacketId p,
-                      const std::set<std::uint64_t>& buffered_uids);
+                      const std::set<std::uint64_t>& buffered_uids,
+                      std::vector<std::uint64_t>* removed_uids = nullptr);
+
+  /// Install the trace tap: injection block/unblock transitions plus the
+  /// NI-side ECC/retransmission machinery, filed under this core's track.
+  void set_trace(trace::Tap tap) {
+    tap_ = tap;
+    out_.set_trace(tap, trace::Scope::kCore, core_, /*port=*/-1);
+    in_.set_trace(tap, trace::Scope::kCore, core_);
+  }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] NodeId core() const noexcept { return core_; }
@@ -107,6 +117,7 @@ class NetworkInterface {
   InputUnit in_;    ///< From the router's local output port.
   std::array<DomainStream, 2> streams_;
   bool saturated_ = false;  ///< Last try_inject was rejected.
+  trace::Tap tap_;
   DeliveryCallback on_delivery_;
   Stats stats_;
 };

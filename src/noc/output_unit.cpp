@@ -5,12 +5,16 @@
 namespace htnoc {
 
 int OutputUnit::purge_packet(PacketId p,
-                             const std::set<std::uint64_t>& buffered_uids) {
+                             const std::set<std::uint64_t>& buffered_uids,
+                             std::vector<std::uint64_t>* removed_uids) {
   int purged = 0;
   for (auto it = slots_.begin(); it != slots_.end();) {
     if (it->flit.packet != p) {
       ++it;
       continue;
+    }
+    if (removed_uids != nullptr) {
+      removed_uids->push_back(it->flit.flit_uid());
     }
     // A waiting slot's flit exists only here; an in-flight one is either on
     // the link / NACK-pending (credit restored directly) or buffered at the
@@ -102,6 +106,18 @@ void OutputUnit::step_lt(Cycle now) {
   phit.obf = tag;
   phit.attempt = s.attempt;
   link_->send(now, std::move(phit));
+
+  if (s.attempt > 0 && tap_.on(trace::Category::kRetransmission)) {
+    trace::Event e =
+        trace::make_event(trace::EventType::kRetransmission, now, trace_scope_,
+                          trace_node_, trace_port_);
+    e.packet = s.flit.packet;
+    e.seq = static_cast<std::uint32_t>(s.flit.seq);
+    e.vc = static_cast<std::uint8_t>(s.flit.vc);
+    e.aux = static_cast<std::uint8_t>(s.attempt > 255 ? 255 : s.attempt);
+    e.arg = s.flit.wire;
+    tap_.emit(e);
+  }
 
   s.state = Slot::State::kInFlight;
   s.last_tag = tag;

@@ -47,6 +47,16 @@ class OutputUnit {
   }
   void set_lob(LObController* lob) { lob_ = lob; }
 
+  /// Install the trace tap with this unit's track identity (router port or
+  /// NI core).
+  void set_trace(trace::Tap tap, trace::Scope scope, std::uint16_t node,
+                 std::int8_t port) {
+    tap_ = tap;
+    trace_scope_ = scope;
+    trace_node_ = node;
+    trace_port_ = port;
+  }
+
   // --- downstream VC allocation (VA stage bookkeeping) ---
 
   [[nodiscard]] bool vc_free(int vc) const {
@@ -139,8 +149,10 @@ class OutputUnit {
   /// restored directly except for flits known to be buffered at the
   /// receiver (`buffered_uids`) — those return their credit through the
   /// normal reverse channel when the receiver purges them. Returns the
-  /// number of slots removed.
-  int purge_packet(PacketId p, const std::set<std::uint64_t>& buffered_uids);
+  /// number of slots removed; when `removed_uids` is non-null the purged
+  /// flit uids are appended (the network-level purge accounting).
+  int purge_packet(PacketId p, const std::set<std::uint64_t>& buffered_uids,
+                   std::vector<std::uint64_t>* removed_uids = nullptr);
 
   /// Release the VC only if currently allocated (purge recovery path).
   void release_vc_if_allocated(int vc) {
@@ -232,6 +244,10 @@ class OutputUnit {
   std::string name_;
   Link* link_ = nullptr;
   LObController* lob_ = nullptr;
+  trace::Tap tap_;
+  trace::Scope trace_scope_ = trace::Scope::kRouter;
+  std::uint16_t trace_node_ = 0;
+  std::int8_t trace_port_ = -1;
   std::vector<bool> vc_allocated_;
   std::vector<int> credits_;
   Cycle last_credit_gain_ = 0;

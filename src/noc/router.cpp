@@ -34,6 +34,14 @@ void Router::set_lob(int port, LObController* lob) {
   outputs_[static_cast<std::size_t>(port)]->set_lob(lob);
 }
 
+void Router::set_trace(trace::Tap tap) {
+  for (auto& in : inputs_) in->set_trace(tap, trace::Scope::kRouter, id_);
+  for (std::size_t p = 0; p < outputs_.size(); ++p) {
+    outputs_[p]->set_trace(tap, trace::Scope::kRouter, id_,
+                           static_cast<std::int8_t>(p));
+  }
+}
+
 void Router::step(Cycle now) {
   // Reverse-channel control first so freed slots/credits are usable this
   // cycle (they were sent >= 1 cycle ago).

@@ -64,6 +64,8 @@ class Router {
   void set_detector(ThreatDetector* det);
   /// Install an L-Ob controller on one output port.
   void set_lob(int port, LObController* lob);
+  /// Install the trace tap on every input and output unit.
+  void set_trace(trace::Tap tap);
   /// Swap the routing function (Ariadne-style reconfiguration).
   void set_routing(const RoutingFunction* routing) { routing_ = routing; }
 

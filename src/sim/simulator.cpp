@@ -14,7 +14,13 @@ std::string to_string(MitigationMode m) {
 }
 
 Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg)) {
+  if (trace::kCompiledIn && cfg_.trace.enabled) {
+    trace_sink_ = std::make_unique<trace::TraceSink>(cfg_.trace);
+  }
+  const trace::Tap tap(trace_sink_.get());
+
   net_ = std::make_unique<Network>(cfg_.noc);
+  if (trace_sink_) net_->set_trace(trace_sink_.get());
   const MeshGeometry& geom = net_->geometry();
 
   // Background transient faults.
@@ -38,6 +44,8 @@ Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg)) {
   // Trojan implants (kill switches start off; the schedule enables them).
   for (const AttackSpec& a : cfg_.attacks) {
     auto t = std::make_shared<trojan::Tasp>(a.tasp);
+    t->set_trace(tap, a.link.from,
+                 static_cast<std::int8_t>(direction_port(a.link.dir)));
     net_->link(a.link.from, a.link.dir).attach_injector(t);
     trojans_.push_back(std::move(t));
   }
@@ -48,6 +56,7 @@ Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg)) {
     for (RouterId r = 0; r < geom.num_routers(); ++r) {
       auto det =
           std::make_unique<mitigation::RouterThreatDetector>(cfg_.detector);
+      det->set_trace(tap, static_cast<std::uint16_t>(r));
       // Give the detector each inter-router input port's link for BIST.
       for (int port = 0; port < 4; ++port) {
         const Direction d = port_direction(port);
@@ -75,6 +84,8 @@ Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg)) {
       for (int port = 0; port < 4; ++port) {
         if (!geom.has_neighbor(r, port_direction(port))) continue;
         auto lob = std::make_unique<mitigation::LObController>(cfg_.lob);
+        lob->set_trace(tap, static_cast<std::uint16_t>(r),
+                       static_cast<std::int8_t>(port));
         net_->set_lob(r, port, lob.get());
         lobs_[{r, port}] = std::move(lob);
       }
@@ -121,6 +132,14 @@ void Simulator::process_reroute_events() {
     // stays in (degraded) service.
     if (net_->would_disconnect(fwd)) {
       ++stats_.reroutes_refused_disconnect;
+      if (trace_sink_ != nullptr &&
+          trace_sink_->wants(trace::Category::kReroute)) {
+        trace::Event e = trace::make_event(
+            trace::EventType::kRerouteRefused, now, trace::Scope::kLink,
+            static_cast<std::uint16_t>(fwd.from),
+            static_cast<std::int8_t>(direction_port(fwd.dir)));
+        trace_sink_->record(e);
+      }
       continue;
     }
     const LinkRef rev{receiver, opposite(fwd.dir)};
@@ -150,6 +169,11 @@ void Simulator::process_reroute_events() {
       reconfigured = true;
     }
   }
+  // Purge accounting: the network deduplicates flits per purged packet, so
+  // its totals are the exact flit count (not the per-packet approximation
+  // this counter used to hold).
+  stats_.flits_purged_total = net_->purge_totals().flits;
+
   if (reconfigured) {
     // Stale routed-but-unallocated decisions must not aim at dead links.
     for (RouterId r = 0; r < net_->geometry().num_routers(); ++r) {
@@ -157,6 +181,13 @@ void Simulator::process_reroute_events() {
     }
     net_->use_updown_routing();
     ++stats_.routing_reconfigurations;
+    if (trace_sink_ != nullptr &&
+        trace_sink_->wants(trace::Category::kReroute)) {
+      trace::Event e = trace::make_event(trace::EventType::kRoutingReconfigured,
+                                         now, trace::Scope::kNetwork, 0);
+      e.arg = static_cast<std::uint64_t>(stats_.links_disabled);
+      trace_sink_->record(e);
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 #include "mitigation/lob.hpp"
 #include "mitigation/threat_detector.hpp"
 #include "noc/network.hpp"
+#include "trace/sink.hpp"
 #include "trojan/tasp.hpp"
 
 namespace htnoc::sim {
@@ -49,6 +50,10 @@ struct SimConfig {
   /// wedging the network meanwhile.
   Cycle reroute_latency = 300;
   std::uint64_t seed = 0xABCD;
+  /// Event-trace capture (off by default; see src/trace). When enabled and
+  /// tracing is compiled in, the simulator owns a TraceSink and threads taps
+  /// through every instrumented component.
+  trace::TraceConfig trace;
 };
 
 class Simulator {
@@ -56,7 +61,9 @@ class Simulator {
   struct Stats {
     int links_disabled = 0;
     std::uint64_t packets_purged = 0;
-    std::uint64_t flits_purged_total = 0;  // approximate: purged packet count
+    /// Distinct flits removed network-wide by purges (link phits, input
+    /// VC buffers, retransmission slots and NI queues, deduplicated).
+    std::uint64_t flits_purged_total = 0;
     int routing_reconfigurations = 0;
     /// Classified links left in service because disabling them would have
     /// disconnected the mesh.
@@ -97,12 +104,22 @@ class Simulator {
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// The owned trace sink, or nullptr when tracing is disabled (or compiled
+  /// out).
+  [[nodiscard]] trace::TraceSink* trace_sink() noexcept {
+    return trace_sink_.get();
+  }
+  [[nodiscard]] const trace::TraceSink* trace_sink() const noexcept {
+    return trace_sink_.get();
+  }
+
  private:
   void apply_kill_switch_schedule();
   void process_reroute_events();
   [[nodiscard]] LinkRef link_feeding(RouterId receiver, int in_port) const;
 
   SimConfig cfg_;
+  std::unique_ptr<trace::TraceSink> trace_sink_;  ///< Before net_: outlives taps.
   std::unique_ptr<Network> net_;
   std::vector<std::shared_ptr<trojan::Tasp>> trojans_;
   std::vector<std::unique_ptr<mitigation::RouterThreatDetector>> detectors_;

@@ -144,12 +144,45 @@ void print_network_report(std::ostream& os, Network& net) {
      << " delivered, " << rejects << " rejected\n";
   os << "  ECC: " << corrected << " inline corrections, " << sdc
      << " silent corruptions\n";
+  const auto& purges = net.purge_totals();
+  os << "  purges: " << purges.packets << " packets, " << purges.flits
+     << " flits removed\n";
+}
+
+double LatencyStats::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based (nearest-rank definition).
+  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  std::uint64_t cum = 0;
+  Cycle lo = 0;
+  Cycle hi = 8;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = hist_[b];
+    if (in_bucket > 0 && rank <= static_cast<double>(cum + in_bucket)) {
+      // The open last bucket and the extremes are clamped to observed data.
+      const double bucket_lo =
+          std::max(static_cast<double>(lo), static_cast<double>(min_));
+      const double bucket_hi =
+          b + 1 == kBuckets
+              ? static_cast<double>(max_)
+              : std::min(static_cast<double>(hi), static_cast<double>(max_));
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return bucket_lo + frac * std::max(0.0, bucket_hi - bucket_lo);
+    }
+    cum += in_bucket;
+    lo = hi;
+    hi *= 2;
+  }
+  return static_cast<double>(max_);
 }
 
 void LatencyStats::print(std::ostream& os, const std::string& label) const {
   os << label << ": n=" << count_ << " mean=" << std::fixed
      << std::setprecision(2) << mean() << " min=" << min_ << " max=" << max_
-     << "\n  histogram(cycles):";
+     << " p50=" << std::setprecision(1) << p50() << " p95=" << p95()
+     << " p99=" << p99() << "\n  histogram(cycles):";
   Cycle bound = 8;
   for (std::size_t b = 0; b < kBuckets; ++b) {
     os << " <" << bound << ":" << hist_[b];

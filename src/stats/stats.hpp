@@ -127,6 +127,16 @@ class LatencyStats {
   }
   [[nodiscard]] Cycle max() const noexcept { return max_; }
   [[nodiscard]] Cycle min() const noexcept { return min_; }
+
+  /// Estimated latency at quantile `q` in [0, 1], linearly interpolated
+  /// within the power-of-two histogram bucket holding that rank (the open
+  /// last bucket is clamped to the observed max). Exact for bucket
+  /// boundaries; within a bucket the error is bounded by the bucket width.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p95() const { return percentile(0.95); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+
   void print(std::ostream& os, const std::string& label) const;
 
  private:

@@ -127,6 +127,7 @@ RunResult SweepRunner::run_single(const SweepSpec& spec, const RunSpec& rs) {
   sc.attacks = rs.attacks;
   sc.seed = mix_seed(rs.seed, 1);
   sc.noc.seed = mix_seed(rs.seed, 2);
+  sc.trace = rs.trace;
   sim::Simulator simulator(std::move(sc));
   Network& net = simulator.network();
 
@@ -198,6 +199,9 @@ RunResult SweepRunner::run_single(const SweepSpec& spec, const RunSpec& rs) {
     }
   }
   res.final_util = net.sample_utilization();
+  if (const trace::TraceSink* sink = simulator.trace_sink()) {
+    res.trace = std::make_shared<const trace::TraceLog>(sink->log());
+  }
   res.ok = true;
   return res;
 }

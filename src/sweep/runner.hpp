@@ -10,8 +10,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "noc/network.hpp"
 #include "sweep/spec.hpp"
+#include "trace/sink.hpp"
 #include "traffic/generator.hpp"
 
 namespace htnoc::sweep {
@@ -47,6 +50,11 @@ struct RunResult {
   // Populated only when spec.probe_period > 0.
   std::vector<Network::UtilizationSample> util_series;
   std::vector<ThroughputSample> throughput_series;
+
+  /// Captured event trace; non-null only when the run's trace config was
+  /// enabled (and tracing is compiled in). Shared so copying results stays
+  /// cheap; the log itself is immutable once the run finishes.
+  std::shared_ptr<const trace::TraceLog> trace;
 
   /// Scalar metric values, parallel to metric_names().
   [[nodiscard]] std::vector<double> metrics() const;

@@ -78,6 +78,7 @@ std::vector<RunSpec> expand(const SweepSpec& spec) {
             rs.attacks = spec.attack_scenarios[ai].attacks;
             rs.profile = spec.profiles[pi];
             rs.rate_scale = spec.rate_scales[ri];
+            rs.trace = spec.base.trace;
             runs.push_back(std::move(rs));
           }
           ++linear;

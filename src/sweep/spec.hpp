@@ -60,6 +60,11 @@ struct RunSpec {
   std::string profile;
   double rate_scale = 1.0;
 
+  /// Per-run trace capture, copied from SweepSpec::base.trace by expand().
+  /// Replay tooling can flip `enabled` on one RunSpec to capture a single
+  /// grid point without re-running (or tracing) the whole sweep.
+  trace::TraceConfig trace;
+
   /// "mode=lob attack=single profile=blackscholes rate=1.00" — stable key
   /// shared by all replicates of a grid point.
   [[nodiscard]] std::string point_label() const;

@@ -1,0 +1,100 @@
+#include "trace/events.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace htnoc::trace {
+
+const char* to_string(EventType t) noexcept {
+  switch (t) {
+    case EventType::kLinkTraversal: return "link_traversal";
+    case EventType::kLinkFaultInjected: return "link_fault_injected";
+    case EventType::kEccCorrected: return "ecc_corrected";
+    case EventType::kEccUncorrectable: return "ecc_uncorrectable";
+    case EventType::kNackSent: return "nack_sent";
+    case EventType::kRetransmission: return "retransmission";
+    case EventType::kTrojanTriggered: return "trojan_triggered";
+    case EventType::kTrojanPayloadAdvance: return "trojan_payload_advance";
+    case EventType::kDetectorEscalation: return "detector_escalation";
+    case EventType::kDetectorClassified: return "detector_classified";
+    case EventType::kBistDispatched: return "bist_dispatched";
+    case EventType::kBistCompleted: return "bist_completed";
+    case EventType::kLObMethodApplied: return "lob_method_applied";
+    case EventType::kLObMethodSuccess: return "lob_method_success";
+    case EventType::kLObExhausted: return "lob_exhausted";
+    case EventType::kLinkDisabled: return "link_disabled";
+    case EventType::kRerouteRefused: return "reroute_refused";
+    case EventType::kRoutingReconfigured: return "routing_reconfigured";
+    case EventType::kPacketPurged: return "packet_purged";
+    case EventType::kInjectionBlocked: return "injection_blocked";
+    case EventType::kInjectionUnblocked: return "injection_unblocked";
+    case EventType::kRouterBlocked: return "router_blocked";
+    case EventType::kRouterUnblocked: return "router_unblocked";
+    case EventType::kCount_: break;
+  }
+  return "unknown";
+}
+
+const char* to_string(Category c) noexcept {
+  switch (c) {
+    case Category::kLink: return "link";
+    case Category::kEcc: return "ecc";
+    case Category::kRetransmission: return "retransmission";
+    case Category::kTrojan: return "trojan";
+    case Category::kDetector: return "detector";
+    case Category::kLOb: return "lob";
+    case Category::kBist: return "bist";
+    case Category::kReroute: return "reroute";
+    case Category::kPurge: return "purge";
+    case Category::kInjection: return "injection";
+    case Category::kSaturation: return "saturation";
+    case Category::kAll: return "all";
+    case Category::kNone: return "none";
+  }
+  return "unknown";
+}
+
+const char* to_string(Scope s) noexcept {
+  switch (s) {
+    case Scope::kNetwork: return "network";
+    case Scope::kRouter: return "router";
+    case Scope::kLink: return "link";
+    case Scope::kCore: return "core";
+  }
+  return "unknown";
+}
+
+std::uint32_t parse_categories(const std::string& csv) {
+  static const std::vector<Category> kBits = {
+      Category::kLink,     Category::kEcc,   Category::kRetransmission,
+      Category::kTrojan,   Category::kDetector, Category::kLOb,
+      Category::kBist,     Category::kReroute,  Category::kPurge,
+      Category::kInjection, Category::kSaturation};
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string name = csv.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (name.empty()) continue;
+    if (name == "all") {
+      mask |= raw(Category::kAll);
+      continue;
+    }
+    bool found = false;
+    for (const Category c : kBits) {
+      if (name == to_string(c)) {
+        mask |= raw(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("unknown trace category: " + name);
+    }
+  }
+  return mask;
+}
+
+}  // namespace htnoc::trace

@@ -1,0 +1,173 @@
+// Event taxonomy for the cycle-accurate tracing subsystem: fixed-size POD
+// records, a category bitmask for selective capture, and the mapping from
+// event type to category. Everything here depends only on common/ so the
+// trace layer sits below noc/ in the library graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "common/types.hpp"
+
+namespace htnoc::trace {
+
+/// What happened. Each type belongs to exactly one Category (category_of).
+enum class EventType : std::uint8_t {
+  // -- link layer --
+  kLinkTraversal = 0,    ///< A phit started crossing a link.
+  kLinkFaultInjected,    ///< An attached injector mutated the codeword.
+  // -- ECC / retransmission protocol --
+  kEccCorrected,         ///< Receiver corrected a single-bit error.
+  kEccUncorrectable,     ///< Receiver saw a detectable-but-uncorrectable word.
+  kNackSent,             ///< NACK issued (aux carries the detector advice).
+  kRetransmission,       ///< Sender re-sent a previously NACKed flit.
+  // -- trojan --
+  kTrojanTriggered,      ///< Comparator matched and the payload fired.
+  kTrojanPayloadAdvance, ///< Payload FSM moved to its next state.
+  // -- detector / BIST --
+  kDetectorEscalation,   ///< Detector advised obfuscation escalation.
+  kDetectorClassified,   ///< Port threat class changed (aux = new class).
+  kBistDispatched,       ///< BIST scan scheduled (arg = completion cycle).
+  kBistCompleted,        ///< BIST scan finished (aux = permanent fault found).
+  // -- L-Ob obfuscation --
+  kLObMethodApplied,     ///< An obfuscation method protected a transmission.
+  kLObMethodSuccess,     ///< An obfuscated transmission was ACKed.
+  kLObExhausted,         ///< The method sequence wrapped without success.
+  // -- reroute / purge --
+  kLinkDisabled,         ///< Reroute policy disabled a link.
+  kRerouteRefused,       ///< Disabling would disconnect the mesh; refused.
+  kRoutingReconfigured,  ///< up*/down* tables recomputed.
+  kPacketPurged,         ///< A packet's flits were purged (arg = flit count).
+  // -- saturation observability --
+  kInjectionBlocked,     ///< An NI source queue filled ("core full").
+  kInjectionUnblocked,   ///< The queue accepted work again.
+  kRouterBlocked,        ///< A router first reports a blocked port.
+  kRouterUnblocked,      ///< The router's ports all recovered.
+  kCount_,               ///< Sentinel; not a real event.
+};
+
+inline constexpr int kNumEventTypes = static_cast<int>(EventType::kCount_);
+
+/// Capture-filter bitmask. A TraceSink records an event only when the
+/// event's category bit is enabled.
+enum class Category : std::uint32_t {
+  kNone = 0,
+  kLink = 1u << 0,
+  kEcc = 1u << 1,
+  kRetransmission = 1u << 2,
+  kTrojan = 1u << 3,
+  kDetector = 1u << 4,
+  kLOb = 1u << 5,
+  kBist = 1u << 6,
+  kReroute = 1u << 7,
+  kPurge = 1u << 8,
+  kInjection = 1u << 9,
+  kSaturation = 1u << 10,
+  kAll = (1u << 11) - 1,
+};
+
+[[nodiscard]] constexpr std::uint32_t raw(Category c) noexcept {
+  return static_cast<std::uint32_t>(c);
+}
+
+[[nodiscard]] constexpr Category category_of(EventType t) noexcept {
+  switch (t) {
+    case EventType::kLinkTraversal:
+    case EventType::kLinkFaultInjected:
+      return Category::kLink;
+    case EventType::kEccCorrected:
+    case EventType::kEccUncorrectable:
+    case EventType::kNackSent:
+      return Category::kEcc;
+    case EventType::kRetransmission:
+      return Category::kRetransmission;
+    case EventType::kTrojanTriggered:
+    case EventType::kTrojanPayloadAdvance:
+      return Category::kTrojan;
+    case EventType::kDetectorEscalation:
+    case EventType::kDetectorClassified:
+      return Category::kDetector;
+    case EventType::kBistDispatched:
+    case EventType::kBistCompleted:
+      return Category::kBist;
+    case EventType::kLObMethodApplied:
+    case EventType::kLObMethodSuccess:
+    case EventType::kLObExhausted:
+      return Category::kLOb;
+    case EventType::kLinkDisabled:
+    case EventType::kRerouteRefused:
+    case EventType::kRoutingReconfigured:
+      return Category::kReroute;
+    case EventType::kPacketPurged:
+      return Category::kPurge;
+    case EventType::kInjectionBlocked:
+    case EventType::kInjectionUnblocked:
+      return Category::kInjection;
+    case EventType::kRouterBlocked:
+    case EventType::kRouterUnblocked:
+      return Category::kSaturation;
+    case EventType::kCount_:
+      return Category::kNone;
+  }
+  return Category::kNone;
+}
+
+/// Where the event happened — selects the track an exporter files it under.
+enum class Scope : std::uint8_t {
+  kNetwork = 0,  ///< Global (reconfiguration, purge). node unused.
+  kRouter,       ///< node = router id, port = router port (or -1).
+  kLink,         ///< node = source router/core, port = direction code.
+  kCore,         ///< node = core id (NI-side events).
+};
+
+/// Port codes used with Scope::kLink: 0..3 are mesh directions (N/S/E/W,
+/// matching Direction), 4 is the injection link (core -> router) and 5 the
+/// ejection link (router -> core).
+inline constexpr std::int8_t kLinkPortInjection = 4;
+inline constexpr std::int8_t kLinkPortEjection = 5;
+
+/// One trace record. Exactly 40 bytes with every byte explicitly covered —
+/// no implicit padding — so raw serialization is deterministic. The meaning
+/// of arg/aux/vc is per-EventType (see docs/OBSERVABILITY.md).
+struct Event {
+  Cycle cycle = 0;
+  PacketId packet = 0;
+  std::uint64_t arg = 0;       ///< Type-specific payload (wire word, count..).
+  std::uint32_t seq = 0;       ///< Flit sequence number within the packet.
+  std::uint16_t node = 0;      ///< Router/core id per Scope.
+  EventType type = EventType::kLinkTraversal;
+  Scope scope = Scope::kNetwork;
+  std::int8_t port = -1;       ///< Port / direction code; -1 when unused.
+  std::uint8_t vc = 0;
+  std::uint8_t aux = 0;        ///< Type-specific small payload.
+  std::uint8_t flags = 0;
+  std::uint32_t reserved = 0;  ///< Keeps sizeof == 40 without padding bytes.
+};
+
+static_assert(sizeof(Event) == 40, "Event must stay a fixed 40-byte record");
+static_assert(std::is_trivially_copyable_v<Event>,
+              "Event must be memcpy-safe for binary serialization");
+
+/// Convenience constructor for the common fields; callers fill the rest.
+[[nodiscard]] inline Event make_event(EventType t, Cycle cycle, Scope scope,
+                                      std::uint16_t node,
+                                      std::int8_t port = -1) noexcept {
+  Event e;
+  e.type = t;
+  e.cycle = cycle;
+  e.scope = scope;
+  e.node = node;
+  e.port = port;
+  return e;
+}
+
+[[nodiscard]] const char* to_string(EventType t) noexcept;
+[[nodiscard]] const char* to_string(Category c) noexcept;  ///< Single bit only.
+[[nodiscard]] const char* to_string(Scope s) noexcept;
+
+/// Parse a comma-separated category list ("trojan,ecc,saturation" or "all")
+/// into a bitmask. Throws std::invalid_argument on unknown names.
+[[nodiscard]] std::uint32_t parse_categories(const std::string& csv);
+
+}  // namespace htnoc::trace

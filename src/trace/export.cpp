@@ -1,0 +1,210 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace htnoc::trace {
+namespace {
+
+constexpr char kMagic[8] = {'H', 'T', 'N', 'O', 'C', 'T', 'R', 'C'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void append_raw(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+// Process ids of the Chrome-trace track groups, one per Scope.
+constexpr int kPidNetwork = 0;
+constexpr int kPidRouters = 1;
+constexpr int kPidLinks = 2;
+constexpr int kPidCores = 3;
+
+struct Track {
+  int pid = kPidNetwork;
+  int tid = 0;
+};
+
+Track track_of(const Event& e) {
+  switch (e.scope) {
+    case Scope::kRouter:
+      return {kPidRouters, static_cast<int>(e.node)};
+    case Scope::kLink:
+      return {kPidLinks,
+              static_cast<int>(e.node) * 8 + std::max<int>(0, e.port)};
+    case Scope::kCore:
+      return {kPidCores, static_cast<int>(e.node)};
+    case Scope::kNetwork:
+      break;
+  }
+  return {kPidNetwork, 0};
+}
+
+std::string track_name(const Event& e) {
+  const char* kDirs = "NSEW";
+  std::ostringstream os;
+  switch (e.scope) {
+    case Scope::kRouter:
+      os << "router " << e.node;
+      break;
+    case Scope::kLink:
+      if (e.port >= 0 && e.port < 4) {
+        os << "link r" << e.node << "." << kDirs[e.port];
+      } else if (e.port == kLinkPortInjection) {
+        os << "link core" << e.node << ".inj";
+      } else if (e.port == kLinkPortEjection) {
+        os << "link core" << e.node << ".ej";
+      } else {
+        os << "link r" << e.node << ".?";
+      }
+      break;
+    case Scope::kCore:
+      os << "core " << e.node;
+      break;
+    case Scope::kNetwork:
+      os << "network";
+      break;
+  }
+  return os.str();
+}
+
+void emit_args(std::ostream& os, const Event& e) {
+  os << "{\"packet\":" << e.packet << ",\"seq\":" << e.seq
+     << ",\"vc\":" << static_cast<int>(e.vc)
+     << ",\"port\":" << static_cast<int>(e.port)
+     << ",\"aux\":" << static_cast<int>(e.aux) << ",\"arg\":" << e.arg << "}";
+}
+
+}  // namespace
+
+std::string serialize_binary(const TraceLog& log) {
+  std::string out;
+  out.reserve(48 + log.events.size() * sizeof(Event));
+  out.append(kMagic, sizeof(kMagic));
+  append_raw(out, kBinaryVersion);
+  append_raw(out, log.config.categories);
+  append_raw(out, static_cast<std::uint64_t>(log.config.capacity));
+  append_raw(out, log.total_recorded);
+  append_raw(out, static_cast<std::uint64_t>(log.events.size()));
+  append_raw(out, log.num_routers);
+  append_raw(out, log.mesh_width);
+  append_raw(out, log.mesh_height);
+  append_raw(out, log.concentration);
+  append_raw(out, std::uint8_t{0});
+  append_raw(out, std::uint8_t{0});
+  append_raw(out, std::uint8_t{0});
+  for (const Event& e : log.events) append_raw(out, e);
+  return out;
+}
+
+void write_binary(std::ostream& os, const TraceLog& log) {
+  const std::string bytes = serialize_binary(log);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void write_chrome_json(std::ostream& os, const TraceLog& log) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Metadata: name every process and every thread actually used, in
+  // deterministic (pid, tid) order.
+  const std::map<int, const char*> process_names = {
+      {kPidNetwork, "network"},
+      {kPidRouters, "routers"},
+      {kPidLinks, "links"},
+      {kPidCores, "cores"}};
+  std::map<std::pair<int, int>, std::string> threads;
+  for (const Event& e : log.events) {
+    const Track t = track_of(e);
+    threads.emplace(std::make_pair(t.pid, t.tid), track_name(e));
+  }
+  std::set<int> pids;
+  for (const auto& [key, name] : threads) pids.insert(key.first);
+  for (const int pid : pids) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << process_names.at(pid)
+       << "\"}}";
+  }
+  for (const auto& [key, name] : threads) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":\"" << name
+       << "\"}}";
+  }
+
+  // Block/unblock pairs become duration (B/E) events so saturation shows
+  // as solid spans per track; everything else is an instant. An unblock
+  // whose begin fell off the ring window degrades to an instant.
+  std::map<std::pair<int, int>, Cycle> open_spans;
+  Cycle last_cycle = 0;
+  for (const Event& e : log.events) {
+    const Track t = track_of(e);
+    const std::pair<int, int> key{t.pid, t.tid};
+    last_cycle = std::max(last_cycle, e.cycle);
+    const bool is_block = e.type == EventType::kRouterBlocked ||
+                          e.type == EventType::kInjectionBlocked;
+    const bool is_unblock = e.type == EventType::kRouterUnblocked ||
+                            e.type == EventType::kInjectionUnblocked;
+    if (is_block && open_spans.find(key) == open_spans.end()) {
+      open_spans.emplace(key, e.cycle);
+      sep();
+      os << "{\"name\":\"blocked\",\"ph\":\"B\",\"ts\":" << e.cycle
+         << ",\"pid\":" << t.pid << ",\"tid\":" << t.tid << ",\"args\":";
+      emit_args(os, e);
+      os << "}";
+      continue;
+    }
+    if (is_unblock && open_spans.erase(key) > 0) {
+      sep();
+      os << "{\"name\":\"blocked\",\"ph\":\"E\",\"ts\":" << e.cycle
+         << ",\"pid\":" << t.pid << ",\"tid\":" << t.tid << "}";
+      continue;
+    }
+    sep();
+    os << "{\"name\":\"" << to_string(e.type)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.cycle
+       << ",\"pid\":" << t.pid << ",\"tid\":" << t.tid << ",\"args\":";
+    emit_args(os, e);
+    os << "}";
+  }
+  // Close spans still open at the end of the window so viewers nest them.
+  for (const auto& [key, begin] : open_spans) {
+    sep();
+    os << "{\"name\":\"blocked\",\"ph\":\"E\",\"ts\":" << last_cycle + 1
+       << ",\"pid\":" << key.first << ",\"tid\":" << key.second << "}";
+  }
+  os << "\n]}\n";
+}
+
+std::string to_chrome_json(const TraceLog& log) {
+  std::ostringstream os;
+  write_chrome_json(os, log);
+  return os.str();
+}
+
+void write_csv(std::ostream& os, const TraceLog& log) {
+  os << "cycle,type,category,scope,node,port,vc,packet,seq,aux,arg\n";
+  for (const Event& e : log.events) {
+    os << e.cycle << "," << to_string(e.type) << ","
+       << to_string(category_of(e.type)) << "," << to_string(e.scope) << ","
+       << e.node << "," << static_cast<int>(e.port) << ","
+       << static_cast<int>(e.vc) << "," << e.packet << "," << e.seq << ","
+       << static_cast<int>(e.aux) << "," << e.arg << "\n";
+  }
+}
+
+}  // namespace htnoc::trace

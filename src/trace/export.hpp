@@ -1,0 +1,30 @@
+// Exporters for a captured TraceLog: a raw binary image (the byte-identity
+// determinism contract), Chrome trace-event JSON loadable in Perfetto /
+// chrome://tracing (one track per router, per link and per core), and a
+// flat CSV for ad-hoc analysis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/sink.hpp"
+
+namespace htnoc::trace {
+
+/// Raw binary image: fixed header + the Event records verbatim. Two logs
+/// from identical runs serialize to identical bytes (the replay contract
+/// test_trace_determinism enforces).
+[[nodiscard]] std::string serialize_binary(const TraceLog& log);
+void write_binary(std::ostream& os, const TraceLog& log);
+
+/// Chrome trace-event JSON (the `{"traceEvents": [...]}` object form).
+/// Routers, links and cores each get a process with one thread per unit;
+/// block/unblock pairs become duration events, everything else instants.
+[[nodiscard]] std::string to_chrome_json(const TraceLog& log);
+void write_chrome_json(std::ostream& os, const TraceLog& log);
+
+/// One row per event: cycle,type,category,scope,node,port,vc,packet,seq,
+/// aux,arg.
+void write_csv(std::ostream& os, const TraceLog& log);
+
+}  // namespace htnoc::trace

@@ -1,0 +1,85 @@
+// Attack forensics: reconstructs the paper's Fig. 11 DoS cascade from a
+// TraceLog — first trojan trigger, first uncorrectable NACK, the detector /
+// L-Ob escalation ladder, and the saturation wavefront (the cycle each
+// router first reported a blocked port), including the "≥68% of routers
+// blocked within ~50–100 cycles" check.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace htnoc::trace {
+
+struct ForensicReport {
+  static constexpr Cycle kNever = ~Cycle{0};
+
+  // First-occurrence milestones (kNever when not observed in the window).
+  Cycle first_trigger = kNever;
+  Cycle first_fault_injected = kNever;
+  Cycle first_uncorrectable = kNever;
+  Cycle first_nack = kNever;
+  Cycle first_escalation = kNever;
+  Cycle first_lob_applied = kNever;
+  Cycle first_lob_success = kNever;
+  Cycle first_bist_dispatch = kNever;
+  Cycle first_bist_complete = kNever;
+  Cycle first_classification = kNever;  ///< First trojan/permanent verdict.
+  std::uint8_t final_class = 0;         ///< Detector class code at the end.
+  Cycle first_link_disabled = kNever;
+  Cycle first_reconfiguration = kNever;
+
+  // Volume counters over the captured window.
+  std::uint64_t trojan_injections = 0;
+  std::uint64_t uncorrectable_flits = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t packets_purged = 0;
+  std::uint64_t flits_purged = 0;
+
+  /// The saturation wavefront: the cycle each router *first* reported a
+  /// blocked port at or after the first trojan trigger (the whole window
+  /// when no trigger was captured), sorted by cycle then router id.
+  /// Momentary pre-attack congestion blocks are excluded — the wavefront
+  /// measures the attack's spread, not warm-up noise.
+  struct WavefrontEntry {
+    std::uint16_t router = 0;
+    Cycle first_blocked = kNever;
+  };
+  std::vector<WavefrontEntry> wavefront;
+  std::uint16_t num_routers = 0;
+  std::size_t routers_ever_blocked = 0;
+  std::size_t routers_blocked_at_end = 0;  ///< Open blocked spans.
+  std::size_t cores_blocked_at_end = 0;    ///< NIs still refusing work.
+  /// Cycle the cumulative wavefront reached >= 50% / >= 68% of routers.
+  Cycle cycle_half_blocked = kNever;
+  Cycle cycle_majority68_blocked = kNever;
+
+  /// Chronological narrative of first-occurrence milestones.
+  struct Milestone {
+    Cycle cycle = 0;
+    std::string text;
+  };
+  std::vector<Milestone> ladder;
+
+  /// Cycles from first trigger to the 68% wavefront mark (kNever if either
+  /// milestone is missing) — the paper's Fig. 11 claim.
+  [[nodiscard]] Cycle trigger_to_majority68() const noexcept {
+    if (first_trigger == kNever || cycle_majority68_blocked == kNever) {
+      return kNever;
+    }
+    return cycle_majority68_blocked - first_trigger;
+  }
+};
+
+[[nodiscard]] ForensicReport analyze(const TraceLog& log);
+
+/// Human-readable timeline: milestones, the wavefront table and the
+/// saturation summary.
+void print_timeline(std::ostream& os, const TraceLog& log,
+                    const ForensicReport& report);
+
+}  // namespace htnoc::trace

@@ -1,0 +1,155 @@
+// TraceSink: a preallocated power-of-two ring buffer of Event records plus
+// the per-category enable mask, and Tap, the value-type handle components
+// hold. The hot-path contract: with HTNOC_TRACE compiled out, Tap::on() is
+// constant-false and every emit site folds away; compiled in but disabled,
+// it is one branch on a cached pointer + one mask test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "trace/events.hpp"
+
+// Compile-time kill switch: build with -DHTNOC_TRACE=0 to remove every
+// instrumentation branch from the binary.
+#ifndef HTNOC_TRACE
+#define HTNOC_TRACE 1
+#endif
+
+namespace htnoc::trace {
+
+inline constexpr bool kCompiledIn = HTNOC_TRACE != 0;
+
+struct TraceConfig {
+  bool enabled = false;
+  std::uint32_t categories = raw(Category::kAll);
+  /// Ring capacity in records; rounded up to a power of two (>= 16). The
+  /// default window holds 64Ki events (~2.5 MiB).
+  std::size_t capacity = std::size_t{1} << 16;
+};
+
+/// The exportable artifact a sink produces: configuration + topology
+/// metadata + the surviving chronological event window.
+struct TraceLog {
+  TraceConfig config;
+  std::uint16_t num_routers = 0;
+  std::uint8_t mesh_width = 0;
+  std::uint8_t mesh_height = 0;
+  std::uint8_t concentration = 0;
+  std::uint64_t total_recorded = 0;  ///< Including overwritten records.
+  std::vector<Event> events;         ///< Oldest first.
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_recorded - events.size();
+  }
+};
+
+class TraceSink final {
+ public:
+  explicit TraceSink(const TraceConfig& cfg) : cfg_(cfg) {
+    std::size_t cap = 16;
+    while (cap < cfg.capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Is this category being captured? (The caller-side filter; record()
+  /// itself is unconditional.)
+  [[nodiscard]] bool wants(Category c) const noexcept {
+    return (cfg_.categories & raw(c)) != 0;
+  }
+
+  void record(const Event& e) noexcept {
+    ring_[static_cast<std::size_t>(head_) & mask_] = e;
+    ++head_;
+  }
+
+  /// Recorded by Network::set_trace so exports are self-describing.
+  void set_topology(std::uint16_t num_routers, std::uint8_t width,
+                    std::uint8_t height, std::uint8_t concentration) noexcept {
+    num_routers_ = num_routers;
+    mesh_width_ = width;
+    mesh_height_ = height;
+    concentration_ = concentration;
+  }
+
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept { return head_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  [[nodiscard]] const TraceConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint16_t num_routers() const noexcept {
+    return num_routers_;
+  }
+
+  /// Snapshot the surviving window, oldest record first.
+  [[nodiscard]] std::vector<Event> snapshot() const {
+    std::vector<Event> out;
+    const std::uint64_t n =
+        head_ < ring_.size() ? head_ : static_cast<std::uint64_t>(ring_.size());
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = head_ - n; i < head_; ++i) {
+      out.push_back(ring_[static_cast<std::size_t>(i) & mask_]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] TraceLog log() const {
+    TraceLog l;
+    l.config = cfg_;
+    l.num_routers = num_routers_;
+    l.mesh_width = mesh_width_;
+    l.mesh_height = mesh_height_;
+    l.concentration = concentration_;
+    l.total_recorded = head_;
+    l.events = snapshot();
+    return l;
+  }
+
+ private:
+  TraceConfig cfg_;
+  std::vector<Event> ring_;
+  std::size_t mask_ = 0;
+  std::uint64_t head_ = 0;  ///< Monotonic; ring index is head_ & mask_.
+  std::uint16_t num_routers_ = 0;
+  std::uint8_t mesh_width_ = 0;
+  std::uint8_t mesh_height_ = 0;
+  std::uint8_t concentration_ = 0;
+};
+
+/// The handle instrumented components store by value. Null (the default)
+/// means tracing is off for that component; on() is the single branch the
+/// hot paths pay.
+class Tap {
+ public:
+  constexpr Tap() noexcept = default;
+  explicit constexpr Tap(TraceSink* sink) noexcept : sink_(sink) {}
+
+  [[nodiscard]] bool on(Category c) const noexcept {
+    if constexpr (!kCompiledIn) {
+      return false;
+    } else {
+      return sink_ != nullptr && sink_->wants(c);
+    }
+  }
+
+  /// Only call after on(category_of(e.type)) returned true.
+  void emit(const Event& e) const noexcept {
+    if constexpr (kCompiledIn) {
+      HTNOC_EXPECT(sink_ != nullptr);
+      sink_->record(e);
+    } else {
+      (void)e;
+    }
+  }
+
+  [[nodiscard]] TraceSink* sink() const noexcept { return sink_; }
+
+ private:
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace htnoc::trace

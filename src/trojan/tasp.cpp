@@ -128,6 +128,21 @@ void Tasp::on_traverse(Cycle now, LinkPhit& phit) {
   for (const unsigned wire_pos : payload_wires(payload_state_)) {
     phit.codeword.flip(wire_pos);
   }
+  if (tap_.on(trace::Category::kTrojan)) {
+    trace::Event e = trace::make_event(trace::EventType::kTrojanTriggered, now,
+                                       trace::Scope::kLink, trace_node_,
+                                       trace_port_);
+    e.packet = phit.flit.packet;
+    e.seq = static_cast<std::uint32_t>(phit.flit.seq);
+    e.vc = static_cast<std::uint8_t>(phit.flit.vc);
+    e.aux = static_cast<std::uint8_t>(payload_state_);
+    e.arg = w;
+    tap_.emit(e);
+    e.type = trace::EventType::kTrojanPayloadAdvance;
+    e.aux = static_cast<std::uint8_t>((payload_state_ + 1) %
+                                      params_.payload_states);
+    tap_.emit(e);
+  }
   payload_state_ = (payload_state_ + 1) % params_.payload_states;
   last_injection_ = now;
   injected_once_ = true;

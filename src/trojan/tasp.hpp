@@ -22,6 +22,7 @@
 #include "ecc/codec.hpp"
 #include "noc/fault_model.hpp"
 #include "noc/wire.hpp"
+#include "trace/sink.hpp"
 
 namespace htnoc::trojan {
 
@@ -100,6 +101,14 @@ class Tasp final : public LinkFaultInjector {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const TaspParams& params() const noexcept { return params_; }
 
+  /// Install the trace tap plus the implant site's link identity (source
+  /// router + direction code) so trigger/FSM events land on that track.
+  void set_trace(trace::Tap tap, std::uint16_t node, std::int8_t port) {
+    tap_ = tap;
+    trace_node_ = node;
+    trace_port_ = port;
+  }
+
   /// True when the wire word matches the tuned target (the comparator
   /// output, exposed for tests and the detection-probability benches).
   [[nodiscard]] bool matches(std::uint64_t wire_word) const noexcept;
@@ -131,6 +140,9 @@ class Tasp final : public LinkFaultInjector {
   Cycle last_injection_ = 0;
   bool injected_once_ = false;
   std::vector<unsigned> tap_wires_;  ///< Wires the XOR tree can reach.
+  trace::Tap tap_;
+  std::uint16_t trace_node_ = 0;
+  std::int8_t trace_port_ = -1;
   Stats stats_;
 };
 

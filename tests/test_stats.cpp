@@ -132,6 +132,45 @@ TEST(LatencyStats, EmptyIsSafe) {
   LatencyStats s;
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.p50(), 0.0);
+  EXPECT_EQ(s.p99(), 0.0);
+}
+
+TEST(LatencyStats, PercentilesOfASingleSampleCollapseToIt) {
+  LatencyStats s;
+  s.record(5);
+  EXPECT_EQ(s.p50(), 5.0);
+  EXPECT_EQ(s.p95(), 5.0);
+  EXPECT_EQ(s.p99(), 5.0);
+}
+
+TEST(LatencyStats, PercentilesInterpolateWithinHistogramBuckets) {
+  LatencyStats s;
+  for (Cycle v = 1; v <= 100; ++v) s.record(v);
+  // The histogram only resolves power-of-two buckets, so assert bucket-level
+  // accuracy plus monotonicity, not exact ranks.
+  EXPECT_GE(s.p50(), 32.0);
+  EXPECT_LE(s.p50(), 64.0);
+  EXPECT_GE(s.p95(), 64.0);
+  EXPECT_LE(s.p95(), 100.0);
+  EXPECT_GE(s.p99(), 90.0);
+  EXPECT_LE(s.p99(), 100.0);
+  EXPECT_LE(s.p50(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+  EXPECT_LE(s.p99(), static_cast<double>(s.max()));
+
+  std::stringstream ss;
+  s.print(ss, "lat");
+  EXPECT_NE(ss.str().find("p50="), std::string::npos);
+  EXPECT_NE(ss.str().find("p99="), std::string::npos);
+}
+
+TEST(LatencyStats, TailPercentileClampsToObservedMax) {
+  LatencyStats s;
+  s.record(3);
+  s.record(5000);  // lands in the open last bucket
+  EXPECT_LE(s.p99(), 5000.0);
+  EXPECT_GE(s.p99(), 3.0);
 }
 
 TEST(NetworkReport, SummarizesPipelineActivity) {
