@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "ecc/secded_reference.hpp"
 #include "noc/obfuscation.hpp"
 
 namespace {
@@ -29,6 +30,16 @@ void BM_SecdedDecodeClean(benchmark::State& state) {
 }
 BENCHMARK(BM_SecdedDecodeClean);
 
+void BM_SecdedDecodeSingleError(benchmark::State& state) {
+  const auto& codec = ecc::secded();
+  Codeword72 cw = codec.encode(0xDEADBEEF12345678ULL);
+  cw.flip(21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(cw));
+  }
+}
+BENCHMARK(BM_SecdedDecodeSingleError);
+
 void BM_SecdedDecodeDoubleError(benchmark::State& state) {
   const auto& codec = ecc::secded();
   Codeword72 cw = codec.encode(0xDEADBEEF12345678ULL);
@@ -39,6 +50,27 @@ void BM_SecdedDecodeDoubleError(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SecdedDecodeDoubleError);
+
+// Bit-serial oracle implementation, kept for comparison: the ratio against
+// BM_SecdedEncode / BM_SecdedDecodeClean is the table-driven speedup.
+void BM_SecdedReferenceEncode(benchmark::State& state) {
+  const auto& codec = ecc::secded_reference();
+  std::uint64_t d = 0x0123456789ABCDEFULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(d));
+    d = d * 6364136223846793005ULL + 1;
+  }
+}
+BENCHMARK(BM_SecdedReferenceEncode);
+
+void BM_SecdedReferenceDecodeClean(benchmark::State& state) {
+  const auto& codec = ecc::secded_reference();
+  const Codeword72 cw = codec.encode(0xDEADBEEF12345678ULL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(cw));
+  }
+}
+BENCHMARK(BM_SecdedReferenceDecodeClean);
 
 void BM_ObfuscationRoundTrip(benchmark::State& state) {
   const auto method = static_cast<ObfMethod>(state.range(0));
@@ -84,6 +116,19 @@ void BM_NetworkStepIdle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NetworkStepIdle);
+
+// active_step disabled: every router and NI steps every cycle. The delta
+// against BM_NetworkStepIdle is the active-set win on a quiet network.
+void BM_NetworkStepIdleFullStepping(benchmark::State& state) {
+  NocConfig cfg;
+  cfg.active_step = false;
+  Network net(cfg);
+  for (auto _ : state) {
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkStepIdleFullStepping);
 
 void BM_NetworkStepLoaded(benchmark::State& state) {
   NocConfig cfg;

@@ -59,6 +59,11 @@ struct NocConfig {
 
   bool tdm_enabled = false;  ///< Two-domain TDM QoS (Fig. 12a).
 
+  /// Skip stepping routers/NIs with provably no work this cycle (see
+  /// Router::has_work). Bit-exact with full stepping; off forces the
+  /// everything-every-cycle loop (benchmark baseline / debugging).
+  bool active_step = true;
+
   std::uint64_t seed = 0xC0FFEE;
 
   [[nodiscard]] int num_routers() const noexcept { return mesh_width * mesh_height; }

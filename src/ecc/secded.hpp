@@ -14,6 +14,14 @@
 //
 // The TASP trojan exploits exactly the last row: it always flips two bits so
 // the receiver detects but cannot correct, forcing retransmission forever.
+//
+// This is the fast, table-driven implementation running on every phit of
+// every hop: syndrome computation is byte-sliced through nine 256-entry
+// XOR-of-positions tables, data moves between word and codeword through a
+// handful of precomputed shift/mask segments, and the overall parity check
+// is a single popcount. The original bit-serial implementation survives as
+// `SecdedReference` (secded_reference.hpp) and serves as the oracle in the
+// exhaustive equivalence tests.
 #pragma once
 
 #include <array>
@@ -41,11 +49,19 @@ enum class DecodeStatus : std::uint8_t {
 /// Full decode report, including the raw syndrome the threat detector logs.
 struct DecodeResult {
   DecodeStatus status = DecodeStatus::kClean;
-  std::uint64_t data = 0;        ///< Recovered data word (valid unless uncorrectable).
+  /// Recovered data word. Zeroed on uncorrectable outcomes (kDetectedDouble
+  /// and kDetectedMultiple) so no caller consumes garbage silently — check
+  /// has_valid_data() before reading.
+  std::uint64_t data = 0;
   std::uint8_t syndrome = 0;     ///< 7-bit Hamming syndrome (position of error).
   bool overall_parity_bad = false;
   /// Corrected codeword position, when status == kCorrectedSingle.
   std::optional<unsigned> corrected_position;
+
+  /// True when `data` holds the (possibly corrected) transmitted word.
+  [[nodiscard]] constexpr bool has_valid_data() const noexcept {
+    return !needs_retransmission(status);
+  }
 };
 
 /// Stateless encoder/decoder for the (72,64) SECDED code.
@@ -82,13 +98,37 @@ class Secded {
   }
 
  private:
+  /// One maximal run of data bits occupying consecutive `lo` codeword
+  /// positions: data bits [first, first+width) live at lo bits
+  /// [first+shift, first+shift+width). The layout yields five such runs
+  /// (between the power-of-two parity positions below 64); the single run
+  /// above position 64 (data bits 57..63 at hi bits 1..7) is hard-wired in
+  /// encode/extract_data and verified at construction.
+  struct Segment {
+    std::uint64_t data_mask = 0;  ///< Mask over the data word.
+    unsigned shift = 0;           ///< Left shift from data bit to lo bit.
+  };
+  static constexpr unsigned kLoSegments = 5;
+  /// Data bits carried in `hi` (positions 65..71): the top seven.
+  static constexpr unsigned kHiDataShift = 57;
+
+  /// Byte-sliced syndrome tables: syndrome_lut_[b][v] is the XOR of the
+  /// codeword positions {8b + i : bit i set in v}. XORing nine lookups
+  /// (eight lo bytes + the hi byte) yields the Hamming syndrome; position 0
+  /// contributes nothing by construction (0 ^ x == x).
+  [[nodiscard]] unsigned syndrome_of(std::uint64_t lo,
+                                     std::uint8_t hi) const noexcept {
+    unsigned s = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+      s ^= syndrome_lut_[b][(lo >> (8 * b)) & 0xFF];
+    }
+    return s ^ syndrome_lut_[8][hi];
+  }
+
   // data_position_[i]: codeword position of data bit i.
   std::array<std::uint8_t, kDataBits> data_position_{};
-  // data_index_[pos]: data bit index stored at codeword position pos, or 0xFF.
-  std::array<std::uint8_t, kCodeBits> data_index_{};
-  // For parity bit k (k in [0,7)): mask over the 64 data bits whose codeword
-  // position has bit k set. Parity bit value = XOR of those data bits.
-  std::array<std::uint64_t, 7> parity_data_mask_{};
+  std::array<Segment, kLoSegments> segments_{};
+  std::array<std::array<std::uint8_t, 256>, 9> syndrome_lut_{};
 };
 
 /// Shared immutable instance (construction is cheap but there is no reason

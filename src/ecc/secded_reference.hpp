@@ -1,0 +1,50 @@
+// Bit-serial reference implementation of the Hamming(72,64) SECDED code.
+//
+// This is the original position-by-position implementation: encode scatters
+// the 64 data bits one at a time, decode walks all 72 codeword positions to
+// accumulate the syndrome. It is deliberately slow and obviously correct —
+// the fast byte-sliced `Secded` codec is validated against it bit-for-bit
+// (status, syndrome, corrected position, data) by the equivalence tests,
+// and it stays available as the oracle for future codec work.
+//
+// Semantics are identical to `Secded`, including zeroing `DecodeResult.data`
+// on uncorrectable outcomes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ecc/secded.hpp"
+
+namespace htnoc::ecc {
+
+/// Reference (bit-loop) encoder/decoder for the (72,64) SECDED code.
+class SecdedReference {
+ public:
+  static constexpr unsigned kDataBits = Secded::kDataBits;
+  static constexpr unsigned kCodeBits = Secded::kCodeBits;
+
+  SecdedReference();
+
+  [[nodiscard]] Codeword72 encode(std::uint64_t data) const noexcept;
+  [[nodiscard]] DecodeResult decode(Codeword72 received) const noexcept;
+  [[nodiscard]] std::uint64_t extract_data(const Codeword72& cw) const noexcept;
+
+  /// Codeword position occupied by data bit i (i in [0,64)).
+  [[nodiscard]] unsigned position_of_data_bit(unsigned i) const {
+    HTNOC_EXPECT(i < kDataBits);
+    return data_position_[i];
+  }
+
+ private:
+  // data_position_[i]: codeword position of data bit i.
+  std::array<std::uint8_t, kDataBits> data_position_{};
+  // For parity bit k (k in [0,7)): mask over the 64 data bits whose codeword
+  // position has bit k set. Parity bit value = XOR of those data bits.
+  std::array<std::uint64_t, 7> parity_data_mask_{};
+};
+
+/// Shared immutable reference instance (tests and benchmarks only).
+const SecdedReference& secded_reference();
+
+}  // namespace htnoc::ecc

@@ -8,8 +8,7 @@ void InputUnit::process_arrivals(Cycle now) {
   if (link_ == nullptr) return;
   for (LinkPhit& phit : link_->take_arrivals(now)) {
     ++stats_.flits_received;
-    const ecc::DecodeResult res =
-        ecc::codec_for(cfg_.ecc_scheme).decode(phit.codeword);
+    const ecc::DecodeResult res = codec_.decode(phit.codeword);
 
     FaultObservation obs;
     obs.now = now;

@@ -71,6 +71,7 @@ class InputUnit {
 
   InputUnit(const NocConfig& cfg, RouterId router, int port)
       : cfg_(cfg),
+        codec_(cfg.ecc_scheme),
         router_(router),
         port_(port),
         vcs_(static_cast<std::size_t>(cfg.vcs_per_port)) {}
@@ -124,6 +125,7 @@ class InputUnit {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] RouterId router() const noexcept { return router_; }
   [[nodiscard]] int port() const noexcept { return port_; }
+  [[nodiscard]] Link* link() const noexcept { return link_; }
 
   /// Result of purging one packet from this input (link-disable recovery).
   struct PurgeResult {
@@ -199,6 +201,7 @@ class InputUnit {
   static constexpr std::size_t kWireCacheSize = 32;
 
   const NocConfig& cfg_;
+  ecc::CodecDispatch codec_;  ///< Scheme resolved once; no per-phit vcall.
   RouterId router_;
   int port_;
   Link* link_ = nullptr;

@@ -178,6 +178,12 @@ class Link {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] int latency() const noexcept { return latency_; }
   [[nodiscard]] bool idle() const noexcept { return in_flight_.empty(); }
+  /// Credits or ACK/NACKs travelling the reverse channel. The sender-side
+  /// active-set check: a unit with no buffered work still must step while
+  /// its output link owes it control messages.
+  [[nodiscard]] bool has_reverse_traffic() const noexcept {
+    return !credits_.empty() || !acks_.empty();
+  }
 
  private:
   struct InFlight {

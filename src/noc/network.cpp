@@ -1,5 +1,6 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
 #include <array>
 #include <deque>
 
@@ -66,8 +67,33 @@ Network::Network(const NocConfig& cfg)
 }
 
 void Network::step() {
-  for (auto& r : routers_) r->step(now_);
-  for (auto& ni : nis_) ni->step(now_);
+  if (cfg_.active_step) {
+    for (auto& r : routers_) {
+      if (r->has_work()) {
+        r->step(now_);
+        ++step_stats_.router_steps;
+      } else {
+        ++step_stats_.router_skips;
+      }
+    }
+    for (auto& ni : nis_) {
+      if (ni->has_work()) {
+        ni->step(now_);
+        ++step_stats_.ni_steps;
+      } else {
+        ++step_stats_.ni_skips;
+      }
+    }
+  } else {
+    for (auto& r : routers_) {
+      r->step(now_);
+      ++step_stats_.router_steps;
+    }
+    for (auto& ni : nis_) {
+      ni->step(now_);
+      ++step_stats_.ni_steps;
+    }
+  }
   ++now_;
   if (tap_.on(trace::Category::kSaturation)) trace_saturation();
 }
@@ -210,36 +236,35 @@ void Network::use_updown_routing() {
 }
 
 std::vector<PacketId> Network::purge_packet(PacketId p) {
-  std::vector<PacketId> purged_ids;
-  std::deque<PacketId> todo{p};
-  std::set<PacketId> seen{p};
+  // `work` is both the FIFO worklist and the returned purge order; a packet
+  // appears at most once (membership checked on insert, sizes are tiny).
+  std::vector<PacketId> work{p};
+  // Reusable scratch, cleared per packet. `removed` collects every flit of
+  // `cur` removed anywhere; a flit can exist in several places at once
+  // (in-flight slot + link phit, or slot + receiver buffer with the ACK in
+  // flight), so accounting sorts and deduplicates by uid at the end.
+  std::vector<std::uint64_t>& buffered = purge_buffered_scratch_;
+  std::vector<std::uint64_t>& removed = purge_removed_scratch_;
 
-  while (!todo.empty()) {
-    const PacketId cur = todo.front();
-    todo.pop_front();
-    purged_ids.push_back(cur);
-
-    std::set<std::uint64_t> buffered;
-    // Distinct flits of `cur` removed anywhere: a flit can exist in several
-    // places at once (in-flight slot + link phit, or slot + receiver buffer
-    // with the ACK in flight), so accounting deduplicates by uid.
-    std::set<std::uint64_t> removed;
-    std::vector<std::uint64_t> removed_pass;
+  for (std::size_t wi = 0; wi < work.size(); ++wi) {
+    const PacketId cur = work[wi];
+    buffered.clear();
+    removed.clear();
 
     // Pass 1: sweep phits off every link.
     for (auto& l : mesh_links_) {
       if (l) {
-        for (const auto uid : l->purge_packet(cur)) removed.insert(uid);
+        for (const auto uid : l->purge_packet(cur)) removed.push_back(uid);
       }
     }
     for (auto& l : inj_links_) {
       if (l) {
-        for (const auto uid : l->purge_packet(cur)) removed.insert(uid);
+        for (const auto uid : l->purge_packet(cur)) removed.push_back(uid);
       }
     }
     for (auto& l : ej_links_) {
       if (l) {
-        for (const auto uid : l->purge_packet(cur)) removed.insert(uid);
+        for (const auto uid : l->purge_packet(cur)) removed.push_back(uid);
       }
     }
 
@@ -247,14 +272,16 @@ std::vector<PacketId> Network::purge_packet(PacketId p) {
     // the normal reverse channels; held output VCs are released here.
     auto absorb = [&](const InputUnit::PurgeResult& res, Router* owner) {
       for (const auto uid : res.buffered_uids) {
-        buffered.insert(uid);
-        removed.insert(uid);
+        buffered.push_back(uid);
+        removed.push_back(uid);
       }
       if (owner != nullptr && res.held_out_port >= 0) {
         owner->output(res.held_out_port).release_vc_if_allocated(res.held_out_vc);
       }
       for (const PacketId dep : res.dependent_packets) {
-        if (seen.insert(dep).second) todo.push_back(dep);
+        if (std::find(work.begin(), work.end(), dep) == work.end()) {
+          work.push_back(dep);
+        }
       }
     };
     for (auto& r : routers_) {
@@ -266,28 +293,32 @@ std::vector<PacketId> Network::purge_packet(PacketId p) {
       absorb(ni->purge_ejection(now_, cur), nullptr);
     }
 
-    // Pass 3: outputs (retransmission buffers) and NI source queues.
+    // Pass 3: outputs (retransmission buffers) and NI source queues, which
+    // binary-search `buffered` for ACK-in-flight overlap.
+    std::sort(buffered.begin(), buffered.end());
     for (auto& r : routers_) {
       for (int port = 0; port < r->num_ports(); ++port) {
-        (void)r->output(port).purge_packet(cur, buffered, &removed_pass);
+        (void)r->output(port).purge_packet(cur, buffered, &removed);
       }
     }
     for (auto& ni : nis_) {
-      (void)ni->purge_injection(now_, cur, buffered, &removed_pass);
+      (void)ni->purge_injection(now_, cur, buffered, &removed);
     }
-    for (const auto uid : removed_pass) removed.insert(uid);
 
+    std::sort(removed.begin(), removed.end());
+    const auto distinct = static_cast<std::uint64_t>(
+        std::unique(removed.begin(), removed.end()) - removed.begin());
     ++purge_totals_.packets;
-    purge_totals_.flits += removed.size();
+    purge_totals_.flits += distinct;
     if (tap_.on(trace::Category::kPurge)) {
       trace::Event e = trace::make_event(trace::EventType::kPacketPurged, now_,
                                          trace::Scope::kNetwork, 0);
       e.packet = cur;
-      e.arg = removed.size();
+      e.arg = distinct;
       tap_.emit(e);
     }
   }
-  return purged_ids;
+  return work;
 }
 
 bool Network::packet_in_flight(PacketId p) const {

@@ -5,6 +5,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "common/config.hpp"
@@ -40,6 +41,18 @@ class Network {
   void step();
   void run(Cycle cycles) {
     for (Cycle i = 0; i < cycles; ++i) step();
+  }
+
+  /// Active-set stepping accounting: units stepped vs provably-idle units
+  /// skipped (cfg.active_step). With active_step off, skips stay zero.
+  struct StepStats {
+    std::uint64_t router_steps = 0;
+    std::uint64_t router_skips = 0;
+    std::uint64_t ni_steps = 0;
+    std::uint64_t ni_skips = 0;
+  };
+  [[nodiscard]] const StepStats& step_stats() const noexcept {
+    return step_stats_;
   }
 
   // --- traffic-facing API ---
@@ -169,6 +182,11 @@ class Network {
 
   std::set<LinkRef> disabled_;
   PurgeTotals purge_totals_;
+  StepStats step_stats_;
+  // Reusable purge scratch (link-disable recovery purges packets in bursts;
+  // the former per-packet std::set allocations dominated its cost).
+  std::vector<std::uint64_t> purge_buffered_scratch_;
+  std::vector<std::uint64_t> purge_removed_scratch_;
   trace::Tap tap_;
   std::vector<char> router_blocked_;  ///< Last traced blocked state.
 };

@@ -115,7 +115,7 @@ void NetworkInterface::step_ejection(Cycle now) {
 }
 
 int NetworkInterface::purge_injection(
-    Cycle now, PacketId p, const std::set<std::uint64_t>& buffered_uids,
+    Cycle now, PacketId p, const std::vector<std::uint64_t>& buffered_uids,
     std::vector<std::uint64_t>* removed_uids) {
   (void)now;
   int purged = 0;

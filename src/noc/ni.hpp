@@ -71,15 +71,28 @@ class NetworkInterface {
 
   void step(Cycle now);
 
+  /// Active-set check (see Router::has_work): false only when stepping
+  /// would be a no-op — empty source queues, no retransmission slots, no
+  /// buffered ejection flits, no phit inbound on the ejection link, no
+  /// credit/ACK inbound on the injection link.
+  [[nodiscard]] bool has_work() const {
+    if (injection_occupancy() != 0 || in_.occupancy() != 0) return true;
+    const Link* ej = in_.link();
+    if (ej != nullptr && !ej->idle()) return true;
+    const Link* inj = out_.link();
+    return inj != nullptr && inj->has_reverse_traffic();
+  }
+
   /// Purge pass over the ejection input (run before purge_injection so the
   /// buffered-uid set is complete).
   [[nodiscard]] InputUnit::PurgeResult purge_ejection(Cycle now, PacketId p) {
     return in_.purge_packet(now, p);
   }
   /// Purge pass over the source queues and local-link retransmission buffer.
+  /// `buffered_uids` must be sorted ascending (see OutputUnit::purge_packet).
   /// Appends purged flit uids to `removed_uids` when non-null.
   int purge_injection(Cycle now, PacketId p,
-                      const std::set<std::uint64_t>& buffered_uids,
+                      const std::vector<std::uint64_t>& buffered_uids,
                       std::vector<std::uint64_t>* removed_uids = nullptr);
 
   /// Install the trace tap: injection block/unblock transitions plus the

@@ -1,11 +1,13 @@
 #include "noc/output_unit.hpp"
 
+#include <algorithm>
+
 #include "noc/protocol.hpp"
 
 namespace htnoc {
 
 int OutputUnit::purge_packet(PacketId p,
-                             const std::set<std::uint64_t>& buffered_uids,
+                             const std::vector<std::uint64_t>& buffered_uids,
                              std::vector<std::uint64_t>* removed_uids) {
   int purged = 0;
   for (auto it = slots_.begin(); it != slots_.end();) {
@@ -21,7 +23,8 @@ int OutputUnit::purge_packet(PacketId p,
     // receiver (credit returns via the reverse channel during its purge).
     const bool credit_via_receiver =
         it->state == Slot::State::kInFlight &&
-        buffered_uids.contains(it->flit.flit_uid());
+        std::binary_search(buffered_uids.begin(), buffered_uids.end(),
+                           it->flit.flit_uid());
     if (!credit_via_receiver) {
       auto& c = credits_[static_cast<std::size_t>(it->flit.vc)];
       HTNOC_INVARIANT(c < cfg_.buffer_depth);
@@ -102,7 +105,7 @@ void OutputUnit::step_lt(Cycle now) {
 
   LinkPhit phit;
   phit.flit = s.flit;
-  phit.codeword = ecc::codec_for(cfg_.ecc_scheme).encode(word);
+  phit.codeword = codec_.encode(word);
   phit.obf = tag;
   phit.attempt = s.attempt;
   link_->send(now, std::move(phit));

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -37,6 +36,7 @@ class OutputUnit {
 
   OutputUnit(const NocConfig& cfg, std::string name)
       : cfg_(cfg),
+        codec_(cfg.ecc_scheme),
         name_(std::move(name)),
         vc_allocated_(static_cast<std::size_t>(cfg.vcs_per_port), false),
         credits_(static_cast<std::size_t>(cfg.vcs_per_port), cfg.buffer_depth) {}
@@ -147,11 +147,12 @@ class OutputUnit {
 
   /// Remove every slot of packet `p` (link-disable recovery). Credits are
   /// restored directly except for flits known to be buffered at the
-  /// receiver (`buffered_uids`) — those return their credit through the
-  /// normal reverse channel when the receiver purges them. Returns the
-  /// number of slots removed; when `removed_uids` is non-null the purged
-  /// flit uids are appended (the network-level purge accounting).
-  int purge_packet(PacketId p, const std::set<std::uint64_t>& buffered_uids,
+  /// receiver (`buffered_uids`, which MUST be sorted ascending) — those
+  /// return their credit through the normal reverse channel when the
+  /// receiver purges them. Returns the number of slots removed; when
+  /// `removed_uids` is non-null the purged flit uids are appended (the
+  /// network-level purge accounting).
+  int purge_packet(PacketId p, const std::vector<std::uint64_t>& buffered_uids,
                    std::vector<std::uint64_t>* removed_uids = nullptr);
 
   /// Release the VC only if currently allocated (purge recovery path).
@@ -241,6 +242,7 @@ class OutputUnit {
   [[nodiscard]] int find_slot(PacketId packet, int seq, Slot::State state);
 
   const NocConfig& cfg_;
+  ecc::CodecDispatch codec_;  ///< Scheme resolved once; no per-phit vcall.
   std::string name_;
   Link* link_ = nullptr;
   LObController* lob_ = nullptr;

@@ -81,6 +81,27 @@ class Router {
   /// Advance one cycle: control, arrivals, RC, VA, SA/ST, LT.
   void step(Cycle now);
 
+  /// Active-set check: false only when stepping would provably be a no-op —
+  /// no buffered flits in any input VC or scramble station, no
+  /// retransmission slots held, no phit in flight on any input link and no
+  /// credit/ACK in flight on any output link. Stepping an idle router
+  /// touches no state (arbiters advance only on grants), so skipping it is
+  /// bit-exact. Streams holding an output VC with nothing buffered wake via
+  /// their input link's in-flight phits.
+  [[nodiscard]] bool has_work() const {
+    for (const auto& in : inputs_) {
+      if (in->occupancy() != 0) return true;
+      const Link* l = in->link();
+      if (l != nullptr && !l->idle()) return true;
+    }
+    for (const auto& out : outputs_) {
+      if (out->occupancy() != 0) return true;
+      const Link* l = out->link();
+      if (l != nullptr && l->has_reverse_traffic()) return true;
+    }
+    return false;
+  }
+
   // --- paper metrics ---
 
   /// Total flits buffered across all input ports.

@@ -150,8 +150,12 @@ void print_network_report(std::ostream& os, Network& net) {
 }
 
 double LatencyStats::percentile(double q) const {
+  // Defined edge cases: no samples -> 0 (nothing observed); q at or below 0
+  // -> the observed minimum; q at or past 1 -> the observed maximum; one
+  // sample -> that sample (min_ == max_). NaN is treated as q = 0.
   if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  if (!(q > 0.0)) return static_cast<double>(min_);
+  if (q >= 1.0 || count_ == 1) return static_cast<double>(max_);
   // Rank of the requested quantile, 1-based (nearest-rank definition).
   const double rank = q * static_cast<double>(count_ - 1) + 1.0;
   std::uint64_t cum = 0;

@@ -127,6 +127,38 @@ TEST_F(PurgeTest, PurgedPacketInNiQueueNeverEnters) {
   EXPECT_TRUE(net.quiescent());
 }
 
+TEST_F(PurgeTest, FlitInLinkPhitAndRetransSlotCountedOnce) {
+  // A transmitted-but-unacknowledged flit exists in two places at once: the
+  // sender's retransmission slot (kInFlight) and the link's forward phit.
+  // The purge accounting must deduplicate by uid and count it once.
+  const PacketInfo info = make_packet(0, 60, 1);
+  ASSERT_TRUE(net.try_inject(info, {}));
+  OutputUnit& inj = net.ni(0).injection_port();
+  Link* l = inj.link();
+  ASSERT_NE(l, nullptr);
+  bool dual = false;
+  for (int i = 0; i < 20 && !dual; ++i) {
+    net.step();
+    bool slot_in_flight = false;
+    for (int vc = 0; vc < cfg.vcs_per_port; ++vc) {
+      if (!inj.inflight_uids(vc).empty()) slot_in_flight = true;
+    }
+    dual = slot_in_flight && l->has_packet(info.id);
+  }
+  ASSERT_TRUE(dual) << "never caught the flit in both locations";
+
+  const auto before = net.purge_totals();
+  (void)net.purge_packet(info.id);
+  const auto after = net.purge_totals();
+  EXPECT_EQ(after.packets, before.packets + 1);
+  EXPECT_EQ(after.flits, before.flits + 1)
+      << "one distinct flit in two locations must count once";
+  EXPECT_FALSE(net.packet_in_flight(info.id));
+  net.run(20);  // let in-flight credits land
+  EXPECT_TRUE(net.quiescent());
+  EXPECT_EQ(net.check_invariants(), "");
+}
+
 TEST_F(PurgeTest, DisabledLinkPlusPurgePlusReconfigureDelivers) {
   // The full rerouting recovery sequence, by hand.
   const PacketInfo victim = make_packet(16, 3, 5);  // r4 -> r0 via r4->N

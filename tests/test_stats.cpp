@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 namespace htnoc::stats {
@@ -171,6 +172,41 @@ TEST(LatencyStats, TailPercentileClampsToObservedMax) {
   s.record(5000);  // lands in the open last bucket
   EXPECT_LE(s.p99(), 5000.0);
   EXPECT_GE(s.p99(), 3.0);
+}
+
+TEST(LatencyStats, PercentileExtremeQuantilesAreDefined) {
+  LatencyStats empty;
+  EXPECT_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+  EXPECT_EQ(empty.percentile(1.0), 0.0);
+
+  LatencyStats s;
+  s.record(7);
+  s.record(19);
+  s.record(400);
+  // q at (or beyond, or NaN) the boundaries pins to the observed extremes.
+  EXPECT_EQ(s.percentile(0.0), 7.0);
+  EXPECT_EQ(s.percentile(-0.5), 7.0);
+  EXPECT_EQ(s.percentile(1.0), 400.0);
+  EXPECT_EQ(s.percentile(7.0), 400.0);
+  EXPECT_EQ(s.percentile(std::numeric_limits<double>::quiet_NaN()), 7.0);
+  // Interior quantiles stay within [min, max] and monotone.
+  double prev = s.percentile(0.0);
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = s.percentile(q);
+    EXPECT_GE(v, prev) << q;
+    EXPECT_GE(v, 7.0) << q;
+    EXPECT_LE(v, 400.0) << q;
+    prev = v;
+  }
+}
+
+TEST(LatencyStats, SingleSampleDefinedAtAllQuantiles) {
+  LatencyStats s;
+  s.record(42);
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(s.percentile(q), 42.0) << q;
+  }
 }
 
 TEST(NetworkReport, SummarizesPipelineActivity) {
