@@ -202,6 +202,35 @@ void BM_NetworkStepUnderAttackTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkStepUnderAttackTraced);
 
+// Loaded traffic with the invariant auditor running a full-fabric census
+// every cycle. The delta against BM_NetworkStepLoaded is the auditing
+// price; the auditor-*off* cost (a null-pointer check per audit hook) is
+// already inside every other network benchmark.
+void BM_NetworkStepAudited(benchmark::State& state) {
+  sim::SimConfig sc;
+  sc.audit.enabled = true;
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 3;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  for (auto _ : state) {
+    gen.step();
+    simulator.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flits_tracked"] =
+      static_cast<double>(simulator.auditor()->flits_tracked());
+  if (!simulator.auditor()->clean()) {
+    state.SkipWithError("invariant audit failed under benchmark load");
+  }
+}
+BENCHMARK(BM_NetworkStepAudited);
+
 }  // namespace
 
 BENCHMARK_MAIN();

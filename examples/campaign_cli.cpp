@@ -1,0 +1,135 @@
+// campaign_cli — run the randomized fault campaign (invariant auditor armed
+// on every scenario) or deterministically replay one failing scenario from
+// its repro spec.
+//
+//   campaign_cli --scenarios 10000 --seed 0x20260806 --jobs 8
+//                --summary-md summary.md --repro-dir repros/
+//   campaign_cli --repro "htnoc-campaign-repro seed=0x20260806 index=421"
+//   campaign_cli --repro repros/repro-421.txt
+//
+// Exit status: 0 when every scenario passed, 1 on any failure (or a failing
+// replay), 2 on usage errors.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "verify/campaign.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: campaign_cli [--scenarios N] [--seed S] [--jobs N]\n"
+         "                    [--audit-period N] [--summary-md FILE]\n"
+         "                    [--repro-dir DIR] [--quiet]\n"
+         "       campaign_cli --repro SPEC-OR-FILE\n";
+}
+
+/// Accept either a literal repro line or the path of a file whose first
+/// matching line is one.
+std::optional<htnoc::verify::ReproSpec> resolve_repro(const std::string& arg) {
+  if (auto r = htnoc::verify::parse_repro(arg)) return r;
+  std::ifstream in(arg);
+  std::string line;
+  while (in && std::getline(in, line)) {
+    if (auto r = htnoc::verify::parse_repro(line)) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using htnoc::verify::CampaignResult;
+  using htnoc::verify::CampaignSpec;
+  using htnoc::verify::FaultCampaign;
+  using htnoc::verify::ScenarioResult;
+
+  CampaignSpec spec;
+  spec.seed = 0x5EED;
+  spec.scenarios = 1000;
+  std::string summary_md;
+  std::string repro_dir;
+  std::string repro_arg;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--scenarios") {
+      spec.scenarios = std::stoull(value(), nullptr, 0);
+    } else if (a == "--seed") {
+      spec.seed = std::stoull(value(), nullptr, 0);
+    } else if (a == "--jobs") {
+      spec.threads = std::stoi(value());
+    } else if (a == "--audit-period") {
+      spec.audit.period = std::stoull(value(), nullptr, 0);
+    } else if (a == "--summary-md") {
+      summary_md = value();
+    } else if (a == "--repro-dir") {
+      repro_dir = value();
+    } else if (a == "--repro") {
+      repro_arg = value();
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  if (!repro_arg.empty()) {
+    const auto r = resolve_repro(repro_arg);
+    if (!r) {
+      std::cerr << "campaign_cli: cannot parse repro spec from '" << repro_arg
+                << "'\n";
+      return 2;
+    }
+    CampaignSpec rspec = spec;
+    rspec.seed = r->seed;
+    const ScenarioResult res = FaultCampaign::run_scenario(rspec, r->index);
+    std::cout << "replay " << htnoc::verify::format_repro(*r) << "\n"
+              << "scenario: " << res.descriptor << "\n"
+              << "cycles=" << res.cycles << " delivered=" << res.delivered
+              << " purged=" << res.purged << " audits=" << res.audits
+              << " flits_tracked=" << res.flits_tracked << "\n";
+    if (res.ok) {
+      std::cout << "result: CLEAN\n";
+      return 0;
+    }
+    std::cout << "result: FAIL\n" << res.error << "\n";
+    return 1;
+  }
+
+  FaultCampaign campaign(spec);
+  const CampaignResult result = campaign.run();
+  if (!quiet) std::cout << result.summary_text();
+
+  if (!summary_md.empty()) {
+    std::ofstream out(summary_md);
+    out << result.summary_markdown();
+  }
+  if (!repro_dir.empty()) {
+    for (const ScenarioResult& s : result.scenarios) {
+      if (s.ok) continue;
+      std::ofstream out(repro_dir + "/repro-" + std::to_string(s.index) +
+                        ".txt");
+      out << htnoc::verify::format_repro({spec.seed, s.index}) << "\n"
+          << s.descriptor << "\n"
+          << s.error << "\n";
+    }
+  }
+  return result.failures() == 0 ? 0 : 1;
+}

@@ -37,6 +37,17 @@ struct LObParams {
   bool use_success_log = true;
 };
 
+/// A single-entry escalation sequence: every escalated transmission uses
+/// exactly (method, granularity) with no fallback. Used by ablations and
+/// the fault campaign to force one obfuscation method and observe its
+/// standalone effect.
+[[nodiscard]] inline LObParams forced_lob_params(ObfMethod method,
+                                                ObfGranularity granularity) {
+  LObParams p;
+  p.sequence = {{method, granularity}};
+  return p;
+}
+
 class LObController final : public htnoc::LObController {
  public:
   struct Stats {

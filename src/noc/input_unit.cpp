@@ -75,6 +75,19 @@ void InputUnit::process_arrivals(Cycle now) {
     ack.ok = true;
     link_->send_ack(now, ack);
 
+#ifdef HTNOC_MUTATION_LOSE_FLIT
+    // Mutation self-test: ACK and credit a slice of clean arrivals but never
+    // buffer them. Credit conservation stays balanced — the flit simply
+    // ceases to exist (verify: kFlitLoss).
+    // (Keyed on packet + seq, not the uid's low bits: those are just the
+    // seq, which short packets never take past 8.)
+    if (((phit.flit.packet + static_cast<PacketId>(phit.flit.seq)) & 0xF) ==
+        9) {
+      link_->send_credit(now, CreditMsg{phit.flit.vc});
+      continue;
+    }
+#endif
+
     const std::uint64_t decoded = res.data;
     if (phit.obf.method == ObfMethod::kScramble) {
       // Recover the true word once the partner's wire image is known.
@@ -98,7 +111,12 @@ void InputUnit::process_arrivals(Cycle now) {
         e.decoded_word = decoded;
         e.arrived = now;
         station_.push_back(std::move(e));
-        HTNOC_INVARIANT(station_.size() <= 8);
+        // Every stationed flit still owns its upstream credit (returned only
+        // after delivery + pop), so the station can never outgrow the port's
+        // credit capacity.
+        HTNOC_INVARIANT(station_.size() <=
+                        static_cast<std::size_t>(cfg_.vcs_per_port) *
+                            static_cast<std::size_t>(cfg_.buffer_depth));
       }
       continue;
     }
@@ -118,24 +136,35 @@ void InputUnit::process_arrivals(Cycle now) {
 
 void InputUnit::note_clean_wire(Cycle now, PacketId packet, int seq,
                                 std::uint64_t wire_word) {
-  wire_cache_.push_back({packet, seq, wire_word});
-  if (wire_cache_.size() > kWireCacheSize) wire_cache_.pop_front();
+  // A recovered word is itself a clean wire and may be the partner of
+  // further phits parked in the station (the L-Ob controller never chains
+  // scrambles, but a forced-scramble configuration can), so resolution must
+  // cascade. A worklist keeps the cascade out of the station walk: resolving
+  // recursively while holding a station_ iterator erases from the vector
+  // under the walk and invalidates it.
+  std::vector<CachedWire> pending{{packet, seq, wire_word}};
+  while (!pending.empty()) {
+    const CachedWire w = pending.back();
+    pending.pop_back();
+    wire_cache_.push_back(w);
+    if (wire_cache_.size() > kWireCacheSize) wire_cache_.pop_front();
 
-  // Resolve any scrambled phits that were waiting for this partner.
-  for (auto it = station_.begin(); it != station_.end();) {
-    if (it->phit.obf.partner_packet == packet && it->phit.obf.partner_seq == seq) {
-      const std::uint64_t word = obf::undo(it->decoded_word, it->phit.obf, wire_word);
-      if (word != it->phit.flit.wire) ++stats_.silent_corruptions;
-      Flit f = it->phit.flit;
-      const Cycle effective =
-          now + obf::undo_penalty_cycles(it->phit.obf.method);
-      it = station_.erase(it);
-      // The recovered word is itself a clean wire (could be someone else's
-      // scramble partner, though the controller never chains scrambles).
-      note_clean_wire(now, f.packet, f.seq, word);
-      deliver(effective, std::move(f));
-    } else {
-      ++it;
+    // Resolve any scrambled phits that were waiting for this partner.
+    for (auto it = station_.begin(); it != station_.end();) {
+      if (it->phit.obf.partner_packet == w.packet &&
+          it->phit.obf.partner_seq == w.seq) {
+        const std::uint64_t word =
+            obf::undo(it->decoded_word, it->phit.obf, w.wire);
+        if (word != it->phit.flit.wire) ++stats_.silent_corruptions;
+        Flit f = it->phit.flit;
+        const Cycle effective =
+            now + obf::undo_penalty_cycles(it->phit.obf.method);
+        it = station_.erase(it);
+        pending.push_back({f.packet, f.seq, word});
+        deliver(effective, std::move(f));
+      } else {
+        ++it;
+      }
     }
   }
 }
@@ -230,7 +259,17 @@ Flit InputUnit::pop_front_flit(Cycle now, int vc) {
   --b.occupancy;
 
   // Return the buffer slot upstream.
-  if (link_ != nullptr) link_->send_credit(now, CreditMsg{static_cast<VcId>(vc)});
+#ifdef HTNOC_MUTATION_SKIP_CREDIT
+  // Mutation self-test: swallow a slice of the credit returns. The upstream
+  // credit counter drifts low (verify: kCreditConservation).
+  const bool skip_credit =
+      ((f.packet + static_cast<PacketId>(f.seq)) & 0x7) == 5;
+#else
+  const bool skip_credit = false;
+#endif
+  if (!skip_credit && link_ != nullptr) {
+    link_->send_credit(now, CreditMsg{static_cast<VcId>(vc)});
+  }
 
   if (f.is_tail()) {
     HTNOC_INVARIANT(s.next_seq == f.length);

@@ -169,6 +169,24 @@ class InputUnit {
     return false;
   }
 
+  /// Audit census: append every buffered flit (VC streams + scramble
+  /// station), labelled with the caller-supplied identity.
+  void collect_resident(std::vector<ResidentFlit>& out, std::uint16_t node,
+                        std::int8_t port) const {
+    for (const auto& v : vcs_) {
+      for (const auto& s : v.streams) {
+        for (const auto& bf : s.flits) {
+          out.push_back({bf.flit.flit_uid(), bf.flit.packet,
+                         FlitSite::kInputBuffer, node, port});
+        }
+      }
+    }
+    for (const auto& e : station_) {
+      out.push_back({e.phit.flit.flit_uid(), e.phit.flit.packet,
+                     FlitSite::kScrambleStation, node, port});
+    }
+  }
+
   [[nodiscard]] bool has_packet(PacketId p) const {
     for (const auto& v : vcs_) {
       for (const auto& s : v.streams) {

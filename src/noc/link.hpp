@@ -14,6 +14,7 @@
 #include "common/types.hpp"
 #include "noc/fault_model.hpp"
 #include "noc/flit.hpp"
+#include "noc/hooks.hpp"
 #include "noc/protocol.hpp"
 #include "trace/sink.hpp"
 
@@ -86,6 +87,13 @@ class Link {
     ++stats_.credits_sent;
   }
   void send_ack(Cycle now, AckMsg a) {
+#ifdef HTNOC_MUTATION_DROP_ACK
+    // Mutation self-test: silently drop a slice of the ok-ACKs. The sender's
+    // retransmission slot is never released (verify: kAckSlotLeak).
+    if (a.ok && ((a.packet + static_cast<PacketId>(a.seq)) & 0x1F) == 3) {
+      return;
+    }
+#endif
     if (a.ok) {
       ++stats_.acks_sent;
     } else {
@@ -156,6 +164,17 @@ class Link {
       if (f.phit.flit.packet == p) return true;
     }
     return false;
+  }
+
+  /// Audit census: append every in-flight forward phit, labelled with the
+  /// caller-supplied identity (tracing may be off, so the trace identity
+  /// cannot be relied on here).
+  void collect_resident(std::vector<ResidentFlit>& out, std::uint16_t node,
+                        std::int8_t port) const {
+    for (const auto& f : in_flight_) {
+      out.push_back({f.phit.flit.flit_uid(), f.phit.flit.packet,
+                     FlitSite::kLinkPhit, node, port});
+    }
   }
 
   void set_disabled(bool d) noexcept { disabled_ = d; }

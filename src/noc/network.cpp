@@ -112,6 +112,38 @@ void Network::trace_saturation() {
   }
 }
 
+void Network::set_audit(FlitAuditObserver* audit) {
+  audit_ = audit;
+  for (auto& ni : nis_) ni->set_audit(audit);
+}
+
+void Network::collect_resident(std::vector<ResidentFlit>& out) const {
+  for (RouterId r = 0; r < geom_.num_routers(); ++r) {
+    const Router& rt = *routers_[static_cast<std::size_t>(r)];
+    for (int port = 0; port < rt.num_ports(); ++port) {
+      rt.input(port).collect_resident(out, r, static_cast<std::int8_t>(port));
+      rt.output(port).collect_resident(out, r, static_cast<std::int8_t>(port));
+    }
+    for (Direction d : kDirs) {
+      if (!has_link(r, d)) continue;
+      mesh_links_[static_cast<std::size_t>(link_index({r, d}))]
+          ->collect_resident(out, r,
+                             static_cast<std::int8_t>(direction_port(d)));
+    }
+  }
+  for (NodeId c = 0; c < geom_.num_cores(); ++c) {
+    const NetworkInterface& ni = *nis_[static_cast<std::size_t>(c)];
+    ni.collect_source_resident(out);
+    // NI-side ports reuse the router unit types; file them under the core.
+    ni.injection_port().collect_resident(out, c, trace::kLinkPortInjection);
+    ni.ejection_port().collect_resident(out, c, trace::kLinkPortEjection);
+    inj_links_[static_cast<std::size_t>(c)]->collect_resident(
+        out, c, trace::kLinkPortInjection);
+    ej_links_[static_cast<std::size_t>(c)]->collect_resident(
+        out, c, trace::kLinkPortEjection);
+  }
+}
+
 void Network::set_trace(trace::TraceSink* sink) {
   tap_ = trace::Tap(sink);
   router_blocked_.assign(routers_.size(), 0);
@@ -306,10 +338,11 @@ std::vector<PacketId> Network::purge_packet(PacketId p) {
     }
 
     std::sort(removed.begin(), removed.end());
-    const auto distinct = static_cast<std::uint64_t>(
-        std::unique(removed.begin(), removed.end()) - removed.begin());
+    removed.erase(std::unique(removed.begin(), removed.end()), removed.end());
+    const auto distinct = static_cast<std::uint64_t>(removed.size());
     ++purge_totals_.packets;
     purge_totals_.flits += distinct;
+    if (audit_ != nullptr) audit_->on_flits_purged(now_, cur, removed);
     if (tap_.on(trace::Category::kPurge)) {
       trace::Event e = trace::make_event(trace::EventType::kPacketPurged, now_,
                                          trace::Scope::kNetwork, 0);

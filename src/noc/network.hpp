@@ -58,6 +58,11 @@ class Network {
   // --- traffic-facing API ---
 
   [[nodiscard]] PacketId next_packet_id() noexcept { return next_packet_id_++; }
+  /// Read-only view of the id the next injection will receive (so tooling
+  /// can pick a random live packet without consuming an id).
+  [[nodiscard]] PacketId peek_next_packet_id() const noexcept {
+    return next_packet_id_;
+  }
 
   /// Inject a packet at its source core's NI. Returns false when the
   /// injection queue cannot take the whole packet.
@@ -110,6 +115,17 @@ class Network {
   [[nodiscard]] const PurgeTotals& purge_totals() const noexcept {
     return purge_totals_;
   }
+
+  /// Install (or clear, with nullptr) the flit-accounting observer:
+  /// distributes it to every NI (injection/delivery events) and notifies it
+  /// of every purge. See FlitAuditObserver / verify::NetworkInvariantAuditor.
+  void set_audit(FlitAuditObserver* audit);
+
+  /// Audit census: append every flit currently resident anywhere in the
+  /// fabric — router input buffers and scramble stations, retransmission
+  /// slots, link phits, NI source queues and ejection buffers. A flit may
+  /// appear at several sites (see ResidentFlit).
+  void collect_resident(std::vector<ResidentFlit>& out) const;
 
   /// Install (or clear, with nullptr) the trace sink: distributes an
   /// identity-stamped tap to every link, router unit and NI, and enables
@@ -188,6 +204,7 @@ class Network {
   std::vector<std::uint64_t> purge_buffered_scratch_;
   std::vector<std::uint64_t> purge_removed_scratch_;
   trace::Tap tap_;
+  FlitAuditObserver* audit_ = nullptr;
   std::vector<char> router_blocked_;  ///< Last traced blocked state.
 };
 

@@ -20,7 +20,22 @@ bool NetworkInterface::try_inject(Cycle now, const PacketInfo& info,
     return false;
   }
   for (Flit& f : packetize(info, payload)) s.queue.push_back(std::move(f));
+#ifdef HTNOC_MUTATION_PHANTOM_FLIT
+  // Mutation self-test: conjure a head-flit clone under a packet id the
+  // traffic layer never allocated. It flows (and wedges a VC downstream)
+  // like a real flit, but no injection was ever recorded for it (verify:
+  // kUnknownFlit).
+  // (Bit 40, not something higher: flit_uid() shifts the packet id left by
+  // 8, so a flipped bit must survive the shift to give the ghost a uid of
+  // its own.)
+  if ((info.id & 0x7) == 4) {
+    Flit ghost = s.queue[s.queue.size() - static_cast<std::size_t>(info.length)];
+    ghost.packet ^= PacketId{1} << 40;
+    s.queue.push_back(std::move(ghost));
+  }
+#endif
   ++stats_.packets_injected;
+  if (audit_ != nullptr) audit_->on_packet_injected(now, info);
   if (saturated_ && tap_.on(trace::Category::kInjection)) {
     trace::Event e = trace::make_event(trace::EventType::kInjectionUnblocked,
                                        now, trace::Scope::kCore, core_);
@@ -93,6 +108,15 @@ void NetworkInterface::step_ejection(Cycle now) {
     while (in_.front_flit_ready(now, vc)) {
       const Flit f = in_.pop_front_flit(now, vc);
       ++stats_.flits_delivered;
+      if (audit_ != nullptr) audit_->on_flit_delivered(now, f);
+#ifdef HTNOC_MUTATION_DOUBLE_DELIVER
+      // Mutation self-test: the sink consumes a slice of the tail flits
+      // twice — duplicated delivery accounting (verify: kDuplicateDelivery).
+      if (f.is_tail() && (f.packet & 0x7) == 2) {
+        ++stats_.flits_delivered;
+        if (audit_ != nullptr) audit_->on_flit_delivered(now, f);
+      }
+#endif
       if (f.is_tail()) {
         ++stats_.packets_delivered;
         if (on_delivery_) {

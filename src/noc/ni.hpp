@@ -50,6 +50,9 @@ class NetworkInterface {
 
   void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
 
+  /// Install (or clear) the flit-accounting observer (see FlitAuditObserver).
+  void set_audit(FlitAuditObserver* audit) { audit_ = audit; }
+
   /// Queue a packet for injection. Atomic: either all flits fit in the
   /// (per-domain) source queue or the call is rejected (the paper's "core
   /// full" state).
@@ -103,10 +106,26 @@ class NetworkInterface {
     in_.set_trace(tap, trace::Scope::kCore, core_);
   }
 
+  /// Audit census: append every flit waiting in the source queues. The
+  /// injection-port OutputUnit and ejection-port InputUnit are walked
+  /// separately by the network.
+  void collect_source_resident(std::vector<ResidentFlit>& out) const {
+    for (const auto& s : streams_) {
+      for (const Flit& f : s.queue) {
+        out.push_back({f.flit_uid(), f.packet, FlitSite::kNiSourceQueue,
+                       core_, -1});
+      }
+    }
+  }
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] NodeId core() const noexcept { return core_; }
   [[nodiscard]] OutputUnit& injection_port() noexcept { return out_; }
   [[nodiscard]] InputUnit& ejection_port() noexcept { return in_; }
+  [[nodiscard]] const OutputUnit& injection_port() const noexcept {
+    return out_;
+  }
+  [[nodiscard]] const InputUnit& ejection_port() const noexcept { return in_; }
 
  private:
   /// Per-domain injection stream (index 0 also serves non-TDM operation).
@@ -132,6 +151,7 @@ class NetworkInterface {
   bool saturated_ = false;  ///< Last try_inject was rejected.
   trace::Tap tap_;
   DeliveryCallback on_delivery_;
+  FlitAuditObserver* audit_ = nullptr;
   Stats stats_;
 };
 

@@ -10,11 +10,25 @@ int OutputUnit::purge_packet(PacketId p,
                              const std::vector<std::uint64_t>& buffered_uids,
                              std::vector<std::uint64_t>* removed_uids) {
   int purged = 0;
+#ifdef HTNOC_MUTATION_PURGE_SLOT_LEAK
+  // Mutation self-test: leave the first matching slot behind — no erase, no
+  // credit restore, no accounting. Credit conservation stays balanced (the
+  // slot still "owns" its consumed credit); the stale slot is the leak
+  // (verify: kPurgeLeak).
+  bool leaked_one = false;
+#endif
   for (auto it = slots_.begin(); it != slots_.end();) {
     if (it->flit.packet != p) {
       ++it;
       continue;
     }
+#ifdef HTNOC_MUTATION_PURGE_SLOT_LEAK
+    if (!leaked_one) {
+      leaked_one = true;
+      ++it;
+      continue;
+    }
+#endif
     if (removed_uids != nullptr) {
       removed_uids->push_back(it->flit.flit_uid());
     }
@@ -137,9 +151,19 @@ void OutputUnit::process_control(Cycle now) {
   if (link_ == nullptr) return;
   for (const CreditMsg& c : link_->take_credits(now)) {
     auto& cr = credits_[static_cast<std::size_t>(c.vc)];
+#ifdef HTNOC_MUTATION_EXTRA_CREDIT
+    // Mutation self-test: double-count a slice of the credit returns. The
+    // local contract below goes with it — once the counter drifts high a
+    // legitimate return would trip it first, and the exercise is proving
+    // the auditor's fabric-wide census catches what a deleted local
+    // assertion no longer can (verify: kCreditConservation).
+    ++cr;
+    if ((c.vc & 1) != 0) ++cr;
+#else
     HTNOC_INVARIANT(cr < cfg_.buffer_depth);
     ++cr;
-    last_credit_gain_ = now;
+#endif
+    last_credit_gain_[static_cast<std::size_t>(c.vc)] = now;
   }
   for (const AckMsg& a : link_->take_acks(now)) {
     const int idx = find_slot(a.packet, a.seq, Slot::State::kInFlight);

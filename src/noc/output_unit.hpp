@@ -39,7 +39,8 @@ class OutputUnit {
         codec_(cfg.ecc_scheme),
         name_(std::move(name)),
         vc_allocated_(static_cast<std::size_t>(cfg.vcs_per_port), false),
-        credits_(static_cast<std::size_t>(cfg.vcs_per_port), cfg.buffer_depth) {}
+        credits_(static_cast<std::size_t>(cfg.vcs_per_port), cfg.buffer_depth),
+        last_credit_gain_(static_cast<std::size_t>(cfg.vcs_per_port), 0) {}
 
   void connect(Link* link) {
     HTNOC_EXPECT(link != nullptr);
@@ -189,6 +190,16 @@ class OutputUnit {
     return uids;
   }
 
+  /// Audit census: append every retransmission-slot flit, labelled with
+  /// the caller-supplied identity.
+  void collect_resident(std::vector<ResidentFlit>& out, std::uint16_t node,
+                        std::int8_t port) const {
+    for (const Slot& s : slots_) {
+      out.push_back({s.flit.flit_uid(), s.flit.packet, FlitSite::kRetransSlot,
+                     node, port});
+    }
+  }
+
   /// Distinct packets with at least one slot here (purge planning).
   [[nodiscard]] std::vector<PacketId> packets_in_slots() const {
     std::vector<PacketId> ids;
@@ -210,17 +221,29 @@ class OutputUnit {
   /// cycles (the trojan's NACK loop), or a VC has been credit-starved that
   /// long (back-pressure from a jam further downstream).
   [[nodiscard]] bool blocked(Cycle now, Cycle stall_window = 32) const {
+#ifdef HTNOC_MUTATION_BLIND_SATURATION
+    // Mutation self-test: the saturation detector goes blind. Routers can
+    // now starve indefinitely without anything firing (verify:
+    // kSilentStarvation).
+    (void)now;
+    (void)stall_window;
+    return false;
+#else
     if (link_ == nullptr) return false;
     for (const Slot& s : slots_) {
       if (now >= s.entered + stall_window) return true;
     }
     for (int vc = 0; vc < cfg_.vcs_per_port; ++vc) {
+      // Per VC: gains on a healthy VC must not mask a starved sibling (a
+      // TDM domain jammed by the trojan while the other flows freely).
       if (credits_[static_cast<std::size_t>(vc)] == 0 &&
-          now >= last_credit_gain_ + stall_window) {
+          now >= last_credit_gain_[static_cast<std::size_t>(vc)] +
+                     stall_window) {
         return true;
       }
     }
     return false;
+#endif
   }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
@@ -252,7 +275,7 @@ class OutputUnit {
   std::int8_t trace_port_ = -1;
   std::vector<bool> vc_allocated_;
   std::vector<int> credits_;
-  Cycle last_credit_gain_ = 0;
+  std::vector<Cycle> last_credit_gain_;  // per VC, indexed like credits_
   std::vector<Slot> slots_;  // FIFO by entry; retransmissions are oldest first
   Stats stats_;
 };

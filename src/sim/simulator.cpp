@@ -21,6 +21,12 @@ Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg)) {
 
   net_ = std::make_unique<Network>(cfg_.noc);
   if (trace_sink_) net_->set_trace(trace_sink_.get());
+  if (cfg_.audit.enabled) {
+    auditor_ =
+        std::make_unique<verify::NetworkInvariantAuditor>(*net_, cfg_.audit);
+    auditor_->set_trace_sink(trace_sink_.get());
+    net_->set_audit(auditor_.get());
+  }
   const MeshGeometry& geom = net_->geometry();
 
   // Background transient faults.
@@ -195,6 +201,7 @@ void Simulator::step() {
   apply_kill_switch_schedule();
   if (cfg_.mode == MitigationMode::kReroute) process_reroute_events();
   net_->step();
+  if (auditor_) auditor_->on_cycle_end();
 }
 
 }  // namespace htnoc::sim

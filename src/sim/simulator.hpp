@@ -20,6 +20,7 @@
 #include "noc/network.hpp"
 #include "trace/sink.hpp"
 #include "trojan/tasp.hpp"
+#include "verify/auditor.hpp"
 
 namespace htnoc::sim {
 
@@ -54,6 +55,10 @@ struct SimConfig {
   /// tracing is compiled in, the simulator owns a TraceSink and threads taps
   /// through every instrumented component.
   trace::TraceConfig trace;
+  /// Per-cycle whole-fabric invariant auditing (off by default; see
+  /// src/verify). When enabled the simulator owns a NetworkInvariantAuditor
+  /// wired into every NI and purge path.
+  verify::AuditConfig audit;
 };
 
 class Simulator {
@@ -113,6 +118,15 @@ class Simulator {
     return trace_sink_.get();
   }
 
+  /// The owned invariant auditor, or nullptr when auditing is disabled.
+  [[nodiscard]] verify::NetworkInvariantAuditor* auditor() noexcept {
+    return auditor_.get();
+  }
+  [[nodiscard]] const verify::NetworkInvariantAuditor* auditor()
+      const noexcept {
+    return auditor_.get();
+  }
+
  private:
   void apply_kill_switch_schedule();
   void process_reroute_events();
@@ -121,6 +135,8 @@ class Simulator {
   SimConfig cfg_;
   std::unique_ptr<trace::TraceSink> trace_sink_;  ///< Before net_: outlives taps.
   std::unique_ptr<Network> net_;
+  /// After net_: the auditor holds a reference to the network.
+  std::unique_ptr<verify::NetworkInvariantAuditor> auditor_;
   std::vector<std::shared_ptr<trojan::Tasp>> trojans_;
   std::vector<std::unique_ptr<mitigation::RouterThreatDetector>> detectors_;
   std::map<std::pair<RouterId, int>, std::unique_ptr<mitigation::LObController>>

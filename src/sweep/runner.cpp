@@ -202,6 +202,12 @@ RunResult SweepRunner::run_single(const SweepSpec& spec, const RunSpec& rs) {
   if (const trace::TraceSink* sink = simulator.trace_sink()) {
     res.trace = std::make_shared<const trace::TraceLog>(sink->log());
   }
+  if (const verify::NetworkInvariantAuditor* aud = simulator.auditor();
+      aud != nullptr && !aud->clean()) {
+    res.ok = false;
+    res.error = "invariant audit failed:\n" + aud->report();
+    return res;
+  }
   res.ok = true;
   return res;
 }

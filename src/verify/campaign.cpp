@@ -1,0 +1,448 @@
+#include "verify/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <iomanip>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+#include "traffic/app_profile.hpp"
+#include "traffic/generator.hpp"
+
+namespace htnoc::verify {
+
+std::string format_repro(const ReproSpec& r) {
+  std::ostringstream os;
+  os << "htnoc-campaign-repro seed=0x" << std::hex << r.seed << std::dec
+     << " index=" << r.index;
+  return os.str();
+}
+
+std::optional<ReproSpec> parse_repro(const std::string& line) {
+  // The marker distinguishes a repro line from arbitrary seed=... text when
+  // scanning log files.
+  if (line.find("htnoc-campaign-repro") == std::string::npos) {
+    return std::nullopt;
+  }
+  const auto seed_pos = line.find("seed=");
+  const auto index_pos = line.find("index=");
+  if (seed_pos == std::string::npos || index_pos == std::string::npos) {
+    return std::nullopt;
+  }
+  ReproSpec r;
+  try {
+    r.seed = std::stoull(line.substr(seed_pos + 5), nullptr, 0);
+    r.index = std::stoull(line.substr(index_pos + 6), nullptr, 0);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return r;
+}
+
+namespace {
+
+/// Scenario parameters drawn from the per-index RNG, plus the mid-run
+/// adversarial event schedule the driver loop applies.
+struct Scenario {
+  sim::SimConfig config;
+  std::string profile;
+  double rate_scale = 1.0;
+  Cycle cycles = 0;
+  bool background = false;
+  std::string bg_profile;
+  double bg_rate = 0.0;
+
+  struct KillToggle {
+    Cycle at = 0;
+    std::size_t trojan = 0;
+    bool on = false;
+  };
+  std::vector<KillToggle> toggles;
+  std::vector<Cycle> purge_storms;  ///< Cycles with one random purge each.
+  Cycle migrate_at = 0;  ///< 0 = no migration event.
+  RouterId migrate_to = 0;
+
+  std::string descriptor;
+};
+
+const char* const kProfiles[] = {"blackscholes", "facesim", "ferret", "fft"};
+
+std::vector<LinkRef> mesh_links(const NocConfig& noc) {
+  const MeshGeometry geom(noc.mesh_width, noc.mesh_height, noc.concentration);
+  std::vector<LinkRef> links;
+  for (RouterId r = 0; r < geom.num_routers(); ++r) {
+    for (const Direction d : {Direction::kNorth, Direction::kSouth,
+                              Direction::kEast, Direction::kWest}) {
+      if (geom.has_neighbor(r, d)) links.push_back({r, d});
+    }
+  }
+  return links;
+}
+
+trojan::TaspParams draw_tasp(Rng& rng, const NocConfig& noc) {
+  trojan::TaspParams t;
+  constexpr trojan::TargetKind kKinds[] = {
+      trojan::TargetKind::kFull, trojan::TargetKind::kDest,
+      trojan::TargetKind::kSrc,  trojan::TargetKind::kDestSrc,
+      trojan::TargetKind::kMem,  trojan::TargetKind::kVc,
+      trojan::TargetKind::kThread};
+  t.kind = kKinds[rng.next_below(std::size(kKinds))];
+  const auto routers = static_cast<std::uint64_t>(noc.num_routers());
+  t.target_src = static_cast<RouterId>(rng.next_below(routers));
+  t.target_dest = static_cast<RouterId>(rng.next_below(routers));
+  t.target_vc = static_cast<VcId>(
+      rng.next_below(static_cast<std::uint64_t>(noc.vcs_per_port)));
+  t.target_thread = static_cast<std::uint8_t>(rng.next_below(64));
+  t.target_mem = 0x1000'0000u + static_cast<std::uint32_t>(
+                                    rng.next_below(0x0100'0000u));
+  // Half the memory-keyed implants target a whole page, not one address.
+  if (rng.next_bool(0.5)) t.mem_mask = 0xFFFFF000u;
+  t.ecc = noc.ecc_scheme;  // the attacker knows the link code (Sec. III-B)
+  t.payload_states = static_cast<int>(rng.next_in(4, 16));
+  t.min_gap = rng.next_in(1, 4);
+  t.only_head_flits = rng.next_bool(0.8);
+  const double p = rng.next_double();
+  t.pattern = p < 0.7 ? trojan::PayloadPattern::kDoubleDetectable
+              : p < 0.9 ? trojan::PayloadPattern::kSingleCorrectable
+                        : trojan::PayloadPattern::kTripleSdc;
+  return t;
+}
+
+/// All scenario randomness is drawn here, in one fixed order, from the
+/// index-derived RNG — the scenario is a pure function of (seed, index).
+Scenario draw_scenario(const CampaignSpec& spec, std::uint64_t index) {
+  const std::uint64_t run_seed = sweep::derive_run_seed(spec.seed, index, 0);
+  Rng rng(run_seed);
+  Scenario s;
+  sim::SimConfig& sc = s.config;
+
+  sc.noc.concentration = rng.next_bool(0.5) ? 4 : 2;
+  sc.noc.buffer_depth = rng.next_bool(0.5) ? 4 : 2;
+  sc.noc.retrans_scheme = rng.next_bool(0.5)
+                              ? RetransmissionScheme::kOutputBuffer
+                              : RetransmissionScheme::kPerVcBuffer;
+  sc.noc.tdm_enabled = rng.next_bool(0.2);
+  sc.noc.active_step = rng.next_bool(0.8);
+  const double eccd = rng.next_double();
+  sc.noc.ecc_scheme = eccd < 0.7   ? EccScheme::kSecded
+                      : eccd < 0.9 ? EccScheme::kParity
+                                   : EccScheme::kNone;
+  sc.seed = sweep::mix_seed(run_seed, 1);
+  sc.noc.seed = sweep::mix_seed(run_seed, 2);
+
+  const double moded = rng.next_double();
+  sc.mode = moded < 0.30   ? sim::MitigationMode::kNone
+            : moded < 0.65 ? sim::MitigationMode::kLOb
+                           : sim::MitigationMode::kReroute;
+  sc.reroute_latency = rng.next_in(20, 400);
+
+  // Trojan implants.
+  const std::vector<LinkRef> links = mesh_links(sc.noc);
+  const std::uint64_t num_attacks = rng.next_below(4);
+  for (std::uint64_t a = 0; a < num_attacks; ++a) {
+    sim::AttackSpec atk;
+    atk.link = links[rng.next_below(links.size())];
+    atk.tasp = draw_tasp(rng, sc.noc);
+    atk.enable_killsw_at = rng.next_in(50, 400);
+    sc.attacks.push_back(atk);
+  }
+  // Kill-switch toggling mid-flight: off, then on again (the trojan FSM
+  // must go quiet and recover without wedging anything).
+  if (num_attacks > 0 && rng.next_bool(0.4)) {
+    for (std::size_t a = 0; a < sc.attacks.size(); ++a) {
+      const Cycle off = sc.attacks[a].enable_killsw_at + rng.next_in(50, 200);
+      s.toggles.push_back({off, a, false});
+      s.toggles.push_back({off + rng.next_in(50, 200), a, true});
+    }
+  }
+
+  // Background fault environment.
+  double transient = 0.0;
+  if (rng.next_bool(0.5)) {
+    transient = std::pow(10.0, -(2.0 + 2.0 * rng.next_double()));
+    sc.transient_phit_fault_prob = transient;
+  }
+  std::uint64_t permanent_wires = 0;
+  if (rng.next_bool(0.15)) {
+    permanent_wires = rng.next_in(1, 3);
+    std::map<unsigned, bool> stuck;
+    while (stuck.size() < permanent_wires) {
+      stuck[static_cast<unsigned>(rng.next_below(72))] = rng.next_bool(0.5);
+    }
+    sc.permanent_faults.emplace_back(links[rng.next_below(links.size())],
+                                     std::move(stuck));
+  }
+
+  // L-Ob method forcing (40% of L-Ob scenarios pin one method).
+  std::string lob_force = "-";
+  if (sc.mode == sim::MitigationMode::kLOb && rng.next_bool(0.4)) {
+    constexpr ObfMethod kMethods[] = {ObfMethod::kInvert, ObfMethod::kShuffle,
+                                      ObfMethod::kScramble};
+    constexpr ObfGranularity kGrans[] = {ObfGranularity::kHeader,
+                                         ObfGranularity::kFlit,
+                                         ObfGranularity::kPayload};
+    ObfMethod m = kMethods[rng.next_below(std::size(kMethods))];
+    ObfGranularity g = kGrans[rng.next_below(std::size(kGrans))];
+    // Scrambling XORs two whole wire images; partial-window scramble is not
+    // a defined mode.
+    if (m == ObfMethod::kScramble) g = ObfGranularity::kFlit;
+    sc.lob = mitigation::forced_lob_params(m, g);
+    lob_force = to_string(m) + "/" + to_string(g);
+  }
+
+  // Traffic.
+  s.profile = kProfiles[rng.next_below(std::size(kProfiles))];
+  s.rate_scale = 0.3 + 1.7 * rng.next_double();
+  if (sc.noc.tdm_enabled) {
+    s.background = true;
+    s.bg_profile = kProfiles[rng.next_below(std::size(kProfiles))];
+    s.bg_rate = 0.01 + 0.04 * rng.next_double();
+  }
+
+  s.cycles = rng.next_in(300, 1500);
+
+  // Purge storms: spontaneous network-wide purges of random live packets
+  // (the reroute recovery path exercised without waiting for a reroute).
+  if (rng.next_bool(0.3)) {
+    const std::uint64_t storms = rng.next_in(1, 20);
+    for (std::uint64_t i = 0; i < storms; ++i) {
+      s.purge_storms.push_back(rng.next_in(50, s.cycles - 1));
+    }
+    std::sort(s.purge_storms.begin(), s.purge_storms.end());
+  }
+
+  // Hotspot migration under attack (the paper's OS-level complement).
+  if (rng.next_bool(0.15)) {
+    s.migrate_at = rng.next_in(100, 300);
+    s.migrate_to = static_cast<RouterId>(
+        rng.next_below(static_cast<std::uint64_t>(sc.noc.num_routers())));
+  }
+
+  sc.audit = spec.audit;
+  sc.audit.enabled = true;
+
+  std::ostringstream d;
+  d << "mode=" << sim::to_string(sc.mode) << " ecc="
+    << to_string(sc.noc.ecc_scheme) << " conc=" << sc.noc.concentration
+    << " buf=" << sc.noc.buffer_depth
+    << " scheme=" << to_string(sc.noc.retrans_scheme)
+    << " tdm=" << (sc.noc.tdm_enabled ? 1 : 0)
+    << " astep=" << (sc.noc.active_step ? 1 : 0)
+    << " attacks=" << num_attacks << " toggles=" << s.toggles.size()
+    << " transient=" << std::setprecision(3) << transient
+    << " perm=" << permanent_wires << " lob=" << lob_force
+    << " storms=" << s.purge_storms.size()
+    << " migrate=" << (s.migrate_at != 0 ? 1 : 0) << " profile=" << s.profile
+    << " rate=" << std::fixed << std::setprecision(2) << s.rate_scale
+    << " cycles=" << s.cycles;
+  s.descriptor = d.str();
+  return s;
+}
+
+ScenarioResult run_scenario_impl(const CampaignSpec& spec,
+                                 std::uint64_t index) {
+  ScenarioResult res;
+  res.index = index;
+  Scenario sn = draw_scenario(spec, index);
+  res.descriptor = sn.descriptor;
+  const std::uint64_t run_seed = sweep::derive_run_seed(spec.seed, index, 0);
+
+  sim::Simulator simulator(std::move(sn.config));
+  Network& net = simulator.network();
+
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+
+  traffic::AppProfile profile = traffic::profile_by_name(sn.profile);
+  profile.injection_rate *= sn.rate_scale;
+  traffic::AppTrafficModel model(net.geometry(), profile);
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = sweep::mix_seed(run_seed, 3);
+  gp.domain = TdmDomain::kD1;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+
+  std::unique_ptr<traffic::AppTrafficModel> bg_model;
+  std::unique_ptr<traffic::TrafficGenerator> bg;
+  if (sn.background) {
+    traffic::AppProfile bp = traffic::profile_by_name(sn.bg_profile);
+    bp.injection_rate = sn.bg_rate;
+    bg_model = std::make_unique<traffic::AppTrafficModel>(net.geometry(), bp);
+    traffic::TrafficGenerator::Params bgp;
+    bgp.seed = sweep::mix_seed(run_seed, 4);
+    bgp.domain = TdmDomain::kD2;
+    bg = std::make_unique<traffic::TrafficGenerator>(net, *bg_model, bgp,
+                                                     disp);
+  }
+
+  simulator.set_drop_callback([&](PacketId id) {
+    gen.requeue(id);
+    if (bg) bg->requeue(id);
+  });
+
+  Rng storm_rng(sweep::mix_seed(run_seed, 7));
+  std::size_t storm_next = 0;
+  const RouterId migrate_from =
+      profile.hotspots.empty() ? RouterId{0} : profile.hotspots.front().first;
+
+  for (Cycle c = 0; c < sn.cycles; ++c) {
+    for (const Scenario::KillToggle& t : sn.toggles) {
+      if (t.at == c) simulator.tasp(t.trojan).set_kill_switch(t.on);
+    }
+    if (sn.migrate_at != 0 && sn.migrate_at == c) {
+      gen.migrate_hotspot(migrate_from, sn.migrate_to);
+    }
+    while (storm_next < sn.purge_storms.size() &&
+           sn.purge_storms[storm_next] == c) {
+      ++storm_next;
+      const PacketId hi = net.peek_next_packet_id();
+      if (hi <= 1) continue;
+      const PacketId victim = 1 + storm_rng.next_below(hi - 1);
+      for (const PacketId dropped : net.purge_packet(victim)) {
+        gen.requeue(dropped);
+        if (bg) bg->requeue(dropped);
+      }
+    }
+    if (bg) bg->step();
+    gen.step();
+    simulator.step();
+  }
+
+  res.cycles = sn.cycles;
+  res.delivered = net.packets_delivered();
+  res.purged = net.purge_totals().packets;
+  const NetworkInvariantAuditor* aud = simulator.auditor();
+  res.audits = aud->audits_run();
+  res.flits_tracked = aud->flits_tracked();
+  res.violations = aud->violations().size();
+  res.ok = aud->clean();
+  if (!res.ok) res.error = "invariant audit failed:\n" + aud->report();
+  return res;
+}
+
+}  // namespace
+
+ScenarioResult FaultCampaign::run_scenario(const CampaignSpec& spec,
+                                           std::uint64_t index) {
+  try {
+    return run_scenario_impl(spec, index);
+  } catch (const std::exception& e) {
+    ScenarioResult res;
+    res.index = index;
+    res.ok = false;
+    res.error = std::string("exception: ") + e.what();
+    // Re-draw just the descriptor so the failure table still says what the
+    // scenario looked like; draw_scenario is deterministic and cannot throw
+    // for an index the campaign already drew once.
+    try {
+      res.descriptor = draw_scenario(spec, index).descriptor;
+    } catch (const std::exception&) {
+    }
+    return res;
+  }
+}
+
+CampaignResult FaultCampaign::run() const {
+  CampaignResult out;
+  out.spec = spec_;
+  out.scenarios.resize(static_cast<std::size_t>(spec_.scenarios));
+  const int nthreads = sweep::SweepRunner::resolve_threads(
+      spec_.threads, static_cast<std::size_t>(spec_.scenarios));
+  out.threads_used = nthreads;
+
+  std::atomic<std::uint64_t> cursor{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= spec_.scenarios) return;
+      out.scenarios[static_cast<std::size_t>(i)] = run_scenario(spec_, i);
+    }
+  };
+  if (nthreads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nthreads));
+    for (int t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return out;
+}
+
+namespace {
+
+std::string first_line(const std::string& s) {
+  const auto nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+}  // namespace
+
+std::string CampaignResult::summary_text() const {
+  std::uint64_t delivered = 0, purged = 0, audits = 0, flits = 0;
+  for (const ScenarioResult& s : scenarios) {
+    delivered += s.delivered;
+    purged += s.purged;
+    audits += s.audits;
+    flits += s.flits_tracked;
+  }
+  std::ostringstream os;
+  os << "htnoc fault campaign seed=0x" << std::hex << spec.seed << std::dec
+     << " scenarios=" << scenarios.size() << "\n";
+  os << "failures=" << failures() << " delivered=" << delivered
+     << " purged=" << purged << " audits=" << audits
+     << " flits_tracked=" << flits << "\n";
+  for (const ScenarioResult& s : scenarios) {
+    if (s.ok) continue;
+    os << "FAIL " << format_repro({spec.seed, s.index}) << " " << s.descriptor
+       << "\n";
+    os << "  " << first_line(s.error) << "\n";
+  }
+  return os.str();
+}
+
+std::string CampaignResult::summary_markdown() const {
+  std::uint64_t delivered = 0, purged = 0, audits = 0, flits = 0;
+  for (const ScenarioResult& s : scenarios) {
+    delivered += s.delivered;
+    purged += s.purged;
+    audits += s.audits;
+    flits += s.flits_tracked;
+  }
+  std::ostringstream os;
+  os << "| scenarios | failures | packets delivered | packets purged | "
+        "audit cycles | flits tracked |\n";
+  os << "|---|---|---|---|---|---|\n";
+  os << "| " << scenarios.size() << " | " << failures() << " | " << delivered
+     << " | " << purged << " | " << audits << " | " << flits << " |\n";
+  if (failures() > 0) {
+    os << "\n### Failing scenarios\n\n";
+    os << "| index | repro | scenario | first violation |\n";
+    os << "|---|---|---|---|\n";
+    std::size_t listed = 0;
+    for (const ScenarioResult& s : scenarios) {
+      if (s.ok) continue;
+      if (listed == 50) {
+        os << "| … | | " << (failures() - listed) << " more | |\n";
+        break;
+      }
+      os << "| " << s.index << " | `" << format_repro({spec.seed, s.index})
+         << "` | " << s.descriptor << " | "
+         << first_line(s.error.find('\n') != std::string::npos
+                           ? s.error.substr(s.error.find('\n') + 1)
+                           : s.error)
+         << " |\n";
+      ++listed;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace htnoc::verify

@@ -1,0 +1,96 @@
+// Randomized fault campaign: thousands of adversarial scenarios — trojan
+// placements, kill-switch toggling mid-flight, transient/permanent fault
+// mixes, forced L-Ob methods, purge storms, hotspot migration under attack —
+// derived deterministically from a single seed, each run with the invariant
+// auditor armed. A failing scenario yields a minimal repro spec
+// (seed + scenario index) that replays the exact simulation.
+//
+// Built on the PR-1 sweep engine's determinism primitives: per-scenario
+// seeds come from sweep::derive_run_seed / mix_seed, threads claim work off
+// an atomic cursor, and results land in index-addressed slots — so the
+// campaign summary is byte-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/auditor.hpp"
+
+namespace htnoc::verify {
+
+struct CampaignSpec {
+  std::uint64_t seed = 1;
+  std::uint64_t scenarios = 1000;
+  /// Worker threads; <= 0 resolves like SweepRunner ($HTNOC_JOBS, then
+  /// hardware concurrency).
+  int threads = 0;
+  /// Auditor configuration applied to every scenario; `enabled` is forced
+  /// on by the campaign (an unaudited campaign proves nothing).
+  AuditConfig audit;
+};
+
+/// Everything needed to replay one failing scenario exactly.
+struct ReproSpec {
+  std::uint64_t seed = 0;
+  std::uint64_t index = 0;
+};
+
+/// One line: "htnoc-campaign-repro seed=0x<hex> index=<dec>".
+[[nodiscard]] std::string format_repro(const ReproSpec& r);
+/// Parse a format_repro() line (leading/trailing text tolerated per field).
+[[nodiscard]] std::optional<ReproSpec> parse_repro(const std::string& line);
+
+struct ScenarioResult {
+  std::uint64_t index = 0;
+  bool ok = false;
+  /// Auditor report or exception text when ok == false.
+  std::string error;
+  /// Compact human-readable description of the randomized scenario.
+  std::string descriptor;
+  Cycle cycles = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t purged = 0;
+  std::uint64_t audits = 0;
+  std::uint64_t flits_tracked = 0;
+  std::size_t violations = 0;
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<ScenarioResult> scenarios;  ///< Indexed by scenario index.
+  int threads_used = 1;  ///< Informational; never serialized.
+
+  [[nodiscard]] std::size_t failures() const {
+    std::size_t n = 0;
+    for (const ScenarioResult& s : scenarios) n += s.ok ? 0 : 1;
+    return n;
+  }
+
+  /// Deterministic plain-text summary — byte-identical for a given
+  /// (seed, scenarios) at any thread count. Failing scenarios are listed
+  /// with their repro specs.
+  [[nodiscard]] std::string summary_text() const;
+  /// GitHub-flavoured markdown table for CI job summaries.
+  [[nodiscard]] std::string summary_markdown() const;
+};
+
+class FaultCampaign {
+ public:
+  explicit FaultCampaign(CampaignSpec spec) : spec_(std::move(spec)) {}
+
+  /// Run the whole campaign (parallel, deterministic).
+  [[nodiscard]] CampaignResult run() const;
+
+  /// Build and run scenario `index` of campaign `seed` in the calling
+  /// thread — the repro entry point. Bit-identical to the same scenario
+  /// inside a full campaign run.
+  [[nodiscard]] static ScenarioResult run_scenario(const CampaignSpec& spec,
+                                                  std::uint64_t index);
+
+ private:
+  CampaignSpec spec_;
+};
+
+}  // namespace htnoc::verify

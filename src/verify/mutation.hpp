@@ -1,0 +1,61 @@
+// Mutation self-test registry. Each mutation is a deliberately wrong
+// behavior compiled into the NoC substrate behind an HTNOC_MUTATION_* macro
+// (configure with -DHTNOC_MUTATION=<NAME>); CI builds every mutant and runs
+// the auditor self-test to prove each violation class is actually caught —
+// an auditor that never fires is indistinguishable from one that works.
+#pragma once
+
+#include "verify/auditor.hpp"
+
+namespace htnoc::verify {
+
+/// Name of the mutation compiled into this binary ("" for a clean build).
+[[nodiscard]] constexpr const char* compiled_mutation() noexcept {
+#if defined(HTNOC_MUTATION_DROP_ACK)
+  return "DROP_ACK";
+#elif defined(HTNOC_MUTATION_PURGE_SLOT_LEAK)
+  return "PURGE_SLOT_LEAK";
+#elif defined(HTNOC_MUTATION_SKIP_CREDIT)
+  return "SKIP_CREDIT";
+#elif defined(HTNOC_MUTATION_EXTRA_CREDIT)
+  return "EXTRA_CREDIT";
+#elif defined(HTNOC_MUTATION_DOUBLE_DELIVER)
+  return "DOUBLE_DELIVER";
+#elif defined(HTNOC_MUTATION_LOSE_FLIT)
+  return "LOSE_FLIT";
+#elif defined(HTNOC_MUTATION_PHANTOM_FLIT)
+  return "PHANTOM_FLIT";
+#elif defined(HTNOC_MUTATION_BLIND_SATURATION)
+  return "BLIND_SATURATION";
+#else
+  return "";
+#endif
+}
+
+/// The violation class this binary's mutation must (at minimum) trip.
+/// Mutations cascade — DROP_ACK also breaks credit conservation, exactly as
+/// the real hardware fault would — so tests assert the expected kind is
+/// present, not that it is the only kind reported.
+[[nodiscard]] constexpr ViolationKind expected_violation() noexcept {
+#if defined(HTNOC_MUTATION_DROP_ACK)
+  return ViolationKind::kAckSlotLeak;
+#elif defined(HTNOC_MUTATION_PURGE_SLOT_LEAK)
+  return ViolationKind::kPurgeLeak;
+#elif defined(HTNOC_MUTATION_SKIP_CREDIT)
+  return ViolationKind::kCreditConservation;
+#elif defined(HTNOC_MUTATION_EXTRA_CREDIT)
+  return ViolationKind::kCreditConservation;
+#elif defined(HTNOC_MUTATION_DOUBLE_DELIVER)
+  return ViolationKind::kDuplicateDelivery;
+#elif defined(HTNOC_MUTATION_LOSE_FLIT)
+  return ViolationKind::kFlitLoss;
+#elif defined(HTNOC_MUTATION_PHANTOM_FLIT)
+  return ViolationKind::kUnknownFlit;
+#elif defined(HTNOC_MUTATION_BLIND_SATURATION)
+  return ViolationKind::kSilentStarvation;
+#else
+  return ViolationKind::kFlitLoss;  // unused in clean builds
+#endif
+}
+
+}  // namespace htnoc::verify
