@@ -1,0 +1,101 @@
+// Scaling of the intra-run parallel step (Network::step with
+// step_threads > 1; see docs/SCALING.md). The headline series is the
+// under-attack 16x16 mesh — 256 routers, 1024 cores, a saturating TASP and
+// L-Ob mitigation active — at 1/2/4/8 step threads; the target on an
+// >= 8-core host is >= 3x over serial at 8 threads, with the step_threads=1
+// row within measurement noise of the pre-parallelism serial loop (the
+// serial path never touches the pool, staging barriers or trace merge).
+// The 4x4 rows document the other side of the trade: a 16-router mesh has
+// too little work per shard for fork/join to pay off, which is why
+// step_threads defaults to 1.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace htnoc;
+
+sim::SimConfig mesh_config(int width, int height, int step_threads,
+                           bool attacked) {
+  sim::SimConfig sc;
+  sc.noc.mesh_width = width;
+  sc.noc.mesh_height = height;
+  sc.noc.step_threads = step_threads;
+  sc.noc.seed = 0xBEEF;
+  sc.seed = 0xF00D;
+  if (attacked) {
+    sc.mode = sim::MitigationMode::kLOb;
+    sim::AttackSpec atk = bench::paper_attack(0);
+    // paper_attack targets the column-0 northbound feeder into router 0;
+    // that feeder is the first router of row 1, i.e. index == mesh width.
+    atk.link.from = static_cast<RouterId>(width);
+    sc.attacks.push_back(atk);
+  }
+  return sc;
+}
+
+void run_stepping(benchmark::State& state, int width, int height,
+                  bool attacked) {
+  const int threads = static_cast<int>(state.range(0));
+  sim::Simulator simulator(mesh_config(width, height, threads, attacked));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = 2;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+  // Warm-up fills the fabric so the measured region is steady-state load,
+  // not the empty-network ramp.
+  for (int c = 0; c < 300; ++c) {
+    gen.step();
+    simulator.step();
+  }
+  for (auto _ : state) {
+    gen.step();
+    simulator.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pkts_delivered"] =
+      static_cast<double>(gen.stats().packets_delivered);
+}
+
+void BM_ParallelStep16x16UnderAttack(benchmark::State& state) {
+  run_stepping(state, 16, 16, /*attacked=*/true);
+}
+BENCHMARK(BM_ParallelStep16x16UnderAttack)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_ParallelStep16x16Loaded(benchmark::State& state) {
+  run_stepping(state, 16, 16, /*attacked=*/false);
+}
+BENCHMARK(BM_ParallelStep16x16Loaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_ParallelStep4x4UnderAttack(benchmark::State& state) {
+  run_stepping(state, 4, 4, /*attacked=*/true);
+}
+BENCHMARK(BM_ParallelStep4x4UnderAttack)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -18,7 +18,13 @@ int main() {
 
   // 1. Configure the NoC. Defaults reproduce the paper's platform: 4x4
   //    mesh, 4 cores per router, 4 VCs/port, 4-deep buffers, 5-stage
-  //    pipeline, x-y routing at 2 GHz.
+  //    pipeline, x-y routing at 2 GHz, SECDED link ECC. Each input/output
+  //    unit resolves cfg.ecc_scheme once at construction into the
+  //    branch-free ecc::CodecDispatch, so changing the scheme here is the
+  //    only ECC decision you make — there is no per-phit dispatch cost.
+  //    cfg.step_threads > 1 shards large meshes across worker threads
+  //    with bit-identical results (docs/SCALING.md); at this 4x4 size the
+  //    serial default is the right choice.
   NocConfig cfg;
   Network net(cfg);
   std::printf("built a %dx%d mesh, %d cores, %zu inter-router links\n",

@@ -15,6 +15,7 @@ void NocConfig::validate() const {
   HTNOC_EXPECT(stage_bw_rc >= 1 && stage_va >= 1 && stage_sa >= 1 &&
                stage_st >= 1 && stage_lt >= 1);
   HTNOC_EXPECT(injection_queue_depth >= 1);
+  HTNOC_EXPECT(step_threads >= 1 && step_threads <= 256);
   // TDM needs an even VC split between the two domains.
   if (tdm_enabled) HTNOC_EXPECT(vcs_per_port % 2 == 0);
 }

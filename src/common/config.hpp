@@ -64,6 +64,14 @@ struct NocConfig {
   /// everything-every-cycle loop (benchmark baseline / debugging).
   bool active_step = true;
 
+  /// Worker threads for the intra-run parallel step (see Network::step and
+  /// docs/SCALING.md). 1 = serial. Results, traces and stats are
+  /// bit-identical for any value: each cycle runs as a drain phase and a
+  /// compute phase over contiguous router/NI shards, with all cross-shard
+  /// effects staged and merged in fixed unit order at the phase barrier.
+  /// Clamped to the router count at runtime.
+  int step_threads = 1;
+
   std::uint64_t seed = 0xC0FFEE;
 
   [[nodiscard]] int num_routers() const noexcept { return mesh_width * mesh_height; }

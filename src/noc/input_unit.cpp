@@ -4,9 +4,21 @@
 
 namespace htnoc {
 
-void InputUnit::process_arrivals(Cycle now) {
-  if (link_ == nullptr) return;
-  for (LinkPhit& phit : link_->take_arrivals(now)) {
+namespace {
+/// Clears the staged batch on scope exit, including on a thrown contract
+/// violation — mid-batch messages must not be re-consumed next cycle (the
+/// pre-staging code drained them into a discarded local vector).
+template <typename T>
+struct ScopedClear {
+  std::vector<T>& v;
+  ~ScopedClear() { v.clear(); }
+};
+}  // namespace
+
+void InputUnit::process_staged(Cycle now) {
+  if (link_ == nullptr || staged_arrivals_.empty()) return;
+  ScopedClear<LinkPhit> clear{staged_arrivals_};
+  for (LinkPhit& phit : staged_arrivals_) {
     ++stats_.flits_received;
     const ecc::DecodeResult res = codec_.decode(phit.codeword);
 

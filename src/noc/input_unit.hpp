@@ -90,9 +90,25 @@ class InputUnit {
     trace_node_ = node;
   }
 
+  /// Drain phase of the two-phase step: pop this cycle's due phits off the
+  /// link into unit-local staging. Pure pops — no decoding, no sends, no
+  /// trace events — so concurrent shards never write a deque another shard
+  /// reads (see Network::step).
+  void drain_link(Cycle now) {
+    if (link_ != nullptr) link_->drain_arrivals(now, staged_arrivals_);
+  }
+
+  /// Compute phase: decode, ack/nack, de-obfuscate and buffer the staged
+  /// phits. All link interactions here are sends (single writer).
+  void process_staged(Cycle now);
+
   /// Pull this cycle's phit arrivals off the link: decode, ack/nack,
-  /// de-obfuscate, buffer.
-  void process_arrivals(Cycle now);
+  /// de-obfuscate, buffer. Serial convenience wrapper (drain + compute) for
+  /// standalone unit use.
+  void process_arrivals(Cycle now) {
+    drain_link(now);
+    process_staged(now);
+  }
 
   [[nodiscard]] int num_vcs() const { return cfg_.vcs_per_port; }
   [[nodiscard]] VcBuf& vcbuf(int vc) { return vcs_[static_cast<std::size_t>(vc)]; }
@@ -228,6 +244,7 @@ class InputUnit {
   trace::Scope trace_scope_ = trace::Scope::kRouter;
   std::uint16_t trace_node_ = 0;
   std::vector<VcBuf> vcs_;
+  std::vector<LinkPhit> staged_arrivals_;  ///< Drained, not yet processed.
   std::vector<StationEntry> station_;
   std::deque<CachedWire> wire_cache_;
   Stats stats_;

@@ -69,14 +69,24 @@ class Link {
     in_flight_.push_back({now + static_cast<Cycle>(latency_), std::move(phit)});
   }
 
-  /// Pop all phits whose traversal completes at cycle `now`.
-  [[nodiscard]] std::vector<LinkPhit> take_arrivals(Cycle now) {
-    std::vector<LinkPhit> out;
+  /// Pop all phits whose traversal completes at cycle `now`, appending to
+  /// `out`. The drain-phase primitive of the two-phase parallel step: with
+  /// forward latency >= 1 nothing sent during cycle `now` is due at `now`,
+  /// so draining before any unit computes picks up exactly what the serial
+  /// interleaved pull would, and phase-2 sends become the only in_flight_
+  /// mutations (single writer per deque).
+  void drain_arrivals(Cycle now, std::vector<LinkPhit>& out) {
     while (!in_flight_.empty() && in_flight_.front().arrive <= now) {
       HTNOC_INVARIANT(in_flight_.front().arrive == now);
       out.push_back(std::move(in_flight_.front().phit));
       in_flight_.pop_front();
     }
+  }
+
+  /// Pop all phits whose traversal completes at cycle `now`.
+  [[nodiscard]] std::vector<LinkPhit> take_arrivals(Cycle now) {
+    std::vector<LinkPhit> out;
+    drain_arrivals(now, out);
     return out;
   }
 
@@ -112,20 +122,30 @@ class Link {
     return n;
   }
 
-  [[nodiscard]] std::vector<CreditMsg> take_credits(Cycle now) {
-    std::vector<CreditMsg> out;
+  /// Appending drain variants of take_credits/take_acks (see
+  /// drain_arrivals; the reverse channel's fixed 1-cycle delay gives the
+  /// same no-same-cycle-visibility guarantee).
+  void drain_credits(Cycle now, std::vector<CreditMsg>& out) {
     while (!credits_.empty() && credits_.front().arrive <= now) {
       out.push_back(credits_.front().msg);
       credits_.pop_front();
     }
-    return out;
   }
-  [[nodiscard]] std::vector<AckMsg> take_acks(Cycle now) {
-    std::vector<AckMsg> out;
+  void drain_acks(Cycle now, std::vector<AckMsg>& out) {
     while (!acks_.empty() && acks_.front().arrive <= now) {
       out.push_back(acks_.front().msg);
       acks_.pop_front();
     }
+  }
+
+  [[nodiscard]] std::vector<CreditMsg> take_credits(Cycle now) {
+    std::vector<CreditMsg> out;
+    drain_credits(now, out);
+    return out;
+  }
+  [[nodiscard]] std::vector<AckMsg> take_acks(Cycle now) {
+    std::vector<AckMsg> out;
+    drain_acks(now, out);
     return out;
   }
 

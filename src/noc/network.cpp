@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <deque>
+#include <utility>
 
 #include "common/expect.hpp"
 #include "noc/adaptive.hpp"
+#include "noc/step_pool.hpp"
 
 namespace htnoc {
 
@@ -66,34 +68,128 @@ Network::Network(const NocConfig& cfg)
   }
 }
 
+Network::~Network() = default;
+
+int Network::step_shards() const noexcept {
+  int t = cfg_.step_threads;
+  const int nr = static_cast<int>(routers_.size());
+  if (t > nr) t = nr;
+  return t < 1 ? 1 : t;
+}
+
+void Network::drain_range(std::size_t rlo, std::size_t rhi, std::size_t clo,
+                          std::size_t chi) {
+  // Active-set evaluation happens before any drain, at the cycle-start
+  // fixed point: every queue a unit's has_work() reads is drained only by
+  // that unit, so the evaluation is race-free and — unlike the former
+  // mid-loop evaluation — independent of unit order and thread count.
+  // (A unit woken only by a same-cycle send would have been a no-op step
+  // anyway: its due queues are empty. It wakes next cycle instead.)
+  for (std::size_t i = rlo; i < rhi; ++i) {
+    Router& r = *routers_[i];
+    router_active_[i] = (!cfg_.active_step || r.has_work()) ? 1 : 0;
+    if (router_active_[i] != 0) r.drain(now_);
+  }
+  for (std::size_t i = clo; i < chi; ++i) {
+    NetworkInterface& ni = *nis_[i];
+    ni_active_[i] = (!cfg_.active_step || ni.has_work()) ? 1 : 0;
+    if (ni_active_[i] != 0) ni.drain(now_);
+  }
+}
+
+void Network::compute_range(std::size_t rlo, std::size_t rhi, std::size_t clo,
+                            std::size_t chi) {
+  for (std::size_t i = rlo; i < rhi; ++i) {
+    if (router_active_[i] != 0) routers_[i]->compute(now_);
+  }
+  for (std::size_t i = clo; i < chi; ++i) {
+    if (ni_active_[i] != 0) nis_[i]->compute(now_);
+  }
+}
+
 void Network::step() {
-  if (cfg_.active_step) {
-    for (auto& r : routers_) {
-      if (r->has_work()) {
-        r->step(now_);
-        ++step_stats_.router_steps;
-      } else {
-        ++step_stats_.router_skips;
-      }
-    }
-    for (auto& ni : nis_) {
-      if (ni->has_work()) {
-        ni->step(now_);
-        ++step_stats_.ni_steps;
-      } else {
-        ++step_stats_.ni_skips;
-      }
-    }
+  const std::size_t nr = routers_.size();
+  const std::size_t nc = nis_.size();
+  if (router_active_.size() != nr) router_active_.assign(nr, 0);
+  if (ni_active_.size() != nc) ni_active_.assign(nc, 0);
+
+  const int shards = step_shards();
+  if (shards <= 1) {
+    drain_range(0, nr, 0, nc);
+    compute_range(0, nr, 0, nc);
   } else {
-    for (auto& r : routers_) {
-      r->step(now_);
-      ++step_stats_.router_steps;
+    if (pool_ == nullptr) pool_ = std::make_unique<StepPool>(shards);
+    if (shard_router_events_.size() != static_cast<std::size_t>(shards)) {
+      shard_router_events_.resize(static_cast<std::size_t>(shards));
+      shard_ni_events_.resize(static_cast<std::size_t>(shards));
     }
-    for (auto& ni : nis_) {
-      ni->step(now_);
-      ++step_stats_.ni_steps;
+    const std::size_t sh = static_cast<std::size_t>(shards);
+    const auto rrange = [&](std::size_t s) {
+      return std::pair{nr * s / sh, nr * (s + 1) / sh};
+    };
+    const auto crange = [&](std::size_t s) {
+      return std::pair{nc * s / sh, nc * (s + 1) / sh};
+    };
+    pool_->run([&](int s) {
+      const auto [rlo, rhi] = rrange(static_cast<std::size_t>(s));
+      const auto [clo, chi] = crange(static_cast<std::size_t>(s));
+      drain_range(rlo, rhi, clo, chi);
+    });
+    // Phase barrier: every due message is staged, nothing more arrives
+    // this cycle. Phase 2's link interactions are pushes only.
+    pool_->run([&](int s) {
+      const auto su = static_cast<std::size_t>(s);
+      const auto [rlo, rhi] = rrange(su);
+      const auto [clo, chi] = crange(su);
+      // Stage this worker's trace records per shard; reset on every exit
+      // path so a contract violation cannot leave a dangling redirect.
+      struct StageReset {
+        ~StageReset() { trace::TraceSink::set_thread_stage(nullptr); }
+      } reset;
+      trace::TraceSink::set_thread_stage(&shard_router_events_[su]);
+      for (std::size_t i = rlo; i < rhi; ++i) {
+        if (router_active_[i] != 0) routers_[i]->compute(now_);
+      }
+      trace::TraceSink::set_thread_stage(&shard_ni_events_[su]);
+      for (std::size_t i = clo; i < chi; ++i) {
+        if (ni_active_[i] != 0) nis_[i]->compute(now_);
+      }
+    });
+    // Deterministic trace merge: shards own contiguous ascending unit
+    // ranges, so router buffers in shard order then NI buffers in shard
+    // order reproduce the serial emission order exactly.
+    if (trace::TraceSink* sink = tap_.sink()) {
+      for (auto& buf : shard_router_events_) {
+        for (const trace::Event& e : buf) sink->record(e);
+        buf.clear();
+      }
+      for (auto& buf : shard_ni_events_) {
+        for (const trace::Event& e : buf) sink->record(e);
+        buf.clear();
+      }
     }
   }
+
+  // Staged delivery/audit notifications flush on this thread in core order
+  // — the serial call sequence (callbacks mutate traffic-layer state the
+  // workers must not touch).
+  for (auto& ni : nis_) ni->flush_ejections(now_);
+
+  for (std::size_t i = 0; i < nr; ++i) {
+    if (router_active_[i] != 0) {
+      ++step_stats_.router_steps;
+    } else {
+      ++step_stats_.router_skips;
+    }
+  }
+  for (std::size_t i = 0; i < nc; ++i) {
+    if (ni_active_[i] != 0) {
+      ++step_stats_.ni_steps;
+    } else {
+      ++step_stats_.ni_skips;
+    }
+  }
+
   ++now_;
   if (tap_.on(trace::Category::kSaturation)) trace_saturation();
 }

@@ -18,6 +18,8 @@
 
 namespace htnoc {
 
+class StepPool;
+
 class Network {
  public:
   /// Snapshot of the buffer-utilization metrics plotted in Figs. 11/12.
@@ -32,12 +34,27 @@ class Network {
   };
 
   explicit Network(const NocConfig& cfg);
+  ~Network();  ///< Out-of-line: owns the (forward-declared) StepPool.
 
   [[nodiscard]] const MeshGeometry& geometry() const noexcept { return geom_; }
   [[nodiscard]] const NocConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] Cycle now() const noexcept { return now_; }
 
   /// Advance the whole network by one clock cycle.
+  ///
+  /// Runs as two phases over all routers and NIs. Phase 1 evaluates the
+  /// active set (cfg.active_step) against the cycle-start fixed point and
+  /// drains every due link message into unit-local staging; phase 2 runs
+  /// each active unit's full pipeline over the staged input. Because link
+  /// forward latency is >= 1 and the reverse channel delays by exactly 1,
+  /// nothing sent during a cycle is visible within it — so with
+  /// cfg.step_threads > 1 the phases shard across a persistent worker pool
+  /// (contiguous router/NI ranges, one barrier between the phases) and the
+  /// result is bit-identical to serial: every deque has one drainer in
+  /// phase 1 and one writer in phase 2, trace events stage per shard and
+  /// merge in unit order, and delivery/audit callbacks stage per NI and
+  /// flush in core order on the calling thread. See docs/SCALING.md and
+  /// docs/ARCHITECTURE.md §11.
   void step();
   void run(Cycle cycles) {
     for (Cycle i = 0; i < cycles; ++i) step();
@@ -181,6 +198,16 @@ class Network {
   /// Emit router blocked/unblocked transitions (kSaturation category). Runs
   /// after ++now_ so its view matches sample_utilization at the same cycle.
   void trace_saturation();
+  /// Effective parallel-step shard count: cfg.step_threads clamped to the
+  /// router count (and >= 1).
+  [[nodiscard]] int step_shards() const noexcept;
+  /// Phase 1 for units [rlo,rhi) x [clo,chi): active-set evaluation at the
+  /// cycle-start fixed point, then drain.
+  void drain_range(std::size_t rlo, std::size_t rhi, std::size_t clo,
+                   std::size_t chi);
+  /// Phase 2 for the same ranges: compute every active unit.
+  void compute_range(std::size_t rlo, std::size_t rhi, std::size_t clo,
+                     std::size_t chi);
 
   NocConfig cfg_;
   MeshGeometry geom_;
@@ -206,6 +233,17 @@ class Network {
   trace::Tap tap_;
   FlitAuditObserver* audit_ = nullptr;
   std::vector<char> router_blocked_;  ///< Last traced blocked state.
+
+  // Parallel-step state. The active bitmaps are written by phase 1 (each
+  // shard its own range) and tallied into step_stats_ on the main thread;
+  // the event buffers hold each shard's staged trace records (router-range
+  // and NI-range separately so the merge reproduces the serial router-0..N,
+  // NI-0..M emission order).
+  std::vector<char> router_active_;
+  std::vector<char> ni_active_;
+  std::unique_ptr<StepPool> pool_;  ///< Lazily created when step_threads > 1.
+  std::vector<std::vector<trace::Event>> shard_router_events_;
+  std::vector<std::vector<trace::Event>> shard_ni_events_;
 };
 
 }  // namespace htnoc

@@ -46,11 +46,48 @@ bool NetworkInterface::try_inject(Cycle now, const PacketInfo& info,
   return true;
 }
 
-void NetworkInterface::step(Cycle now) {
-  out_.process_control(now);
+void NetworkInterface::drain(Cycle now) {
+  out_.drain_control(now);
+  in_.drain_link(now);
+}
+
+void NetworkInterface::compute(Cycle now) {
+  out_.process_staged_control(now);
   step_ejection(now);
   step_injection(now);
   out_.step_lt(now);
+}
+
+void NetworkInterface::step(Cycle now) {
+  drain(now);
+  compute(now);
+  flush_ejections(now);
+}
+
+void NetworkInterface::flush_ejections(Cycle now) {
+  for (const PendingEjection& pe : pending_ejections_) {
+    if (audit_ != nullptr) {
+      for (int k = 0; k < pe.audit_calls; ++k) {
+        audit_->on_flit_delivered(now, pe.flit);
+      }
+    }
+    if (pe.deliver_tail && on_delivery_) {
+      const Flit& f = pe.flit;
+      PacketInfo info;
+      info.id = f.packet;
+      info.src_core = f.src_core;
+      info.dest_core = f.dest_core;
+      info.src_router = f.src_router;
+      info.dest_router = f.dest_router;
+      info.mem_addr = f.mem_addr;
+      info.pclass = f.pclass;
+      info.domain = f.domain;
+      info.length = f.length;
+      info.inject_cycle = f.inject_cycle;
+      on_delivery_(now, info, now - f.inject_cycle);
+    }
+  }
+  pending_ejections_.clear();
 }
 
 void NetworkInterface::step_injection(Cycle now) {
@@ -100,39 +137,30 @@ void NetworkInterface::step_domain_injection(Cycle now, DomainStream& s) {
 }
 
 void NetworkInterface::step_ejection(Cycle now) {
-  in_.process_arrivals(now);
+  in_.process_staged(now);
   // Drain everything forwardable; the NI consumes flits as fast as the
   // router can deliver them (reassembly buffers are not the bottleneck the
-  // paper studies).
+  // paper studies). Audit/delivery notifications are staged, not invoked —
+  // they touch shared observer state (see flush_ejections).
   for (int vc = 0; vc < cfg_.vcs_per_port; ++vc) {
     while (in_.front_flit_ready(now, vc)) {
-      const Flit f = in_.pop_front_flit(now, vc);
+      PendingEjection pe;
+      pe.flit = in_.pop_front_flit(now, vc);
       ++stats_.flits_delivered;
-      if (audit_ != nullptr) audit_->on_flit_delivered(now, f);
 #ifdef HTNOC_MUTATION_DOUBLE_DELIVER
       // Mutation self-test: the sink consumes a slice of the tail flits
       // twice — duplicated delivery accounting (verify: kDuplicateDelivery).
-      if (f.is_tail() && (f.packet & 0x7) == 2) {
+      if (pe.flit.is_tail() && (pe.flit.packet & 0x7) == 2) {
         ++stats_.flits_delivered;
-        if (audit_ != nullptr) audit_->on_flit_delivered(now, f);
+        pe.audit_calls = 2;
       }
 #endif
-      if (f.is_tail()) {
+      if (pe.flit.is_tail()) {
         ++stats_.packets_delivered;
-        if (on_delivery_) {
-          PacketInfo info;
-          info.id = f.packet;
-          info.src_core = f.src_core;
-          info.dest_core = f.dest_core;
-          info.src_router = f.src_router;
-          info.dest_router = f.dest_router;
-          info.mem_addr = f.mem_addr;
-          info.pclass = f.pclass;
-          info.domain = f.domain;
-          info.length = f.length;
-          info.inject_cycle = f.inject_cycle;
-          on_delivery_(now, info, now - f.inject_cycle);
-        }
+        pe.deliver_tail = true;
+      }
+      if (audit_ != nullptr || on_delivery_) {
+        pending_ejections_.push_back(std::move(pe));
       }
     }
   }

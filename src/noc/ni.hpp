@@ -72,6 +72,23 @@ class NetworkInterface {
   /// deadlock condition for Figs. 11/12).
   [[nodiscard]] bool injection_full() const { return saturated_; }
 
+  /// Drain phase of the two-phase step (see Router::drain).
+  void drain(Cycle now);
+  /// Compute phase: control, ejection, injection, LT over the staged
+  /// messages. Delivery effects that touch shared state — the audit
+  /// observer and the delivery callback, both of which reach into
+  /// traffic-layer/auditor state owned by the main thread — are staged
+  /// per-NI; the network flushes them in core order (flush_ejections).
+  void compute(Cycle now);
+  /// Invoke the staged audit/delivery notifications in ejection order.
+  /// Called by Network::step on the main thread, NIs in core order, which
+  /// reproduces the serial interleaved call sequence exactly (delivery
+  /// callbacks never feed back into same-cycle NI state: replies go to the
+  /// generator backlog and inject on a later generator step).
+  void flush_ejections(Cycle now);
+
+  /// Advance one cycle (serial drain + compute + flush, for standalone
+  /// use; Network sequences the three explicitly).
   void step(Cycle now);
 
   /// Active-set check (see Router::has_work): false only when stepping
@@ -143,11 +160,21 @@ class NetworkInterface {
   void step_domain_injection(Cycle now, DomainStream& s);
   void step_ejection(Cycle now);
 
+  /// One delivered flit's deferred shared-state effects (see compute()).
+  /// `audit_calls` is normally 1; the DOUBLE_DELIVER mutation stages the
+  /// duplicated observer call so the self-test still fires under staging.
+  struct PendingEjection {
+    Flit flit;
+    std::uint8_t audit_calls = 1;
+    bool deliver_tail = false;  ///< Invoke the delivery callback.
+  };
+
   const NocConfig& cfg_;
   NodeId core_;
   OutputUnit out_;  ///< Toward the router's local input port.
   InputUnit in_;    ///< From the router's local output port.
   std::array<DomainStream, 2> streams_;
+  std::vector<PendingEjection> pending_ejections_;
   bool saturated_ = false;  ///< Last try_inject was rejected.
   trace::Tap tap_;
   DeliveryCallback on_delivery_;

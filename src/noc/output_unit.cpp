@@ -147,9 +147,21 @@ void OutputUnit::step_lt(Cycle now) {
   if (tag.active()) ++stats_.obfuscated_sends;
 }
 
-void OutputUnit::process_control(Cycle now) {
+namespace {
+/// Clears a staged batch on scope exit, including on a thrown contract
+/// violation — mid-batch messages must not be re-consumed next cycle.
+template <typename T>
+struct ScopedClear {
+  std::vector<T>& v;
+  ~ScopedClear() { v.clear(); }
+};
+}  // namespace
+
+void OutputUnit::process_staged_control(Cycle now) {
   if (link_ == nullptr) return;
-  for (const CreditMsg& c : link_->take_credits(now)) {
+  ScopedClear<CreditMsg> clear_credits{staged_credits_};
+  ScopedClear<AckMsg> clear_acks{staged_acks_};
+  for (const CreditMsg& c : staged_credits_) {
     auto& cr = credits_[static_cast<std::size_t>(c.vc)];
 #ifdef HTNOC_MUTATION_EXTRA_CREDIT
     // Mutation self-test: double-count a slice of the credit returns. The
@@ -165,7 +177,7 @@ void OutputUnit::process_control(Cycle now) {
 #endif
     last_credit_gain_[static_cast<std::size_t>(c.vc)] = now;
   }
-  for (const AckMsg& a : link_->take_acks(now)) {
+  for (const AckMsg& a : staged_acks_) {
     const int idx = find_slot(a.packet, a.seq, Slot::State::kInFlight);
     // Unmatched responses are possible only after a purge removed the slot
     // while its ACK/NACK was in flight; drop them.

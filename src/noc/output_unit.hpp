@@ -143,8 +143,24 @@ class OutputUnit {
   /// LT stage: try to start one link traversal this cycle.
   void step_lt(Cycle now);
 
-  /// Drain the reverse control channel: ACKs/NACKs and credit returns.
-  void process_control(Cycle now);
+  /// Drain phase of the two-phase step: pop this cycle's due credits and
+  /// ACK/NACKs off the reverse channel into unit-local staging (pure pops;
+  /// see Network::step).
+  void drain_control(Cycle now) {
+    if (link_ == nullptr) return;
+    link_->drain_credits(now, staged_credits_);
+    link_->drain_acks(now, staged_acks_);
+  }
+
+  /// Compute phase: apply the staged credit returns and ACK/NACKs.
+  void process_staged_control(Cycle now);
+
+  /// Drain + apply the reverse control channel: ACKs/NACKs and credit
+  /// returns. Serial convenience wrapper for standalone unit use.
+  void process_control(Cycle now) {
+    drain_control(now);
+    process_staged_control(now);
+  }
 
   /// Remove every slot of packet `p` (link-disable recovery). Credits are
   /// restored directly except for flits known to be buffered at the
@@ -276,6 +292,8 @@ class OutputUnit {
   std::vector<bool> vc_allocated_;
   std::vector<int> credits_;
   std::vector<Cycle> last_credit_gain_;  // per VC, indexed like credits_
+  std::vector<CreditMsg> staged_credits_;  ///< Drained, not yet applied.
+  std::vector<AckMsg> staged_acks_;        ///< Drained, not yet applied.
   std::vector<Slot> slots_;  // FIFO by entry; retransmissions are oldest first
   Stats stats_;
 };

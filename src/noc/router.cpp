@@ -42,16 +42,26 @@ void Router::set_trace(trace::Tap tap) {
   }
 }
 
-void Router::step(Cycle now) {
+void Router::drain(Cycle now) {
+  for (auto& out : outputs_) out->drain_control(now);
+  for (auto& in : inputs_) in->drain_link(now);
+}
+
+void Router::compute(Cycle now) {
   // Reverse-channel control first so freed slots/credits are usable this
   // cycle (they were sent >= 1 cycle ago).
-  for (auto& out : outputs_) out->process_control(now);
+  for (auto& out : outputs_) out->process_staged_control(now);
   // BW: accept phit arrivals into input buffers.
-  for (auto& in : inputs_) in->process_arrivals(now);
+  for (auto& in : inputs_) in->process_staged(now);
   stage_rc(now);
   stage_va(now);
   stage_sa_st(now);
   for (auto& out : outputs_) out->step_lt(now);
+}
+
+void Router::step(Cycle now) {
+  drain(now);
+  compute(now);
 }
 
 void Router::stage_rc(Cycle now) {

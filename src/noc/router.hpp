@@ -78,7 +78,17 @@ class Router {
   /// decisions do not aim at disabled links.
   void invalidate_waiting_routes();
 
-  /// Advance one cycle: control, arrivals, RC, VA, SA/ST, LT.
+  /// Drain phase of the two-phase step: pop due reverse-channel messages
+  /// and phit arrivals off every attached link into unit staging. Pure
+  /// pops; safe to run concurrently with other routers'/NIs' drains (each
+  /// deque has exactly one drainer — see Network::step).
+  void drain(Cycle now);
+  /// Compute phase: control, arrivals, RC, VA, SA/ST, LT over the staged
+  /// messages. All link interactions are pushes (single writer).
+  void compute(Cycle now);
+
+  /// Advance one cycle: control, arrivals, RC, VA, SA/ST, LT (serial
+  /// drain + compute).
   void step(Cycle now);
 
   /// Active-set check: false only when stepping would provably be a no-op —

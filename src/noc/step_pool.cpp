@@ -1,0 +1,81 @@
+#include "noc/step_pool.hpp"
+
+#include "common/expect.hpp"
+
+namespace htnoc {
+
+StepPool::StepPool(int shards) : shards_(shards) {
+  HTNOC_EXPECT(shards >= 1);
+  errors_.resize(static_cast<std::size_t>(shards_));
+  threads_.reserve(static_cast<std::size_t>(shards_ - 1));
+  for (int s = 1; s < shards_; ++s) {
+    threads_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+StepPool::~StepPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void StepPool::execute(int shard, const std::function<void(int)>& fn) {
+  try {
+    fn(shard);
+  } catch (...) {
+    // Slot write is per-shard; the pending_ handshake under mu_ publishes
+    // it to the dispatcher.
+    errors_[static_cast<std::size_t>(shard)] = std::current_exception();
+  }
+}
+
+void StepPool::worker_main(int shard) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      fn = task_;
+    }
+    execute(shard, *fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void StepPool::run(const std::function<void(int)>& fn) {
+  if (shards_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &fn;
+    pending_ = shards_ - 1;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  execute(0, fn);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+  for (std::exception_ptr& e : errors_) {
+    if (e) {
+      const std::exception_ptr first = e;
+      for (std::exception_ptr& r : errors_) r = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+}  // namespace htnoc

@@ -1,0 +1,57 @@
+// Persistent worker pool for the intra-cycle parallel step. One dispatch
+// runs a shard function over every shard and joins — Network::step issues
+// two dispatches per cycle (drain, compute), which gives the phase barrier
+// the determinism contract needs. The caller thread executes shard 0, so a
+// pool of N shards spawns N-1 threads.
+//
+// Wake-up and completion use a mutex + condition variables rather than spin
+// barriers: the per-phase work on meshes worth parallelizing is tens of
+// microseconds per shard, so a few microseconds of wake latency is noise,
+// while spinning would burn whole scheduler quanta when step-level threads
+// share cores with sweep-level workers (see docs/SCALING.md).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace htnoc {
+
+class StepPool {
+ public:
+  /// A pool of `shards` shards (>= 1); spawns shards - 1 worker threads.
+  explicit StepPool(int shards);
+  ~StepPool();
+
+  StepPool(const StepPool&) = delete;
+  StepPool& operator=(const StepPool&) = delete;
+
+  /// Execute fn(shard) for every shard in [0, shards()) and join. The
+  /// first exception in shard order is rethrown after all shards finish
+  /// (deterministic: the same scenario throws the same violation whichever
+  /// worker hits it first).
+  void run(const std::function<void(int)>& fn);
+
+  [[nodiscard]] int shards() const noexcept { return shards_; }
+
+ private:
+  void worker_main(int shard);
+  void execute(int shard, const std::function<void(int)>& fn);
+
+  int shards_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* task_ = nullptr;  // valid for one epoch
+  std::uint64_t epoch_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;  // slot per shard
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace htnoc

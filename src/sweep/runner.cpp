@@ -102,6 +102,11 @@ std::vector<GridSummary> aggregate(const std::vector<RunResult>& runs) {
 }
 
 int SweepRunner::resolve_threads(int requested, std::size_t num_runs) {
+  return resolve_threads(requested, num_runs, 1);
+}
+
+int SweepRunner::resolve_threads(int requested, std::size_t num_runs,
+                                 int step_threads) {
   int n = requested;
   if (n <= 0) {
     if (const char* env = std::getenv("HTNOC_JOBS")) {
@@ -110,6 +115,11 @@ int SweepRunner::resolve_threads(int requested, std::size_t num_runs) {
   }
   if (n <= 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
+    // Auto-resolution composes with the per-run parallel step: each run
+    // occupies step_threads cores, so the run-level pool shrinks to keep
+    // jobs x step_threads <= hardware_concurrency (explicit requests and
+    // $HTNOC_JOBS are the user's call and pass through untouched).
+    if (step_threads > 1) n /= step_threads;
   }
   if (n <= 0) n = 1;
   if (num_runs >= 1 && static_cast<std::size_t>(n) > num_runs) {
@@ -216,7 +226,8 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
   std::vector<RunSpec> runs = expand(spec);
   SweepResult out;
   out.runs.resize(runs.size());
-  const int nthreads = resolve_threads(opts_.num_threads, runs.size());
+  const int nthreads = resolve_threads(opts_.num_threads, runs.size(),
+                                       spec.base.noc.step_threads);
   out.threads_used = nthreads;
 
   // Index-addressed result slots + an atomic work cursor: no ordering or

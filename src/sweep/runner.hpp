@@ -102,7 +102,10 @@ class SweepRunner {
  public:
   struct Options {
     /// Worker threads. <= 0: use $HTNOC_JOBS if set, else
-    /// hardware_concurrency. Always clamped to [1, number of runs].
+    /// hardware_concurrency divided by the per-run step_threads (so
+    /// sweep-level × step-level parallelism never oversubscribes the
+    /// machine; see docs/SCALING.md). An explicit request is taken as-is.
+    /// Always clamped to [1, number of runs].
     int num_threads = 0;
   };
 
@@ -113,6 +116,14 @@ class SweepRunner {
   /// amount of work (exposed for tests).
   [[nodiscard]] static int resolve_threads(int requested,
                                            std::size_t num_runs);
+
+  /// As above, composed with intra-run stepping parallelism: when the
+  /// run-level count is auto-resolved from the hardware, it is divided by
+  /// `step_threads` so jobs × step_threads stays within the core budget.
+  /// Explicit requests (> 0, or $HTNOC_JOBS) are honored unchanged.
+  [[nodiscard]] static int resolve_threads(int requested,
+                                           std::size_t num_runs,
+                                           int step_threads);
 
   /// Expand and execute the whole sweep. A run that throws is recorded in
   /// its slot (ok == false, error set); the remaining runs still execute.

@@ -65,8 +65,23 @@ class TraceSink final {
   }
 
   void record(const Event& e) noexcept {
+    if (stage_tls_ != nullptr) {
+      // Parallel-step staging: this worker's events go to its shard buffer;
+      // Network::step replays them into the ring in deterministic unit
+      // order at the phase barrier. (push_back can allocate; an OOM here
+      // terminates, which is the only honest option inside noexcept.)
+      stage_tls_->push_back(e);
+      return;
+    }
     ring_[static_cast<std::size_t>(head_) & mask_] = e;
     ++head_;
+  }
+
+  /// Redirect this thread's record() calls into `stage` (nullptr restores
+  /// direct ring writes). Thread-local, so concurrent shard workers stage
+  /// independently; the main thread merges the buffers afterwards.
+  static void set_thread_stage(std::vector<Event>* stage) noexcept {
+    stage_tls_ = stage;
   }
 
   /// Recorded by Network::set_trace so exports are self-describing.
@@ -110,6 +125,8 @@ class TraceSink final {
   }
 
  private:
+  static inline thread_local std::vector<Event>* stage_tls_ = nullptr;
+
   TraceConfig cfg_;
   std::vector<Event> ring_;
   std::size_t mask_ = 0;

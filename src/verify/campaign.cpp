@@ -10,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/expect.hpp"
 #include "common/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sweep/runner.hpp"
@@ -228,6 +229,11 @@ Scenario draw_scenario(const CampaignSpec& spec, std::uint64_t index) {
 
   sc.audit = spec.audit;
   sc.audit.enabled = true;
+  // Applied after every RNG draw: step_threads is an execution knob, not a
+  // scenario parameter, so changing it must not perturb the draw sequence
+  // (equivalence_report depends on the two campaigns drawing identical
+  // scenarios).
+  sc.noc.step_threads = spec.step_threads;
 
   std::ostringstream d;
   d << "mode=" << sim::to_string(sc.mode) << " ecc="
@@ -354,7 +360,8 @@ CampaignResult FaultCampaign::run() const {
   out.spec = spec_;
   out.scenarios.resize(static_cast<std::size_t>(spec_.scenarios));
   const int nthreads = sweep::SweepRunner::resolve_threads(
-      spec_.threads, static_cast<std::size_t>(spec_.scenarios));
+      spec_.threads, static_cast<std::size_t>(spec_.scenarios),
+      spec_.step_threads);
   out.threads_used = nthreads;
 
   std::atomic<std::uint64_t> cursor{0};
@@ -374,6 +381,44 @@ CampaignResult FaultCampaign::run() const {
     for (std::thread& t : pool) t.join();
   }
   return out;
+}
+
+std::string FaultCampaign::equivalence_report(CampaignSpec spec,
+                                              int step_threads) {
+  HTNOC_EXPECT(step_threads >= 1);
+  spec.step_threads = 1;
+  const CampaignResult serial = FaultCampaign(spec).run();
+  spec.step_threads = step_threads;
+  const CampaignResult parallel = FaultCampaign(spec).run();
+
+  if (serial.summary_text() == parallel.summary_text()) return {};
+
+  std::ostringstream os;
+  os << "campaign diverges between step_threads=1 and step_threads="
+     << step_threads << "\n";
+  const std::size_t n =
+      std::min(serial.scenarios.size(), parallel.scenarios.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const ScenarioResult& a = serial.scenarios[i];
+    const ScenarioResult& b = parallel.scenarios[i];
+    if (a.ok == b.ok && a.delivered == b.delivered && a.purged == b.purged &&
+        a.audits == b.audits && a.flits_tracked == b.flits_tracked &&
+        a.error == b.error) {
+      continue;
+    }
+    os << "first divergence at scenario " << i << " ("
+       << format_repro({spec.seed, a.index}) << ")\n"
+       << "  " << a.descriptor << "\n"
+       << "  serial:   ok=" << a.ok << " delivered=" << a.delivered
+       << " purged=" << a.purged << " audits=" << a.audits
+       << " flits=" << a.flits_tracked << "\n"
+       << "  parallel: ok=" << b.ok << " delivered=" << b.delivered
+       << " purged=" << b.purged << " audits=" << b.audits
+       << " flits=" << b.flits_tracked << "\n";
+    return os.str();
+  }
+  os << "(per-scenario counters match; summaries differ elsewhere)\n";
+  return os.str();
 }
 
 namespace {

@@ -29,6 +29,12 @@ struct CampaignSpec {
   /// Auditor configuration applied to every scenario; `enabled` is forced
   /// on by the campaign (an unaudited campaign proves nothing).
   AuditConfig audit;
+  /// Intra-run parallel stepping applied to every scenario (see
+  /// NocConfig::step_threads). Not part of the scenario draw: the same
+  /// (seed, index) builds the same scenario at any value, so a campaign is
+  /// expected to produce a byte-identical summary for any step_threads —
+  /// the property equivalence_report() checks.
+  int step_threads = 1;
 };
 
 /// Everything needed to replay one failing scenario exactly.
@@ -88,6 +94,16 @@ class FaultCampaign {
   /// inside a full campaign run.
   [[nodiscard]] static ScenarioResult run_scenario(const CampaignSpec& spec,
                                                   std::uint64_t index);
+
+  /// Serial-vs-parallel equivalence mode: run the whole campaign twice,
+  /// once with step_threads = 1 and once with step_threads as given, and
+  /// compare the deterministic summaries byte for byte. Returns the empty
+  /// string on equivalence, else a description naming the first diverging
+  /// scenario (with its repro spec). This is the campaign-strength version
+  /// of test_parallel_step_determinism: thousands of adversarial scenarios
+  /// asserting the parallel step changes nothing.
+  [[nodiscard]] static std::string equivalence_report(CampaignSpec spec,
+                                                      int step_threads);
 
  private:
   CampaignSpec spec_;
