@@ -23,7 +23,8 @@ namespace {
 void usage() {
   std::cerr
       << "usage: campaign_cli [--scenarios N] [--seed S] [--jobs N]\n"
-         "                    [--audit-period N] [--summary-md FILE]\n"
+         "                    [--audit-period N] [--topologies LIST]\n"
+         "                    [--summary-md FILE]\n"
          "                    [--repro-dir DIR] [--quiet]\n"
          "       campaign_cli --repro SPEC-OR-FILE\n";
 }
@@ -73,6 +74,16 @@ int main(int argc, char** argv) {
       spec.threads = std::stoi(value());
     } else if (a == "--audit-period") {
       spec.audit.period = std::stoull(value(), nullptr, 0);
+    } else if (a == "--topologies") {
+      // Comma-separated kinds, e.g. "cmesh,mesh,torus". Omitting the flag
+      // keeps the historical all-cmesh scenario distribution byte-for-byte.
+      std::string list = value();
+      for (std::size_t pos = 0; pos <= list.size();) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        spec.topologies.push_back(
+            htnoc::topology_kind_from_string(list.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
     } else if (a == "--summary-md") {
       summary_md = value();
     } else if (a == "--repro-dir") {

@@ -18,6 +18,26 @@ void NocConfig::validate() const {
   HTNOC_EXPECT(step_threads >= 1 && step_threads <= 256);
   // TDM needs an even VC split between the two domains.
   if (tdm_enabled) HTNOC_EXPECT(vcs_per_port % 2 == 0);
+  // The plain mesh is the one-core-per-router fabric; a concentrated mesh
+  // is its own topology kind, so an accidental concentration carry-over
+  // from the cmesh default is a config bug worth failing loudly on.
+  if (topology == TopologyKind::kMesh) HTNOC_EXPECT(concentration == 1);
+}
+
+TopologyKind topology_kind_from_string(const std::string& s) {
+  if (s == "cmesh") return TopologyKind::kConcentratedMesh;
+  if (s == "mesh") return TopologyKind::kMesh;
+  if (s == "torus") return TopologyKind::kTorus;
+  throw ContractViolation("unknown topology kind: " + s);
+}
+
+std::string to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kConcentratedMesh: return "cmesh";
+    case TopologyKind::kMesh: return "mesh";
+    case TopologyKind::kTorus: return "torus";
+  }
+  return "?";
 }
 
 RetransmissionScheme retransmission_scheme_from_string(const std::string& s) {

@@ -13,6 +13,18 @@ enum class RetransmissionScheme : std::uint8_t {
   kPerVcBuffer,   ///< Dedicated slots per VC.
 };
 
+/// Fabric family (see src/topology). The paper's platform is the 4x4
+/// concentrated mesh; the generic mesh and torus open the large-scale
+/// regimes the refined-DoS literature targets. The topology decides the
+/// link graph and the default dimension-order routing function; everything
+/// downstream (routers, links, NIs, auditing, tracing) is
+/// topology-agnostic.
+enum class TopologyKind : std::uint8_t {
+  kConcentratedMesh,  ///< width x height routers, `concentration` cores each.
+  kMesh,              ///< Plain k x k mesh, one core per router.
+  kTorus,             ///< Mesh with wrap-around links and ring-aware routing.
+};
+
 /// Link error-control scheme. The paper evaluates SECDED ("one fault can be
 /// corrected, and the second triggers retransmission") and assumes the
 /// attacker knows which code guards the link; the alternatives let the
@@ -29,6 +41,8 @@ enum class EccScheme : std::uint8_t {
 /// buffer slots per VC, 5-stage pipeline, x-y routing, round-robin
 /// arbitration, 2 GHz.
 struct NocConfig {
+  /// Fabric family; defaults to the paper's concentrated mesh.
+  TopologyKind topology = TopologyKind::kConcentratedMesh;
   int mesh_width = 4;
   int mesh_height = 4;
   int concentration = 4;
@@ -89,6 +103,8 @@ struct NocConfig {
   void validate() const;
 };
 
+TopologyKind topology_kind_from_string(const std::string& s);
+std::string to_string(TopologyKind k);
 RetransmissionScheme retransmission_scheme_from_string(const std::string& s);
 std::string to_string(RetransmissionScheme s);
 EccScheme ecc_scheme_from_string(const std::string& s);

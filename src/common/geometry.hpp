@@ -1,6 +1,10 @@
-// 2-D mesh coordinate helpers for the concentrated-mesh topology.
+// 2-D grid coordinate helpers shared by every grid topology (mesh,
+// concentrated mesh, torus). The `wrap` flag turns the grid into a torus:
+// edge routers gain neighbours on the opposite edge and hop distances are
+// measured around the shorter side of each ring.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/expect.hpp"
@@ -16,17 +20,21 @@ struct MeshCoord {
   [[nodiscard]] constexpr bool operator==(const MeshCoord&) const noexcept = default;
 };
 
-/// Static geometry of a concentrated 2-D mesh.
+/// Static geometry of a (concentrated) 2-D grid, optionally wrapped.
 class MeshGeometry {
  public:
-  MeshGeometry(int width, int height, int concentration)
-      : width_(width), height_(height), concentration_(concentration) {
+  MeshGeometry(int width, int height, int concentration, bool wrap = false)
+      : width_(width), height_(height), concentration_(concentration),
+        wrap_(wrap) {
     HTNOC_EXPECT(width > 0 && height > 0 && concentration > 0);
+    // A wrapped 1-wide ring would make a router its own neighbour.
+    HTNOC_EXPECT(!wrap || (width >= 2 && height >= 2));
   }
 
   [[nodiscard]] int width() const noexcept { return width_; }
   [[nodiscard]] int height() const noexcept { return height_; }
   [[nodiscard]] int concentration() const noexcept { return concentration_; }
+  [[nodiscard]] bool wraps() const noexcept { return wrap_; }
   [[nodiscard]] int num_routers() const noexcept { return width_ * height_; }
   [[nodiscard]] int num_cores() const noexcept {
     return num_routers() * concentration_;
@@ -59,14 +67,15 @@ class MeshGeometry {
     return static_cast<NodeId>(static_cast<int>(r) * concentration_ + slot);
   }
 
-  /// True when router r has a neighbour in direction d.
+  /// True when router r has a neighbour in direction d. On a wrapped grid
+  /// every router has all four mesh neighbours.
   [[nodiscard]] bool has_neighbor(RouterId r, Direction d) const {
     const MeshCoord c = coord_of(r);
     switch (d) {
-      case Direction::kNorth: return c.y > 0;
-      case Direction::kSouth: return c.y < height_ - 1;
-      case Direction::kEast: return c.x < width_ - 1;
-      case Direction::kWest: return c.x > 0;
+      case Direction::kNorth: return wrap_ || c.y > 0;
+      case Direction::kSouth: return wrap_ || c.y < height_ - 1;
+      case Direction::kEast: return wrap_ || c.x < width_ - 1;
+      case Direction::kWest: return wrap_ || c.x > 0;
       default: return false;
     }
   }
@@ -75,26 +84,34 @@ class MeshGeometry {
     HTNOC_EXPECT(has_neighbor(r, d));
     MeshCoord c = coord_of(r);
     switch (d) {
-      case Direction::kNorth: --c.y; break;
-      case Direction::kSouth: ++c.y; break;
-      case Direction::kEast: ++c.x; break;
-      case Direction::kWest: --c.x; break;
+      case Direction::kNorth: c.y = c.y > 0 ? c.y - 1 : height_ - 1; break;
+      case Direction::kSouth: c.y = c.y < height_ - 1 ? c.y + 1 : 0; break;
+      case Direction::kEast: c.x = c.x < width_ - 1 ? c.x + 1 : 0; break;
+      case Direction::kWest: c.x = c.x > 0 ? c.x - 1 : width_ - 1; break;
       default: break;
     }
     return router_at(c);
   }
 
-  /// Manhattan hop distance between two routers.
+  /// Minimal hop distance between two routers: Manhattan on a mesh, the
+  /// shorter way around each ring on a torus.
   [[nodiscard]] int hop_distance(RouterId a, RouterId b) const {
     const MeshCoord ca = coord_of(a);
     const MeshCoord cb = coord_of(b);
-    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+    int dx = std::abs(ca.x - cb.x);
+    int dy = std::abs(ca.y - cb.y);
+    if (wrap_) {
+      dx = std::min(dx, width_ - dx);
+      dy = std::min(dy, height_ - dy);
+    }
+    return dx + dy;
   }
 
  private:
   int width_;
   int height_;
   int concentration_;
+  bool wrap_;
 };
 
 }  // namespace htnoc

@@ -14,6 +14,11 @@ namespace htnoc {
 namespace {
 constexpr std::array<Direction, 4> kDirs = {Direction::kNorth, Direction::kSouth,
                                             Direction::kEast, Direction::kWest};
+
+std::unique_ptr<Topology> validated_topology(const NocConfig& cfg) {
+  cfg.validate();
+  return make_topology(cfg);
+}
 }  // namespace
 
 std::string Network::link_name(RouterId from, Direction d) {
@@ -21,32 +26,31 @@ std::string Network::link_name(RouterId from, Direction d) {
 }
 
 Network::Network(const NocConfig& cfg)
-    : cfg_(cfg), geom_(cfg.mesh_width, cfg.mesh_height, cfg.concentration) {
-  cfg_.validate();
-  routing_ = std::make_unique<XyRouting>(geom_);
+    : cfg_(cfg), topo_(validated_topology(cfg)), geom_(topo_->geometry()) {
+  routing_ = topo_->make_default_routing();
 
   const int nr = geom_.num_routers();
   const int nc = geom_.num_cores();
 
   routers_.reserve(static_cast<std::size_t>(nr));
   for (RouterId r = 0; r < nr; ++r) {
-    routers_.push_back(std::make_unique<Router>(cfg_, r, geom_, routing_.get()));
+    routers_.push_back(std::make_unique<Router>(cfg_, r, routing_.get()));
   }
 
-  // Inter-router links.
+  // Inter-router links, wired in the topology's canonical enumeration
+  // order (routers ascending, N,S,E,W) — the legacy hard-coded order.
   mesh_links_.resize(static_cast<std::size_t>(nr) * 4);
-  for (RouterId r = 0; r < nr; ++r) {
-    for (Direction d : kDirs) {
-      if (!geom_.has_neighbor(r, d)) continue;
-      auto lnk = std::make_unique<Link>(link_name(r, d), cfg_.stage_lt);
-      const RouterId nb = geom_.neighbor(r, d);
-      routers_[static_cast<std::size_t>(r)]->output(direction_port(d)).connect(
-          lnk.get());
-      routers_[static_cast<std::size_t>(nb)]
-          ->input(direction_port(opposite(d)))
-          .connect(lnk.get());
-      mesh_links_[static_cast<std::size_t>(link_index({r, d}))] = std::move(lnk);
-    }
+  for (const TopoLink& tl : topo_->links()) {
+    auto lnk =
+        std::make_unique<Link>(link_name(tl.from, tl.dir), cfg_.stage_lt);
+    routers_[static_cast<std::size_t>(tl.from)]
+        ->output(direction_port(tl.dir))
+        .connect(lnk.get());
+    routers_[static_cast<std::size_t>(tl.to)]
+        ->input(direction_port(opposite(tl.dir)))
+        .connect(lnk.get());
+    mesh_links_[static_cast<std::size_t>(link_index({tl.from, tl.dir}))] =
+        std::move(lnk);
   }
 
   // NIs and local links.
@@ -247,7 +251,8 @@ void Network::set_trace(trace::TraceSink* sink) {
     sink->set_topology(static_cast<std::uint16_t>(geom_.num_routers()),
                        static_cast<std::uint8_t>(cfg_.mesh_width),
                        static_cast<std::uint8_t>(cfg_.mesh_height),
-                       static_cast<std::uint8_t>(cfg_.concentration));
+                       static_cast<std::uint8_t>(cfg_.concentration),
+                       static_cast<std::uint8_t>(cfg_.topology));
   }
   for (RouterId r = 0; r < geom_.num_routers(); ++r) {
     for (Direction d : kDirs) {
@@ -340,12 +345,15 @@ bool Network::would_disconnect(const LinkRef& l) const {
 
 void Network::use_xy_routing() {
   HTNOC_EXPECT(disabled_.empty());
-  routing_ = std::make_unique<XyRouting>(geom_);
+  routing_ = topo_->make_default_routing();
   for (auto& r : routers_) r->set_routing(routing_.get());
 }
 
 void Network::use_west_first_routing() {
   HTNOC_EXPECT(disabled_.empty());
+  // West-first's deadlock argument needs the mesh's acyclic channel
+  // dependency graph; wrap-around links break it.
+  HTNOC_EXPECT(topo_->supports_turn_model());
   // Congestion score of an output: occupied downstream buffer slots plus
   // waiting retransmission slots.
   auto probe = [this](RouterId r, int port) {

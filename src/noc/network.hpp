@@ -1,6 +1,8 @@
-// The complete concentrated-mesh NoC: routers, inter-router links, local
-// links and network interfaces, plus the aggregate utilization metrics the
-// paper's Figs. 11/12 sample.
+// The complete NoC fabric: routers, inter-router links, local links and
+// network interfaces, plus the aggregate utilization metrics the paper's
+// Figs. 11/12 sample. The link graph and default routing come from the
+// Topology named by NocConfig (concentrated mesh, plain mesh or torus);
+// everything below this class is topology-agnostic.
 #pragma once
 
 #include <map>
@@ -15,6 +17,7 @@
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
 #include "noc/updown.hpp"
+#include "topology/topology.hpp"
 
 namespace htnoc {
 
@@ -37,6 +40,7 @@ class Network {
   ~Network();  ///< Out-of-line: owns the (forward-declared) StepPool.
 
   [[nodiscard]] const MeshGeometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return *topo_; }
   [[nodiscard]] const NocConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] Cycle now() const noexcept { return now_; }
 
@@ -162,10 +166,13 @@ class Network {
 
   // --- routing control ---
 
-  /// Switch every router to x-y routing (only valid with no disabled links).
+  /// Switch every router back to the topology's default dimension-order
+  /// routing — x-y on meshes, ring-shortest x-y on the torus (only valid
+  /// with no disabled links).
   void use_xy_routing();
   /// Switch to West-First adaptive routing with live congestion feedback
-  /// (only valid with no disabled links).
+  /// (only valid with no disabled links, on a topology whose turn model is
+  /// sound — i.e. not the torus).
   void use_west_first_routing();
   /// Recompute up*/down* tables around the currently disabled links and
   /// switch every router to them (the Ariadne-style reconfiguration).
@@ -210,7 +217,8 @@ class Network {
                      std::size_t chi);
 
   NocConfig cfg_;
-  MeshGeometry geom_;
+  std::unique_ptr<Topology> topo_;
+  MeshGeometry geom_;  ///< Copy of topo_->geometry() (hot-path access).
   Cycle now_ = 0;
   PacketId next_packet_id_ = 1;
 

@@ -4,9 +4,9 @@
 
 namespace htnoc {
 
-Router::Router(const NocConfig& cfg, RouterId id, const MeshGeometry& geom,
+Router::Router(const NocConfig& cfg, RouterId id,
                const RoutingFunction* routing, ArbiterKind arbiter_kind)
-    : cfg_(cfg), id_(id), geom_(geom), routing_(routing) {
+    : cfg_(cfg), id_(id), routing_(routing) {
   HTNOC_EXPECT(routing != nullptr);
   const int ports = cfg_.ports_per_router();
   inputs_.reserve(static_cast<std::size_t>(ports));

@@ -12,7 +12,6 @@
 #include <vector>
 
 #include "common/config.hpp"
-#include "common/geometry.hpp"
 #include "noc/arbiter.hpp"
 #include "noc/input_unit.hpp"
 #include "noc/output_unit.hpp"
@@ -38,8 +37,7 @@ class Router {
     }
   };
 
-  Router(const NocConfig& cfg, RouterId id, const MeshGeometry& geom,
-         const RoutingFunction* routing,
+  Router(const NocConfig& cfg, RouterId id, const RoutingFunction* routing,
          ArbiterKind arbiter_kind = ArbiterKind::kRoundRobin);
 
   [[nodiscard]] RouterId id() const noexcept { return id_; }
@@ -138,7 +136,6 @@ class Router {
 
   const NocConfig& cfg_;
   RouterId id_;
-  MeshGeometry geom_;
   const RoutingFunction* routing_;
 
   std::vector<std::unique_ptr<InputUnit>> inputs_;

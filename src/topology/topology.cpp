@@ -1,0 +1,84 @@
+#include "topology/topology.hpp"
+
+#include "common/expect.hpp"
+#include "topology/torus_routing.hpp"
+
+namespace htnoc {
+namespace {
+
+constexpr Direction kDirs[] = {Direction::kNorth, Direction::kSouth,
+                               Direction::kEast, Direction::kWest};
+
+}  // namespace
+
+std::vector<TopoLink> Topology::links() const {
+  const MeshGeometry& g = geometry();
+  std::vector<TopoLink> out;
+  out.reserve(static_cast<std::size_t>(g.num_routers()) * 4);
+  for (int r = 0; r < g.num_routers(); ++r) {
+    const auto rid = static_cast<RouterId>(r);
+    for (Direction d : kDirs) {
+      if (g.has_neighbor(rid, d)) out.push_back({rid, d, g.neighbor(rid, d)});
+    }
+  }
+  return out;
+}
+
+bool Topology::has_neighbor(RouterId r, Direction d) const {
+  return geometry().has_neighbor(r, d);
+}
+
+RouterId Topology::neighbor(RouterId r, Direction d) const {
+  return geometry().neighbor(r, d);
+}
+
+int Topology::hop_distance(RouterId a, RouterId b) const {
+  return geometry().hop_distance(a, b);
+}
+
+std::string ConcentratedMeshTopology::name() const {
+  return "cmesh" + std::to_string(geom_.width()) + "x" +
+         std::to_string(geom_.height()) + "c" +
+         std::to_string(geom_.concentration());
+}
+
+std::unique_ptr<RoutingFunction> ConcentratedMeshTopology::make_default_routing() const {
+  return std::make_unique<XyRouting>(geom_);
+}
+
+std::string MeshTopology::name() const {
+  return "mesh" + std::to_string(geom_.width()) + "x" +
+         std::to_string(geom_.height());
+}
+
+std::unique_ptr<RoutingFunction> MeshTopology::make_default_routing() const {
+  return std::make_unique<XyRouting>(geom_);
+}
+
+std::string TorusTopology::name() const {
+  std::string n = "torus" + std::to_string(geom_.width()) + "x" +
+                  std::to_string(geom_.height());
+  if (geom_.concentration() > 1) n += "c" + std::to_string(geom_.concentration());
+  return n;
+}
+
+std::unique_ptr<RoutingFunction> TorusTopology::make_default_routing() const {
+  return std::make_unique<TorusXyRouting>(geom_);
+}
+
+std::unique_ptr<Topology> make_topology(const NocConfig& cfg) {
+  switch (cfg.topology) {
+    case TopologyKind::kConcentratedMesh:
+      return std::make_unique<ConcentratedMeshTopology>(
+          cfg.mesh_width, cfg.mesh_height, cfg.concentration);
+    case TopologyKind::kMesh:
+      HTNOC_EXPECT(cfg.concentration == 1);
+      return std::make_unique<MeshTopology>(cfg.mesh_width, cfg.mesh_height);
+    case TopologyKind::kTorus:
+      return std::make_unique<TorusTopology>(cfg.mesh_width, cfg.mesh_height,
+                                             cfg.concentration);
+  }
+  throw ContractViolation("unknown topology kind");
+}
+
+}  // namespace htnoc

@@ -1,0 +1,127 @@
+// Fabric topology abstraction (BookSim's Network/routefunc split, scoped to
+// the grids this repo studies). A Topology owns the node/link graph and
+// names the default routing function for it; Network consumes the graph and
+// stays agnostic of how it was generated. The paper's hard-coded 4x4
+// concentrated mesh is ConcentratedMeshTopology and is bit-exact with the
+// legacy layout (locked by tests/test_topology_golden.cpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "noc/routing.hpp"
+
+namespace htnoc {
+
+/// One directed inter-router link: `from` drives its `dir` output port into
+/// router `to`. Enumeration order is part of the determinism contract:
+/// routers ascending, directions N,S,E,W within a router — exactly the
+/// order the legacy Network constructor wired links in.
+struct TopoLink {
+  RouterId from = kInvalidRouter;
+  Direction dir = Direction::kNorth;
+  RouterId to = kInvalidRouter;
+
+  [[nodiscard]] constexpr bool operator==(const TopoLink&) const noexcept = default;
+};
+
+/// Static description of a fabric: the router/core graph plus the routing
+/// function that matches it. Implementations are immutable after
+/// construction; Network copies what it needs and never calls back during
+/// stepping, so a Topology can be shared across runs.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual TopologyKind kind() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Coordinate system; wrap-aware on the torus.
+  [[nodiscard]] virtual const MeshGeometry& geometry() const noexcept = 0;
+
+  /// All directed inter-router links in canonical order (see TopoLink).
+  [[nodiscard]] virtual std::vector<TopoLink> links() const;
+
+  [[nodiscard]] virtual bool has_neighbor(RouterId r, Direction d) const;
+  [[nodiscard]] virtual RouterId neighbor(RouterId r, Direction d) const;
+
+  /// Minimal hop count between routers (ring-aware on the torus).
+  [[nodiscard]] virtual int hop_distance(RouterId a, RouterId b) const;
+
+  /// The deadlock-free dimension-order routing function native to this
+  /// fabric (x-y on meshes, ring-shortest x-y on the torus).
+  [[nodiscard]] virtual std::unique_ptr<RoutingFunction> make_default_routing() const = 0;
+
+  /// True when turn-model adaptive routing (west-first) is sound here.
+  /// Wrap-around links reintroduce the rightmost-column dependency the
+  /// turn model relies on breaking, so the torus answers false.
+  [[nodiscard]] virtual bool supports_turn_model() const noexcept = 0;
+};
+
+/// Shared base for the 2-D grid family: everything is derived from a
+/// MeshGeometry, concrete subclasses only pick kind/name/routing.
+class GridTopology : public Topology {
+ public:
+  [[nodiscard]] const MeshGeometry& geometry() const noexcept override {
+    return geom_;
+  }
+
+ protected:
+  explicit GridTopology(MeshGeometry geom) : geom_(geom) {}
+
+  MeshGeometry geom_;
+};
+
+/// The paper's platform: width x height routers, `concentration` cores per
+/// router, x-y routing. Default 4x4 with concentration 4 (64 cores).
+class ConcentratedMeshTopology final : public GridTopology {
+ public:
+  ConcentratedMeshTopology(int width, int height, int concentration)
+      : GridTopology(MeshGeometry(width, height, concentration)) {}
+
+  [[nodiscard]] TopologyKind kind() const noexcept override {
+    return TopologyKind::kConcentratedMesh;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<RoutingFunction> make_default_routing() const override;
+  [[nodiscard]] bool supports_turn_model() const noexcept override { return true; }
+};
+
+/// Plain k x k mesh, one core per router — the large-fabric scaling shape.
+class MeshTopology final : public GridTopology {
+ public:
+  MeshTopology(int width, int height)
+      : GridTopology(MeshGeometry(width, height, /*concentration=*/1)) {}
+
+  [[nodiscard]] TopologyKind kind() const noexcept override {
+    return TopologyKind::kMesh;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<RoutingFunction> make_default_routing() const override;
+  [[nodiscard]] bool supports_turn_model() const noexcept override { return true; }
+};
+
+/// Mesh with wrap-around links in both dimensions and ring-shortest
+/// dimension-order routing.
+class TorusTopology final : public GridTopology {
+ public:
+  TorusTopology(int width, int height, int concentration)
+      : GridTopology(MeshGeometry(width, height, concentration, /*wrap=*/true)) {}
+
+  [[nodiscard]] TopologyKind kind() const noexcept override {
+    return TopologyKind::kTorus;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<RoutingFunction> make_default_routing() const override;
+  [[nodiscard]] bool supports_turn_model() const noexcept override { return false; }
+};
+
+/// Build the topology a NocConfig describes. The config must already be
+/// validated (kMesh implies concentration == 1).
+[[nodiscard]] std::unique_ptr<Topology> make_topology(const NocConfig& cfg);
+
+}  // namespace htnoc

@@ -1,0 +1,44 @@
+// Ring-shortest dimension-order routing for the torus. Same x-then-y
+// discipline as XyRouting, but each dimension picks the shorter way around
+// its ring, with a fixed East/South tie-break when both ways are equal so
+// the route stays a pure function of (here, dest). Every hop reduces the
+// torus hop distance by exactly one, so routes are minimal and loop-free
+// (asserted by tests/test_routing_properties.cpp). Deadlock freedom across
+// the wrap links would need dateline VCs, which the 4-VC router does not
+// dedicate; docs/ARCHITECTURE.md discusses the gap.
+#pragma once
+
+#include <string>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+#include "noc/routing.hpp"
+
+namespace htnoc {
+
+class TorusXyRouting final : public RoutingFunction {
+ public:
+  explicit TorusXyRouting(const MeshGeometry& geom) : geom_(geom) {}
+
+  [[nodiscard]] RouteDecision route(RouterId here, const Flit& f) const override {
+    if (f.dest_router == here) {
+      return {kPortLocalBase + geom_.local_slot_of_core(f.dest_core), false};
+    }
+    const MeshCoord c = geom_.coord_of(here);
+    const MeshCoord d = geom_.coord_of(f.dest_router);
+    if (d.x != c.x) {
+      const int east = (d.x - c.x + geom_.width()) % geom_.width();
+      return {east * 2 <= geom_.width() ? kPortEast : kPortWest, false};
+    }
+    const int south = (d.y - c.y + geom_.height()) % geom_.height();
+    return {south * 2 <= geom_.height() ? kPortSouth : kPortNorth, false};
+  }
+
+  [[nodiscard]] std::string name() const override { return "torus_xy"; }
+
+ private:
+  MeshGeometry geom_;
+};
+
+}  // namespace htnoc

@@ -98,7 +98,9 @@ std::string serialize_binary(const TraceLog& log) {
   append_raw(out, log.mesh_width);
   append_raw(out, log.mesh_height);
   append_raw(out, log.concentration);
-  append_raw(out, std::uint8_t{0});
+  // Former padding byte; 0 remains the concentrated-mesh default, so
+  // pre-topology traces parse identically.
+  append_raw(out, log.topology_kind);
   append_raw(out, std::uint8_t{0});
   append_raw(out, std::uint8_t{0});
   for (const Event& e : log.events) append_raw(out, e);

@@ -38,6 +38,7 @@ struct TraceLog {
   std::uint8_t mesh_width = 0;
   std::uint8_t mesh_height = 0;
   std::uint8_t concentration = 0;
+  std::uint8_t topology_kind = 0;  ///< htnoc::TopologyKind (0 = cmesh).
   std::uint64_t total_recorded = 0;  ///< Including overwritten records.
   std::vector<Event> events;         ///< Oldest first.
 
@@ -86,11 +87,13 @@ class TraceSink final {
 
   /// Recorded by Network::set_trace so exports are self-describing.
   void set_topology(std::uint16_t num_routers, std::uint8_t width,
-                    std::uint8_t height, std::uint8_t concentration) noexcept {
+                    std::uint8_t height, std::uint8_t concentration,
+                    std::uint8_t topology_kind = 0) noexcept {
     num_routers_ = num_routers;
     mesh_width_ = width;
     mesh_height_ = height;
     concentration_ = concentration;
+    topology_kind_ = topology_kind;
   }
 
   [[nodiscard]] std::uint64_t total_recorded() const noexcept { return head_; }
@@ -119,6 +122,7 @@ class TraceSink final {
     l.mesh_width = mesh_width_;
     l.mesh_height = mesh_height_;
     l.concentration = concentration_;
+    l.topology_kind = topology_kind_;
     l.total_recorded = head_;
     l.events = snapshot();
     return l;
@@ -135,6 +139,7 @@ class TraceSink final {
   std::uint8_t mesh_width_ = 0;
   std::uint8_t mesh_height_ = 0;
   std::uint8_t concentration_ = 0;
+  std::uint8_t topology_kind_ = 0;
 };
 
 /// The handle instrumented components store by value. Null (the default)

@@ -15,6 +15,7 @@
 #include "sim/simulator.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
+#include "topology/topology.hpp"
 #include "traffic/app_profile.hpp"
 #include "traffic/generator.hpp"
 
@@ -77,13 +78,12 @@ struct Scenario {
 const char* const kProfiles[] = {"blackscholes", "facesim", "ferret", "fft"};
 
 std::vector<LinkRef> mesh_links(const NocConfig& noc) {
-  const MeshGeometry geom(noc.mesh_width, noc.mesh_height, noc.concentration);
+  // The topology's canonical order (routers ascending, N,S,E,W) is exactly
+  // the order this helper always enumerated, so cmesh campaigns keep
+  // drawing the same attack links.
   std::vector<LinkRef> links;
-  for (RouterId r = 0; r < geom.num_routers(); ++r) {
-    for (const Direction d : {Direction::kNorth, Direction::kSouth,
-                              Direction::kEast, Direction::kWest}) {
-      if (geom.has_neighbor(r, d)) links.push_back({r, d});
-    }
+  for (const TopoLink& l : make_topology(noc)->links()) {
+    links.push_back({l.from, l.dir});
   }
   return links;
 }
@@ -125,7 +125,22 @@ Scenario draw_scenario(const CampaignSpec& spec, std::uint64_t index) {
   Scenario s;
   sim::SimConfig& sc = s.config;
 
+  // Topology dimension — strictly opt-in. An empty list (the default) must
+  // consume zero draws so the default campaign's draw sequence, and with it
+  // every historical summary byte, stays identical (RNG-draw-order is a
+  // compatibility contract; see tests/test_campaign_topology.cpp).
+  if (!spec.topologies.empty()) {
+    sc.noc.topology =
+        spec.topologies[rng.next_below(spec.topologies.size())];
+    if (sc.noc.topology == TopologyKind::kMesh) {
+      const int k = rng.next_bool(0.5) ? 8 : 4;
+      sc.noc.mesh_width = k;
+      sc.noc.mesh_height = k;
+    }
+  }
+
   sc.noc.concentration = rng.next_bool(0.5) ? 4 : 2;
+  if (sc.noc.topology == TopologyKind::kMesh) sc.noc.concentration = 1;
   sc.noc.buffer_depth = rng.next_bool(0.5) ? 4 : 2;
   sc.noc.retrans_scheme = rng.next_bool(0.5)
                               ? RetransmissionScheme::kOutputBuffer
@@ -236,7 +251,8 @@ Scenario draw_scenario(const CampaignSpec& spec, std::uint64_t index) {
   sc.noc.step_threads = spec.step_threads;
 
   std::ostringstream d;
-  d << "mode=" << sim::to_string(sc.mode) << " ecc="
+  d << "topo=" << to_string(sc.noc.topology) << sc.noc.mesh_width << "x"
+    << sc.noc.mesh_height << " mode=" << sim::to_string(sc.mode) << " ecc="
     << to_string(sc.noc.ecc_scheme) << " conc=" << sc.noc.concentration
     << " buf=" << sc.noc.buffer_depth
     << " scheme=" << to_string(sc.noc.retrans_scheme)

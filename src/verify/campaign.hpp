@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config.hpp"
 #include "verify/auditor.hpp"
 
 namespace htnoc::verify {
@@ -35,6 +36,14 @@ struct CampaignSpec {
   /// expected to produce a byte-identical summary for any step_threads —
   /// the property equivalence_report() checks.
   int step_threads = 1;
+  /// Fabric families each scenario may draw from. Empty (the default) means
+  /// every scenario runs the paper's 4x4 concentrated mesh AND the draw
+  /// sequence stays exactly what it was before this knob existed, so the
+  /// default campaign's summary is byte-identical to historical recordings
+  /// (locked by tests/test_campaign_topology.cpp). Non-empty adds one draw
+  /// per scenario picking a kind from this list (plus a size draw for
+  /// kMesh), uniformly.
+  std::vector<TopologyKind> topologies;
 };
 
 /// Everything needed to replay one failing scenario exactly.

@@ -1,0 +1,33 @@
+#include "verify/census_digest.hpp"
+
+#include <vector>
+
+namespace htnoc::verify {
+
+std::uint64_t state_digest(const Network& net) {
+  std::uint64_t h = kFnvOffsetBasis;
+  std::vector<ResidentFlit> census;
+  net.collect_resident(census);
+  for (const ResidentFlit& f : census) {
+    h = fnv1a_u64(h, f.uid);
+    h = fnv1a_u64(h, f.packet);
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(f.site));
+    h = fnv1a_u64(h, f.node);
+    h = fnv1a_u64(
+        h, static_cast<std::uint64_t>(static_cast<std::int64_t>(f.port)));
+  }
+  const Network::UtilizationSample u = net.sample_utilization();
+  for (const int v : {u.input_port_flits, u.output_port_flits,
+                      u.injection_port_flits, u.routers_all_cores_full,
+                      u.routers_majority_cores_full,
+                      u.routers_with_blocked_port}) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(v));
+  }
+  h = fnv1a_u64(h, net.packets_delivered());
+  h = fnv1a_u64(h, net.purge_totals().packets);
+  h = fnv1a_u64(h, net.purge_totals().flits);
+  h = fnv1a_u64(h, net.peek_next_packet_id());
+  return h;
+}
+
+}  // namespace htnoc::verify

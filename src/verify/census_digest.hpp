@@ -1,0 +1,34 @@
+// Order-sensitive FNV-1a digest of the full observable network state: the
+// deterministic census walk (Network::collect_resident), the utilization
+// probe, delivery/purge totals and the packet-id allocator position. One
+// 64-bit word per cycle pins the whole fabric's evolution: a single
+// divergently-placed flit anywhere changes the digest at the cycle it
+// appears.
+//
+// Shared by the parallel-step determinism tests (serial vs sharded
+// schedules) and the topology golden-model differential suite (refactored
+// fabric vs the checked-in legacy digests in tests/golden/).
+#pragma once
+
+#include <cstdint>
+
+#include "noc/network.hpp"
+
+namespace htnoc::verify {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ull;
+
+/// Fold one 64-bit word into an FNV-1a hash, byte by byte.
+[[nodiscard]] constexpr std::uint64_t fnv1a_u64(std::uint64_t h,
+                                                std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Digest of everything observable about `net` at the current cycle.
+[[nodiscard]] std::uint64_t state_digest(const Network& net);
+
+}  // namespace htnoc::verify

@@ -23,6 +23,32 @@ sim::SimConfig audited_config() {
   return sc;
 }
 
+/// The clean-scenario suite runs on every fabric family: the auditor's
+/// silence must be a property of the protocol, not of the paper's 4x4
+/// concentrated mesh.
+struct FabricParam {
+  const char* label;
+  TopologyKind kind;
+  int width = 4;
+  int height = 4;
+  int concentration = 1;
+};
+
+constexpr FabricParam kFabrics[] = {
+    {"cmesh4x4", TopologyKind::kConcentratedMesh, 4, 4, 4},
+    {"mesh8x8", TopologyKind::kMesh, 8, 8, 1},
+    {"torus8x8", TopologyKind::kTorus, 8, 8, 1},
+};
+
+sim::SimConfig audited_config(const FabricParam& f) {
+  sim::SimConfig sc = audited_config();
+  sc.noc.topology = f.kind;
+  sc.noc.mesh_width = f.width;
+  sc.noc.mesh_height = f.height;
+  sc.noc.concentration = f.concentration;
+  return sc;
+}
+
 sim::AttackSpec dest_attack(Cycle enable_at) {
   sim::AttackSpec a;
   a.link = {1, Direction::kWest};  // r1 -> r0, the hotspot's feeder
@@ -75,16 +101,50 @@ std::set<verify::ViolationKind> run_audited(sim::SimConfig sc, Cycle cycles,
 // Clean scenarios: the auditor must not cry wolf.
 // ---------------------------------------------------------------------------
 
-TEST(InvariantAuditorClean, IdleNetwork) {
-  sim::Simulator simulator(audited_config());
+class InvariantAuditorFabrics
+    : public ::testing::TestWithParam<FabricParam> {};
+
+TEST_P(InvariantAuditorFabrics, IdleNetwork) {
+  sim::Simulator simulator(audited_config(GetParam()));
   simulator.run(200);
   EXPECT_TRUE(simulator.auditor()->clean()) << simulator.auditor()->report();
   EXPECT_EQ(simulator.auditor()->flits_tracked(), 0u);
 }
 
-TEST(InvariantAuditorClean, LoadedTraffic) {
-  run_audited(audited_config(), 600);
+TEST_P(InvariantAuditorFabrics, LoadedTraffic) {
+  run_audited(audited_config(GetParam()), 600);
 }
+
+TEST_P(InvariantAuditorFabrics, AttackNoMitigation) {
+  sim::SimConfig sc = audited_config(GetParam());
+  sc.attacks.push_back(dest_attack(50));
+  run_audited(std::move(sc), 700);
+}
+
+TEST_P(InvariantAuditorFabrics, AttackWithLOb) {
+  sim::SimConfig sc = audited_config(GetParam());
+  sc.mode = sim::MitigationMode::kLOb;
+  sc.attacks.push_back(dest_attack(50));
+  run_audited(std::move(sc), 700);
+}
+
+TEST_P(InvariantAuditorFabrics, AttackWithReroutePurges) {
+  sim::SimConfig sc = audited_config(GetParam());
+  sc.mode = sim::MitigationMode::kReroute;
+  sc.reroute_latency = 60;
+  sc.attacks.push_back(dest_attack(50));
+  run_audited(std::move(sc), 900);
+}
+
+TEST_P(InvariantAuditorFabrics, SpontaneousPurgeStorm) {
+  run_audited(audited_config(GetParam()), 700, 1.0, /*purge_every=*/53);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fabrics, InvariantAuditorFabrics,
+                         ::testing::ValuesIn(kFabrics),
+                         [](const auto& info) {
+                           return std::string(info.param.label);
+                         });
 
 TEST(InvariantAuditorClean, HeavyTrafficFullStepping) {
   sim::SimConfig sc = audited_config();
@@ -92,36 +152,11 @@ TEST(InvariantAuditorClean, HeavyTrafficFullStepping) {
   run_audited(std::move(sc), 500, 2.0);
 }
 
-TEST(InvariantAuditorClean, AttackNoMitigation) {
-  sim::SimConfig sc = audited_config();
-  sc.attacks.push_back(dest_attack(50));
-  run_audited(std::move(sc), 700);
-}
-
-TEST(InvariantAuditorClean, AttackWithLOb) {
-  sim::SimConfig sc = audited_config();
-  sc.mode = sim::MitigationMode::kLOb;
-  sc.attacks.push_back(dest_attack(50));
-  run_audited(std::move(sc), 700);
-}
-
-TEST(InvariantAuditorClean, AttackWithReroutePurges) {
-  sim::SimConfig sc = audited_config();
-  sc.mode = sim::MitigationMode::kReroute;
-  sc.reroute_latency = 60;
-  sc.attacks.push_back(dest_attack(50));
-  run_audited(std::move(sc), 900);
-}
-
 TEST(InvariantAuditorClean, TdmPerVcBuffers) {
   sim::SimConfig sc = audited_config();
   sc.noc.tdm_enabled = true;
   sc.noc.retrans_scheme = RetransmissionScheme::kPerVcBuffer;
   run_audited(std::move(sc), 500);
-}
-
-TEST(InvariantAuditorClean, SpontaneousPurgeStorm) {
-  run_audited(audited_config(), 700, 1.0, /*purge_every=*/53);
 }
 
 TEST(InvariantAuditorClean, TransientFaults) {

@@ -3,59 +3,48 @@
 // campaign summaries are byte-identical to the serial schedule. These tests
 // hash the full resident-flit census every cycle — not just end-of-run
 // counters — so a single divergently-ordered flit anywhere in the fabric
-// fails the run at the cycle it appears.
+// fails the run at the cycle it appears. The contract is fabric-agnostic,
+// so the state-evolution tests run on the paper's 4x4 concentrated mesh,
+// a plain 8x8 mesh and an 8x8 torus, plus a 64x64 mesh for the sharded
+// large-fabric regime.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sweep/runner.hpp"
 #include "trace/export.hpp"
 #include "traffic/app_profile.hpp"
 #include "traffic/generator.hpp"
 #include "verify/campaign.hpp"
+#include "verify/census_digest.hpp"
 
 namespace {
 
 using namespace htnoc;
 
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xFFu;
-    h *= 0x100000001B3ull;
-  }
-  return h;
-}
+struct Fabric {
+  const char* label;
+  TopologyKind kind;
+  int width = 4;
+  int height = 4;
+  int concentration = 1;
+};
 
-/// Order-sensitive digest of everything observable about the network: the
-/// deterministic census walk (every resident flit's uid/packet/site/node/
-/// port in walk order), the utilization probe, delivery and purge totals,
-/// and the id allocator position.
-std::uint64_t state_digest(const Network& net) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  std::vector<ResidentFlit> census;
-  net.collect_resident(census);
-  for (const ResidentFlit& f : census) {
-    h = fnv1a(h, f.uid);
-    h = fnv1a(h, f.packet);
-    h = fnv1a(h, static_cast<std::uint64_t>(f.site));
-    h = fnv1a(h, f.node);
-    h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(f.port)));
-  }
-  const Network::UtilizationSample u = net.sample_utilization();
-  for (const int v : {u.input_port_flits, u.output_port_flits,
-                      u.injection_port_flits, u.routers_all_cores_full,
-                      u.routers_majority_cores_full,
-                      u.routers_with_blocked_port}) {
-    h = fnv1a(h, static_cast<std::uint64_t>(v));
-  }
-  h = fnv1a(h, net.packets_delivered());
-  h = fnv1a(h, net.purge_totals().packets);
-  h = fnv1a(h, net.purge_totals().flits);
-  h = fnv1a(h, net.peek_next_packet_id());
-  return h;
+constexpr Fabric kFabrics[] = {
+    {"cmesh4x4", TopologyKind::kConcentratedMesh, 4, 4, 4},
+    {"mesh8x8", TopologyKind::kMesh, 8, 8, 1},
+    {"torus8x8", TopologyKind::kTorus, 8, 8, 1},
+};
+
+void apply(const Fabric& f, NocConfig& noc) {
+  noc.topology = f.kind;
+  noc.mesh_width = f.width;
+  noc.mesh_height = f.height;
+  noc.concentration = f.concentration;
 }
 
 struct RunDigest {
@@ -64,17 +53,19 @@ struct RunDigest {
   std::uint64_t delivered = 0;
 };
 
-/// Drive an attacked (or idle) 4x4 mesh for `cycles` under a fixed seed and
+/// Drive an attacked (or idle) fabric for `cycles` under a fixed seed and
 /// record the state digest after every single step() call.
-RunDigest run_mesh(int step_threads, bool attacked, Cycle cycles) {
+RunDigest run_fabric(const Fabric& f, int step_threads, bool attacked,
+                     Cycle cycles) {
   sim::SimConfig sc;
+  apply(f, sc.noc);
   sc.noc.step_threads = step_threads;
   sc.noc.seed = 0xBEEF;
   sc.seed = 0xF00D;
   sc.mode = sim::MitigationMode::kLOb;
   if (attacked) {
     sim::AttackSpec atk;
-    atk.link = {5, Direction::kEast};
+    atk.link = {5, Direction::kEast};  // router 5 has an East link everywhere
     atk.tasp.kind = trojan::TargetKind::kDest;
     atk.tasp.target_dest = 0;
     atk.enable_killsw_at = 150;
@@ -96,7 +87,7 @@ RunDigest run_mesh(int step_threads, bool attacked, Cycle cycles) {
   for (Cycle c = 0; c < cycles; ++c) {
     if (attacked) gen.step();
     simulator.step();
-    out.per_cycle.push_back(state_digest(net));
+    out.per_cycle.push_back(verify::state_digest(net));
   }
   out.steps = net.step_stats();
   out.delivered = net.packets_delivered();
@@ -117,27 +108,94 @@ void expect_same_evolution(const RunDigest& a, const RunDigest& b,
   EXPECT_EQ(a.steps.ni_skips, b.steps.ni_skips) << label;
 }
 
-TEST(ParallelStepDeterminism, AttackedMeshStateEvolutionIsThreadInvariant) {
-  const RunDigest serial = run_mesh(1, /*attacked=*/true, 600);
-  const RunDigest two = run_mesh(2, /*attacked=*/true, 600);
-  const RunDigest eight = run_mesh(8, /*attacked=*/true, 600);
+class ParallelStepFabrics : public ::testing::TestWithParam<Fabric> {};
+
+TEST_P(ParallelStepFabrics, AttackedStateEvolutionIsThreadInvariant) {
+  const Fabric& f = GetParam();
+  const RunDigest serial = run_fabric(f, 1, /*attacked=*/true, 600);
+  const RunDigest two = run_fabric(f, 2, /*attacked=*/true, 600);
+  const RunDigest eight = run_fabric(f, 8, /*attacked=*/true, 600);
   EXPECT_GT(serial.delivered, 0u);  // the fixture must actually move traffic
   expect_same_evolution(serial, two, "1 vs 2 threads");
   expect_same_evolution(serial, eight, "1 vs 8 threads");
 }
 
-TEST(ParallelStepDeterminism, IdleMeshStateEvolutionIsThreadInvariant) {
+TEST_P(ParallelStepFabrics, IdleStateEvolutionIsThreadInvariant) {
   // No traffic at all: the active-set fast path must agree with the serial
   // schedule on which units it skips, every cycle.
-  const RunDigest serial = run_mesh(1, /*attacked=*/false, 300);
-  const RunDigest eight = run_mesh(8, /*attacked=*/false, 300);
+  const Fabric& f = GetParam();
+  const RunDigest serial = run_fabric(f, 1, /*attacked=*/false, 300);
+  const RunDigest eight = run_fabric(f, 8, /*attacked=*/false, 300);
   expect_same_evolution(serial, eight, "idle, 1 vs 8 threads");
 }
 
+INSTANTIATE_TEST_SUITE_P(Fabrics, ParallelStepFabrics,
+                         ::testing::ValuesIn(kFabrics),
+                         [](const auto& info) {
+                           return std::string(info.param.label);
+                         });
+
 TEST(ParallelStepDeterminism, MoreThreadsThanRoutersClampsSafely) {
-  const RunDigest serial = run_mesh(1, /*attacked=*/true, 200);
-  const RunDigest wide = run_mesh(64, /*attacked=*/true, 200);
+  const Fabric& f = kFabrics[0];  // 16 routers, 64 requested threads
+  const RunDigest serial = run_fabric(f, 1, /*attacked=*/true, 200);
+  const RunDigest wide = run_fabric(f, 64, /*attacked=*/true, 200);
   expect_same_evolution(serial, wide, "1 vs 64 threads (16 routers)");
+}
+
+/// The large-fabric regime the topology layer exists for: a 64x64 mesh
+/// (4096 routers) stepped under worker sharding, with the invariant auditor
+/// armed, must evolve bit-identically to the serial schedule and audit
+/// clean. Traffic is injected by hand: AppTrafficModel's sampling tables
+/// are quadratic in cores (134 MB here), overkill for a stepping test.
+TEST(ParallelStepDeterminism, Mesh64x64ShardedStepMatchesSerialAndAuditsClean) {
+  auto run = [](int step_threads) {
+    sim::SimConfig sc;
+    sc.noc.topology = TopologyKind::kMesh;
+    sc.noc.mesh_width = 64;
+    sc.noc.mesh_height = 64;
+    sc.noc.concentration = 1;
+    sc.noc.step_threads = step_threads;
+    sc.noc.seed = 0xBEEF;
+    sc.seed = 0xF00D;
+    sc.audit.enabled = true;
+    sc.audit.period = 64;
+    sim::Simulator simulator(std::move(sc));
+    Network& net = simulator.network();
+    const int cores = net.geometry().num_cores();
+
+    Rng rng(0x5EED);
+    RunDigest out;
+    for (Cycle c = 0; c < 240; ++c) {
+      if (c < 80) {
+        for (int k = 0; k < 32; ++k) {
+          PacketInfo info;
+          info.id = net.next_packet_id();
+          info.src_core = static_cast<NodeId>(
+              rng.next_below(static_cast<std::uint64_t>(cores)));
+          info.dest_core = static_cast<NodeId>(
+              rng.next_below(static_cast<std::uint64_t>(cores)));
+          info.src_router = net.geometry().router_of_core(info.src_core);
+          info.dest_router = net.geometry().router_of_core(info.dest_core);
+          info.length = static_cast<int>(rng.next_in(1, 4));
+          info.inject_cycle = net.now();
+          const std::vector<std::uint64_t> payload(
+              static_cast<std::size_t>(info.length), 0xDA7Aull);
+          (void)net.try_inject(info, payload);
+        }
+      }
+      simulator.step();
+      out.per_cycle.push_back(verify::state_digest(net));
+    }
+    out.steps = net.step_stats();
+    out.delivered = net.packets_delivered();
+    EXPECT_TRUE(simulator.auditor()->clean())
+        << simulator.auditor()->report();
+    return out;
+  };
+  const RunDigest serial = run(1);
+  const RunDigest sharded = run(8);
+  EXPECT_GT(serial.delivered, 0u);
+  expect_same_evolution(serial, sharded, "64x64 mesh, 1 vs 8 threads");
 }
 
 sweep::SweepSpec traced_spec(int step_threads) {

@@ -1,0 +1,229 @@
+// Property-based routing tests: randomized (topology, size, src, dst)
+// tuples checked against the invariants every deterministic routing
+// function in src/topology must hold —
+//
+//   minimality    every hop reduces the topology hop distance by exactly 1,
+//                 so the walk takes hop_distance(src,dst) hops, no more;
+//   loop freedom  an immediate corollary of minimality (distance is a
+//                 strictly decreasing measure, no router repeats);
+//   dimension     x is fully resolved before the first y hop and never
+//   order         revisited — on a mesh this makes the channel dependency
+//                 graph acyclic, which is the classic deadlock-freedom
+//                 argument for dimension-order routing (Dally & Seitz).
+//
+// Every iteration's randomness derives from (base seed, iteration), so a
+// failure prints a one-line repro:
+//
+//   htnoc-routing-repro HTNOC_ROUTING_SEED=0x<seed> HTNOC_ROUTING_ITER=<i>
+//
+// Re-run exactly that case with both variables in the environment
+// (HTNOC_ROUTING_ITER pins the suite to the single failing iteration).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "noc/flit.hpp"
+#include "noc/updown.hpp"
+#include "sweep/spec.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace htnoc;
+
+std::uint64_t base_seed() {
+  if (const char* s = std::getenv("HTNOC_ROUTING_SEED")) {
+    return std::stoull(s, nullptr, 0);
+  }
+  return 0x2026'0807;
+}
+
+/// < 0: run every iteration; >= 0: run only that one (repro mode).
+long pinned_iteration() {
+  if (const char* s = std::getenv("HTNOC_ROUTING_ITER")) {
+    return std::stol(s);
+  }
+  return -1;
+}
+
+std::string repro_line(std::uint64_t seed, std::uint64_t iter) {
+  std::ostringstream os;
+  os << "htnoc-routing-repro HTNOC_ROUTING_SEED=0x" << std::hex << seed
+     << std::dec << " HTNOC_ROUTING_ITER=" << iter;
+  return os.str();
+}
+
+/// Draw a random fabric. Sizes span degenerate (2x2) through 8x8, with
+/// rectangular grids included; kMesh keeps concentration 1 by definition.
+std::unique_ptr<Topology> draw_topology(Rng& rng, NocConfig& cfg) {
+  constexpr TopologyKind kKinds[] = {TopologyKind::kConcentratedMesh,
+                                     TopologyKind::kMesh,
+                                     TopologyKind::kTorus};
+  cfg.topology = kKinds[rng.next_below(std::size(kKinds))];
+  cfg.mesh_width = static_cast<int>(rng.next_in(2, 8));
+  cfg.mesh_height = static_cast<int>(rng.next_in(2, 8));
+  cfg.concentration = cfg.topology == TopologyKind::kMesh
+                          ? 1
+                          : static_cast<int>(rng.next_in(1, 4));
+  return make_topology(cfg);
+}
+
+Flit head_to(const MeshGeometry& geom, NodeId dest_core) {
+  Flit f;
+  f.type = FlitType::kHeadTail;
+  f.dest_core = dest_core;
+  f.dest_router = geom.router_of_core(dest_core);
+  return f;
+}
+
+[[nodiscard]] bool is_y_port(int port) {
+  return port == kPortNorth || port == kPortSouth;
+}
+[[nodiscard]] bool is_x_port(int port) {
+  return port == kPortEast || port == kPortWest;
+}
+
+TEST(RoutingProperties, DefaultRoutingIsMinimalLoopFreeDimensionOrdered) {
+  const std::uint64_t seed = base_seed();
+  const long pinned = pinned_iteration();
+  for (std::uint64_t iter = 0; iter < 500; ++iter) {
+    if (pinned >= 0 && iter != static_cast<std::uint64_t>(pinned)) continue;
+    SCOPED_TRACE(repro_line(seed, iter));
+    Rng rng(sweep::mix_seed(seed, iter));
+
+    NocConfig cfg;
+    const std::unique_ptr<Topology> topo = draw_topology(rng, cfg);
+    const MeshGeometry& geom = topo->geometry();
+    const std::unique_ptr<RoutingFunction> routing =
+        topo->make_default_routing();
+
+    const auto src = static_cast<RouterId>(
+        rng.next_below(static_cast<std::uint64_t>(geom.num_routers())));
+    const auto dest_core = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(geom.num_cores())));
+    const Flit f = head_to(geom, dest_core);
+
+    RouterId here = src;
+    const int dist = topo->hop_distance(src, f.dest_router);
+    bool y_started = false;
+    for (int hop = 0; hop <= dist; ++hop) {
+      const RouteDecision dec = routing->route(here, f);
+      if (here == f.dest_router) {
+        ASSERT_EQ(dec.out_port,
+                  kPortLocalBase + geom.local_slot_of_core(dest_core))
+            << routing->name() << ": wrong ejection port at r" << here;
+        ASSERT_EQ(hop, dist)
+            << routing->name() << ": route length != hop distance";
+        break;
+      }
+      ASSERT_LT(hop, dist) << routing->name()
+                           << ": still not at destination after " << dist
+                           << " hops (loop or detour)";
+      ASSERT_TRUE(is_x_port(dec.out_port) || is_y_port(dec.out_port))
+          << routing->name() << ": non-mesh port " << dec.out_port << " at r"
+          << here;
+      if (is_y_port(dec.out_port)) {
+        y_started = true;
+      } else {
+        ASSERT_FALSE(y_started)
+            << routing->name()
+            << ": x hop after a y hop breaks dimension order at r" << here;
+      }
+      const Direction d = port_direction(dec.out_port);
+      ASSERT_TRUE(topo->has_neighbor(here, d))
+          << routing->name() << ": routed off the fabric at r" << here;
+      const RouterId next = topo->neighbor(here, d);
+      ASSERT_EQ(topo->hop_distance(next, f.dest_router),
+                topo->hop_distance(here, f.dest_router) - 1)
+          << routing->name() << ": non-minimal hop r" << here << " -> r"
+          << next;
+      here = next;
+    }
+  }
+}
+
+TEST(RoutingProperties, TorusRoutingTakesTheShortRingWay) {
+  // Directed spot check of the wrap behaviour the random walk exercises
+  // statistically: edge-to-opposite-edge is one wrap hop, and the exact
+  // half-way tie breaks East/South deterministically.
+  NocConfig cfg;
+  cfg.topology = TopologyKind::kTorus;
+  cfg.mesh_width = 8;
+  cfg.mesh_height = 8;
+  cfg.concentration = 1;
+  const std::unique_ptr<Topology> topo = make_topology(cfg);
+  const MeshGeometry& geom = topo->geometry();
+  const std::unique_ptr<RoutingFunction> routing =
+      topo->make_default_routing();
+
+  EXPECT_EQ(geom.hop_distance(geom.router_at({0, 0}), geom.router_at({7, 0})),
+            1);
+  // (0,0) -> (7,0): West around the wrap, not six hops East.
+  EXPECT_EQ(routing
+                ->route(geom.router_at({0, 0}),
+                        head_to(geom, geom.core_at(geom.router_at({7, 0}), 0)))
+                .out_port,
+            kPortWest);
+  // (0,0) -> (4,0): both ways are 4 hops; the tie breaks East.
+  EXPECT_EQ(routing
+                ->route(geom.router_at({0, 0}),
+                        head_to(geom, geom.core_at(geom.router_at({4, 0}), 0)))
+                .out_port,
+            kPortEast);
+  // (0,0) -> (0,4): the y tie breaks South.
+  EXPECT_EQ(routing
+                ->route(geom.router_at({0, 0}),
+                        head_to(geom, geom.core_at(geom.router_at({0, 4}), 0)))
+                .out_port,
+            kPortSouth);
+}
+
+TEST(RoutingProperties, UpDownReachesEveryDestinationOnEveryFabric) {
+  // Up*/down* is the reconfiguration fallback on all fabrics (its spanning
+  // tree never uses wrap links it isn't given, so it is torus-safe). Not
+  // minimal — the property here is reachability with a strictly bounded,
+  // loop-classifiable walk: up hops strictly precede down hops, so a route
+  // can visit at most 2 * num_routers channels.
+  const std::uint64_t seed = base_seed();
+  const long pinned = pinned_iteration();
+  for (std::uint64_t iter = 0; iter < 200; ++iter) {
+    if (pinned >= 0 && iter != static_cast<std::uint64_t>(pinned)) continue;
+    SCOPED_TRACE(repro_line(seed, iter));
+    Rng rng(sweep::mix_seed(seed ^ 0xDEAD, iter));
+
+    NocConfig cfg;
+    const std::unique_ptr<Topology> topo = draw_topology(rng, cfg);
+    const MeshGeometry& geom = topo->geometry();
+    const UpDownRouting routing(geom, {});
+
+    const auto src = static_cast<RouterId>(
+        rng.next_below(static_cast<std::uint64_t>(geom.num_routers())));
+    const auto dest_core = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(geom.num_cores())));
+    Flit f = head_to(geom, dest_core);
+
+    RouterId here = src;
+    const int bound = 2 * geom.num_routers();
+    int hop = 0;
+    for (; hop <= bound; ++hop) {
+      const RouteDecision dec = routing.route(here, f);
+      ASSERT_GE(dec.out_port, 0) << "up*/down* unroutable at r" << here;
+      if (here == f.dest_router) {
+        ASSERT_EQ(dec.out_port,
+                  kPortLocalBase + geom.local_slot_of_core(dest_core));
+        break;
+      }
+      const Direction d = port_direction(dec.out_port);
+      ASSERT_TRUE(topo->has_neighbor(here, d));
+      here = topo->neighbor(here, d);
+      f.route_phase_down = dec.next_phase_down;
+    }
+    ASSERT_LE(hop, bound) << "up*/down* walk exceeded its channel bound";
+  }
+}
+
+}  // namespace
