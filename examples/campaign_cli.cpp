@@ -14,19 +14,32 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "verify/campaign.hpp"
+#include "verify/campaign_json.hpp"
 
 namespace {
 
 void usage() {
   std::cerr
-      << "usage: campaign_cli [--scenarios N] [--seed S] [--jobs N]\n"
+      << "usage: campaign_cli [--spec FILE.json]\n"
+         "                    [--scenarios N] [--seed S] [--jobs N]\n"
          "                    [--audit-period N] [--topologies LIST]\n"
          "                    [--summary-md FILE]\n"
          "                    [--repro-dir DIR] [--quiet]\n"
-         "       campaign_cli --repro SPEC-OR-FILE\n";
+         "       campaign_cli --repro SPEC-OR-FILE\n"
+         "--spec loads the JSON campaign spec the htnoc_serverd daemon\n"
+         "accepts (docs/SERVER.md); other flags override on top of it.\n";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot read spec file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
 }
 
 /// Accept either a literal repro line or the path of a file whose first
@@ -57,6 +70,20 @@ int main(int argc, char** argv) {
   std::string repro_arg;
   bool quiet = false;
 
+  // --spec loads first (wherever it appears): identical input bytes mean
+  // identical runs here and in the daemon, and later flags override.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--spec") {
+      try {
+        spec = htnoc::verify::parse_campaign_spec(read_file(argv[i + 1]));
+      } catch (const std::exception& e) {
+        std::cerr << "campaign_cli: " << e.what() << "\n";
+        return 2;
+      }
+      break;
+    }
+  }
+
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto value = [&]() -> const char* {
@@ -66,7 +93,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (a == "--scenarios") {
+    if (a == "--spec") {
+      (void)value();  // consumed by the first pass
+    } else if (a == "--scenarios") {
       spec.scenarios = std::stoull(value(), nullptr, 0);
     } else if (a == "--seed") {
       spec.seed = std::stoull(value(), nullptr, 0);

@@ -1,0 +1,147 @@
+// htnoc_client — tiny command-line client for htnoc_serverd, sharing the
+// daemon's own HTTP helpers (no curl dependency in tests or CI).
+//
+//   htnoc_client --port 8080 submit sweep examples/specs/sweep_smoke.json
+//   htnoc_client --port 8080 wait 1
+//   htnoc_client --port 8080 get /runs/1/summary.csv
+//   htnoc_client --port 8080 quit
+//
+// `submit` prints the new run id on stdout; `wait` polls /runs/<id> until
+// the job leaves the queue/running states and exits 0 (done) or 1
+// (failed); `get` prints the raw response body.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "server/http.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: htnoc_client --port N COMMAND [args]\n"
+      "  submit KIND FILE   POST the spec file as {kind, spec}; prints the\n"
+      "                     run id (KIND: sweep or campaign)\n"
+      "  submit-jobs KIND N FILE  same, with run-level workers N\n"
+      "  wait ID            poll /runs/ID until done (exit 0) / failed (1)\n"
+      "  get TARGET         GET any admin path, print the body\n"
+      "  quit               POST /quitquitquit (graceful drain)\n");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot read file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Wrap raw spec text into the submission envelope without re-encoding the
+/// spec (the daemon parses it strictly anyway).
+std::string make_envelope(const std::string& kind, int jobs,
+                          const std::string& spec_text) {
+  std::string out = "{\"kind\":\"" + kind + "\"";
+  if (jobs > 0) out += ",\"jobs\":" + std::to_string(jobs);
+  out += ",\"spec\":" + spec_text + "}";
+  return out;
+}
+
+/// Pull a field out of a small admin response without a full bind layer.
+const htnoc::json::Value* find_field(const htnoc::json::Value& doc,
+                                     const char* key) {
+  return doc.is_object() ? doc.find(key) : nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace htnoc;
+  using namespace htnoc::server;
+
+  int port = 0;
+  std::vector<std::string> args;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (arg == "--port") {
+        if (i + 1 >= argc) throw std::runtime_error("--port needs a value");
+        port = std::stoi(argv[++i]);
+      } else {
+        args.push_back(arg);
+      }
+    }
+    if (port <= 0) throw std::runtime_error("--port is required");
+    if (args.empty()) throw std::runtime_error("missing command");
+
+    const std::string& cmd = args[0];
+    if (cmd == "submit" || cmd == "submit-jobs") {
+      const bool with_jobs = cmd == "submit-jobs";
+      const std::size_t want = with_jobs ? 4 : 3;
+      if (args.size() != want) throw std::runtime_error(cmd + ": bad args");
+      const std::string& kind = args[1];
+      const int jobs = with_jobs ? std::stoi(args[2]) : 0;
+      const std::string spec = read_file(args.back());
+      const HttpResponse r =
+          http_post(port, "/runs", make_envelope(kind, jobs, spec));
+      if (r.status != 202) {
+        std::fprintf(stderr, "htnoc_client: submit failed (%d): %s\n",
+                     r.status, r.body.c_str());
+        return 1;
+      }
+      const json::Value doc = json::parse(r.body);
+      const json::Value* id = find_field(doc, "id");
+      if (id == nullptr) throw std::runtime_error("no id in response");
+      std::printf("%llu\n",
+                  static_cast<unsigned long long>(json::as_uint64(*id)));
+      return 0;
+    }
+    if (cmd == "wait") {
+      if (args.size() != 2) throw std::runtime_error("wait: bad args");
+      const std::string target = "/runs/" + args[1];
+      for (;;) {
+        const HttpResponse r = http_get(port, target);
+        if (r.status != 200) {
+          std::fprintf(stderr, "htnoc_client: %s -> %d\n", target.c_str(),
+                       r.status);
+          return 1;
+        }
+        const json::Value doc = json::parse(r.body);
+        const json::Value* state = find_field(doc, "state");
+        if (state == nullptr) throw std::runtime_error("no state field");
+        const std::string& s = state->as_string();
+        if (s == "done") return 0;
+        if (s == "failed") {
+          std::fprintf(stderr, "htnoc_client: run %s failed\n",
+                       args[1].c_str());
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    if (cmd == "get") {
+      if (args.size() != 2) throw std::runtime_error("get: bad args");
+      const HttpResponse r = http_get(port, args[1]);
+      std::fwrite(r.body.data(), 1, r.body.size(), stdout);
+      return r.status == 200 ? 0 : 1;
+    }
+    if (cmd == "quit") {
+      const HttpResponse r = http_post(port, "/quitquitquit", "");
+      return r.status == 200 ? 0 : 1;
+    }
+    throw std::runtime_error("unknown command: " + cmd);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "htnoc_client: %s\n", e.what());
+    usage();
+    return 2;
+  }
+}

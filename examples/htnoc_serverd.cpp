@@ -1,0 +1,108 @@
+// htnoc_serverd — the simulation-as-a-service daemon. Accepts sweep and
+// campaign specs as JSON over HTTP, runs them on a core-budgeted job queue
+// and serves results through an Envoy-style admin surface (docs/SERVER.md).
+//
+//   htnoc_serverd --port 8080 --cores 8 --sink stdout --sink file:ops.jsonl
+//
+//   curl -d @examples/specs/sweep_smoke.json \
+//        -H 'Content-Type: application/json' localhost:8080/runs
+//   curl localhost:8080/runs/1/summary.csv
+//
+// SIGTERM / SIGINT (and POST /quitquitquit) drain gracefully: new
+// submissions are refused, every accepted job finishes and publishes its
+// whole artifact set, then the process exits 0.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "server/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void handle_signal(int) {
+  // Async-signal-safe: just note the request; the watcher thread drains.
+  g_shutdown_requested = 1;
+}
+
+void usage() {
+  std::printf(
+      "usage: htnoc_serverd [options]\n"
+      "  --port N        listen port (default 0: kernel-assigned; the\n"
+      "                  bound port is printed on startup)\n"
+      "  --cores N       core budget for job admission (default:\n"
+      "                  hardware concurrency); a job costs\n"
+      "                  jobs x step_threads cores (docs/SCALING.md)\n"
+      "  --sink S        add a streaming stat sink: stdout or file:<path>\n"
+      "                  (repeatable; default: none)\n"
+      "  --http-workers N  connection worker threads (default 4)\n"
+      "  --help          this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace htnoc::server;
+
+  Server::Options opts;
+  SinkSet sinks;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::runtime_error(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (arg == "--port") {
+        opts.port = std::stoi(value());
+      } else if (arg == "--cores") {
+        opts.core_budget = std::stoi(value());
+      } else if (arg == "--sink") {
+        sinks.add(make_sink(value()));
+      } else if (arg == "--http-workers") {
+        opts.http_workers = std::stoi(value());
+      } else {
+        throw std::runtime_error("unknown option: " + arg);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "htnoc_serverd: %s\n", e.what());
+    usage();
+    return 2;
+  }
+
+  try {
+    Server server(opts, &sinks);
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    // The port line goes to stderr unbuffered so wrappers (the CI smoke
+    // job, the tests) can scrape it even when stdout is a sink pipe.
+    std::fprintf(stderr, "[serverd] listening on 127.0.0.1:%d\n",
+                 server.port());
+    std::fflush(stderr);
+
+    // Park until a signal or POST /quitquitquit stops the server. The
+    // signal flag is polled so the handler stays async-signal-safe.
+    std::thread watcher([&server] {
+      while (g_shutdown_requested == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      server.shutdown();
+    });
+    server.wait();
+    g_shutdown_requested = 1;  // stopped via /quitquitquit: unpark watcher
+    watcher.join();
+    std::fprintf(stderr, "[serverd] drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "htnoc_serverd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -22,6 +22,7 @@
 
 #include "sweep/emit.hpp"
 #include "sweep/runner.hpp"
+#include "sweep/spec_json.hpp"
 #include "trace/export.hpp"
 #include "trace/forensics.hpp"
 
@@ -32,6 +33,9 @@ using namespace htnoc;
 void usage() {
   std::printf(
       "usage: sweep_cli [options]\n"
+      "  --spec FILE        load a sweep spec from JSON (the schema the\n"
+      "                     htnoc_serverd daemon accepts; docs/SERVER.md);\n"
+      "                     other flags override on top of it\n"
       "  --modes M,..       mitigation modes: none, lob, reroute "
       "(default none)\n"
       "  --attacks A,..     attack scenarios: none, single, mem, multi "
@@ -77,47 +81,13 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-sim::MitigationMode parse_mode(const std::string& s) {
-  if (s == "none") return sim::MitigationMode::kNone;
-  if (s == "lob") return sim::MitigationMode::kLOb;
-  if (s == "reroute") return sim::MitigationMode::kReroute;
-  throw std::runtime_error("unknown mode: " + s);
-}
-
-sweep::AttackScenario parse_attack(const std::string& s) {
-  sweep::AttackScenario sc;
-  sc.name = s;
-  if (s == "none") return sc;
-  sim::AttackSpec a;
-  a.link = {4, Direction::kNorth};
-  a.enable_killsw_at = 1000;
-  if (s == "single") {
-    // The paper's setup: one dest-targeted TASP on the column-0 feeder.
-    a.tasp.kind = trojan::TargetKind::kDest;
-    a.tasp.target_dest = 0;
-    sc.attacks.push_back(a);
-  } else if (s == "mem") {
-    // Application-targeted DPI on the Blackscholes memory footprint.
-    a.tasp.kind = trojan::TargetKind::kMem;
-    a.tasp.target_mem = traffic::blackscholes_profile().mem_base;
-    a.tasp.mem_mask = 0xF0000000u;
-    sc.attacks.push_back(a);
-  } else if (s == "multi") {
-    // Three implants on distinct dest-0 feeder links (Fig. 10's ~5-10%).
-    for (const LinkRef l : {LinkRef{4, Direction::kNorth},
-                            LinkRef{2, Direction::kWest},
-                            LinkRef{8, Direction::kNorth}}) {
-      sim::AttackSpec m;
-      m.link = l;
-      m.tasp.kind = trojan::TargetKind::kDest;
-      m.tasp.target_dest = 0;
-      m.enable_killsw_at = 1000;
-      sc.attacks.push_back(m);
-    }
-  } else {
-    throw std::runtime_error("unknown attack scenario: " + s);
-  }
-  return sc;
+/// Whole-file slurp for --spec (throws on unreadable path).
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot read spec file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
 }
 
 }  // namespace
@@ -132,6 +102,19 @@ int main(int argc, char** argv) {
   std::string trace_dir;
 
   try {
+    // --spec loads first (wherever it appears), so every other flag
+    // overrides on top of the file — the same precedence whatever the
+    // argument order.
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--spec") == 0) {
+        if (i + 1 >= argc) throw std::runtime_error("--spec needs a value");
+        // The file carries the spec schema's defaults (replicates 1, like
+        // the daemon), not the CLI's replicates=3 — identical input bytes
+        // must mean identical runs in both front ends.
+        spec = sweep::parse_sweep_spec(read_file(argv[i + 1]));
+        break;
+      }
+    }
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       auto value = [&]() -> std::string {
@@ -141,15 +124,17 @@ int main(int argc, char** argv) {
       if (arg == "--help" || arg == "-h") {
         usage();
         return 0;
+      } else if (arg == "--spec") {
+        (void)value();  // consumed by the first pass
       } else if (arg == "--modes") {
         spec.modes.clear();
         for (const auto& m : split_csv(value())) {
-          spec.modes.push_back(parse_mode(m));
+          spec.modes.push_back(sweep::mitigation_mode_from_string(m));
         }
       } else if (arg == "--attacks") {
         spec.attack_scenarios.clear();
         for (const auto& a : split_csv(value())) {
-          spec.attack_scenarios.push_back(parse_attack(a));
+          spec.attack_scenarios.push_back(sweep::attack_scenario_preset(a));
         }
       } else if (arg == "--profiles") {
         spec.profiles = split_csv(value());
@@ -191,7 +176,9 @@ int main(int argc, char** argv) {
 
   try {
     const auto t0 = std::chrono::steady_clock::now();
-    const sweep::SweepRunner runner({jobs});
+    sweep::SweepRunner::Options runner_opts;
+    runner_opts.num_threads = jobs;
+    const sweep::SweepRunner runner(runner_opts);
     const sweep::SweepResult result = runner.run(spec);
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -1,0 +1,333 @@
+#include "server/http.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace htnoc::server {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 64 * 1024 * 1024;
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Write all of `data`, retrying on EINTR / short writes.
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string serialize_response(const HttpResponse& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    status_text(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+/// Case-insensitive ASCII prefix match ("content-length:" etc.).
+bool iprefix(const std::string& line, const char* prefix) {
+  std::size_t i = 0;
+  for (; prefix[i] != '\0'; ++i) {
+    if (i >= line.size()) return false;
+    const char a = line[i];
+    const char b = prefix[i];
+    const char al = (a >= 'A' && a <= 'Z') ? static_cast<char>(a + 32) : a;
+    if (al != b) return false;
+  }
+  return true;
+}
+
+/// Read from fd until the header terminator, then Content-Length body
+/// bytes. Returns false on malformed or oversized input.
+bool read_request(int fd, HttpRequest& req) {
+  std::string buf;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    if (buf.size() > kMaxHeaderBytes) return false;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed before a full request
+    buf.append(chunk, static_cast<std::size_t>(n));
+    header_end = buf.find("\r\n\r\n");
+  }
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::size_t line_end = buf.find("\r\n");
+  const std::string line = buf.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0
+                                                                  : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (req.method.empty() || req.target.empty() || req.target[0] != '/') {
+    return false;
+  }
+
+  std::size_t content_length = 0;
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    const std::size_t eol = buf.find("\r\n", pos);
+    const std::string header = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (iprefix(header, "content-length:")) {
+      const std::string v = header.substr(15);
+      char* end = nullptr;
+      const unsigned long long n =
+          std::strtoull(v.c_str(), &end, 10);
+      if (end == v.c_str() || n > kMaxBodyBytes) return false;
+      content_length = static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string body = buf.substr(header_end + 4);
+  while (body.size() < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    body.append(chunk, static_cast<std::size_t>(n));
+  }
+  body.resize(content_length);  // ignore pipelined extra bytes
+  req.body = std::move(body);
+  return true;
+}
+
+}  // namespace
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+HttpServer::HttpServer(const Options& opts, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) sys_fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int e = errno;
+    ::close(listen_fd_);
+    errno = e;
+    sys_fail("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int e = errno;
+    ::close(listen_fd_);
+    errno = e;
+    sys_fail("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    const int e = errno;
+    ::close(listen_fd_);
+    errno = e;
+    sys_fail("getsockname");
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  const int nworkers = opts.num_workers < 1 ? 1 : opts.num_workers;
+  workers_.reserve(static_cast<std::size_t>(nworkers));
+  for (int i = 0; i < nworkers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  // shutdown() unblocks the accept(2) in the acceptor thread.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // Close any connections that were accepted but never picked up.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const int fd : pending_) ::close(fd);
+  pending_.clear();
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or fatal error): stop accepting
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(fd);
+    }
+    cv_.notify_one();
+  }
+}
+
+void HttpServer::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_.load() || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    handle_connection(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  HttpRequest req;
+  HttpResponse resp;
+  if (!read_request(fd, req)) {
+    resp.status = 400;
+    resp.body = "{\"error\":\"malformed request\"}\n";
+  } else if (req.method != "GET" && req.method != "POST") {
+    resp.status = 405;
+    resp.body = "{\"error\":\"method not allowed\"}\n";
+  } else {
+    try {
+      resp = handler_(req);
+    } catch (const std::exception& e) {
+      resp = HttpResponse{};
+      resp.status = 500;
+      resp.body = std::string("{\"error\":\"") + e.what() + "\"}\n";
+    }
+  }
+  const std::string wire = serialize_response(resp);
+  send_all(fd, wire.data(), wire.size());
+  ::close(fd);
+}
+
+HttpResponse http_request(int port, const std::string& method,
+                          const std::string& target,
+                          const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    sys_fail("connect");
+  }
+
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: 127.0.0.1\r\n";
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  wire += "Connection: close\r\n\r\n";
+  wire += body;
+  if (!send_all(fd, wire.data(), wire.size())) {
+    ::close(fd);
+    throw std::runtime_error("send failed");
+  }
+
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int e = errno;
+      ::close(fd);
+      errno = e;
+      sys_fail("recv");
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos || raw.rfind("HTTP/1.", 0) != 0) {
+    throw std::runtime_error("malformed HTTP response");
+  }
+  HttpResponse resp;
+  const std::size_t sp = raw.find(' ');
+  resp.status = std::atoi(raw.c_str() + sp + 1);
+  const std::size_t line_end = raw.find("\r\n");
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    const std::size_t eol = raw.find("\r\n", pos);
+    const std::string header = raw.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (iprefix(header, "content-type:")) {
+      std::size_t v = 13;
+      while (v < header.size() && header[v] == ' ') ++v;
+      resp.content_type = header.substr(v);
+    }
+  }
+  resp.body = raw.substr(header_end + 4);
+  return resp;
+}
+
+HttpResponse http_get(int port, const std::string& target) {
+  return http_request(port, "GET", target);
+}
+
+HttpResponse http_post(int port, const std::string& target,
+                       const std::string& body) {
+  return http_request(port, "POST", target, body);
+}
+
+}  // namespace htnoc::server

@@ -1,0 +1,95 @@
+// Minimal dependency-free HTTP/1.1 transport for the simulation daemon:
+// a loopback listener with a bounded connection-worker pool, plus the
+// blocking client helper the bundled CLI client and the tests share. Only
+// the subset the admin surface needs is implemented — one request per
+// connection (the server always answers `Connection: close`), methods GET
+// and POST, bodies framed by Content-Length.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace htnoc::server {
+
+struct HttpRequest {
+  std::string method;  ///< "GET" or "POST" (anything else is rejected).
+  std::string target;  ///< Request path, e.g. "/runs/3" (no query support).
+  std::string body;    ///< Raw body bytes (empty unless Content-Length > 0).
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Reason phrase for the handful of status codes the daemon emits.
+[[nodiscard]] const char* status_text(int status);
+
+/// Loopback-only HTTP server. Construction binds and listens (throwing on
+/// failure), so port() is valid immediately — pass port 0 to let the kernel
+/// pick an ephemeral port (the tests and the CI smoke job rely on this).
+/// Requests are handled on a fixed pool of connection workers fed from an
+/// accept thread; the handler runs concurrently and must synchronize any
+/// shared state it touches.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    int port = 0;         ///< 0: ephemeral.
+    int num_workers = 4;  ///< Connection workers (clamped to >= 1).
+  };
+
+  HttpServer(const Options& opts, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound TCP port (resolved even when Options::port was 0).
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+  /// Stop accepting, drain in-flight connections, join all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;  ///< Accepted fds awaiting a worker.
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+/// Blocking one-shot request against a loopback server. Throws
+/// std::runtime_error on connection or protocol failure; HTTP error
+/// statuses are returned, not thrown.
+[[nodiscard]] HttpResponse http_request(int port, const std::string& method,
+                                        const std::string& target,
+                                        const std::string& body = "");
+
+/// Conveniences over http_request().
+[[nodiscard]] HttpResponse http_get(int port, const std::string& target);
+[[nodiscard]] HttpResponse http_post(int port, const std::string& target,
+                                     const std::string& body);
+
+}  // namespace htnoc::server

@@ -1,0 +1,393 @@
+#include "server/jobs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "sweep/emit.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec_json.hpp"
+#include "trace/export.hpp"
+#include "verify/campaign.hpp"
+#include "verify/campaign_json.hpp"
+
+namespace htnoc::server {
+
+namespace {
+
+using json::Value;
+
+[[noreturn]] void bad(const std::string& path, const std::string& msg) {
+  throw sweep::SpecError(path + ": " + msg);
+}
+
+}  // namespace
+
+const char* to_string(JobKind k) {
+  return k == JobKind::kSweep ? "sweep" : "campaign";
+}
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+JobQueue::JobQueue(const Options& opts) : sinks_(opts.sinks) {
+  budget_ = opts.core_budget;
+  if (budget_ <= 0) {
+    budget_ = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (budget_ <= 0) budget_ = 1;
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+JobQueue::~JobQueue() { drain(); }
+
+std::uint64_t JobQueue::submit(const std::string& envelope_json) {
+  // Parse the envelope strictly before touching any queue state, so a
+  // malformed submission is a pure no-op.
+  Value doc = [&] {
+    try {
+      return json::parse(envelope_json);
+    } catch (const json::ParseError& e) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.rejected;
+      throw sweep::SpecError(std::string("envelope: ") + e.what());
+    }
+  }();
+
+  JobKind kind = JobKind::kSweep;
+  bool have_kind = false;
+  int jobs = 1;
+  const Value* spec_value = nullptr;
+  try {
+    for (const auto& [key, val] : doc.as_object()) {
+      if (key == "kind") {
+        const std::string& s = val.as_string();
+        if (s == "sweep") {
+          kind = JobKind::kSweep;
+        } else if (s == "campaign") {
+          kind = JobKind::kCampaign;
+        } else {
+          bad("kind", "unknown job kind \"" + s +
+                          "\" (expected sweep/campaign)");
+        }
+        have_kind = true;
+      } else if (key == "jobs") {
+        const std::uint64_t n = json::as_uint64(val);
+        if (n < 1 || n > 256) bad("jobs", "must be in [1, 256]");
+        jobs = static_cast<int>(n);
+      } else if (key == "spec") {
+        spec_value = &val;
+      } else {
+        bad(key, "unknown key in submission envelope");
+      }
+    }
+    if (!have_kind) bad("kind", "missing");
+    if (spec_value == nullptr) bad("spec", "missing");
+  } catch (const json::TypeError& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rejected;
+    throw sweep::SpecError(std::string("envelope: ") + e.what());
+  } catch (const sweep::SpecError&) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rejected;
+    throw;
+  }
+
+  // Parse the spec strictly and re-serialize it: the canonical text is what
+  // the job will run from, and what /config_dump reports.
+  std::string canonical;
+  int step_threads = 1;
+  try {
+    if (kind == JobKind::kSweep) {
+      const sweep::SweepSpec spec = sweep::sweep_spec_from_json(*spec_value);
+      canonical = json::to_string(sweep::sweep_spec_to_json(spec));
+      step_threads = spec.base.noc.step_threads;
+    } else {
+      const verify::CampaignSpec spec =
+          verify::campaign_spec_from_json(*spec_value);
+      canonical = json::to_string(verify::campaign_spec_to_json(spec));
+      step_threads = spec.step_threads;
+    }
+  } catch (const sweep::SpecError&) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rejected;
+    throw;
+  }
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      throw std::runtime_error("server is draining; submissions refused");
+    }
+    id = next_id_++;
+    Job& job = jobs_[id];
+    job.info.id = id;
+    job.info.kind = kind;
+    job.info.state = JobState::kQueued;
+    job.info.jobs = jobs;
+    job.info.step_threads = step_threads;
+    job.spec = std::move(canonical);
+    fifo_.push_back(id);
+    ++counters_.submitted;
+    emit_job_event("job_submitted", job);
+  }
+  cv_.notify_all();
+  return id;
+}
+
+std::optional<JobInfo> JobQueue::info(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second.info;
+}
+
+std::vector<JobInfo> JobQueue::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job.info);
+  return out;
+}
+
+std::optional<std::string> JobQueue::artifact(std::uint64_t id,
+                                              const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const auto art = it->second.artifacts.find(name);
+  if (art == it->second.artifacts.end()) return std::nullopt;
+  return art->second;
+}
+
+std::optional<std::string> JobQueue::canonical_spec(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second.spec;
+}
+
+JobCounters JobQueue::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+int JobQueue::cores_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_cost_;
+}
+
+std::size_t JobQueue::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fifo_.size();
+}
+
+std::size_t JobQueue::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_count_;
+}
+
+bool JobQueue::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void JobQueue::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    stop_scheduler_ = true;
+  }
+  cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  if (sinks_ != nullptr) sinks_->flush();
+}
+
+void JobQueue::scheduler_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Reap finished job threads (they announce themselves via
+    // finished_threads_ right before exiting).
+    while (!finished_threads_.empty()) {
+      const std::uint64_t id = finished_threads_.back();
+      finished_threads_.pop_back();
+      const auto it = active_.find(id);
+      if (it != active_.end()) {
+        it->second.join();
+        active_.erase(it);
+      }
+    }
+
+    if (stop_scheduler_ && fifo_.empty() && running_count_ == 0 &&
+        active_.empty()) {
+      return;
+    }
+
+    // Strict FIFO: only the head is considered. An over-budget head runs
+    // once the queue is otherwise idle, so it cannot be starved.
+    if (!fifo_.empty()) {
+      const std::uint64_t id = fifo_.front();
+      Job& job = jobs_.at(id);
+      const int cost = cost_of(job.info);
+      if (running_cost_ == 0 || running_cost_ + cost <= budget_) {
+        fifo_.pop_front();
+        job.info.state = JobState::kRunning;
+        running_cost_ += cost;
+        ++running_count_;
+        emit_job_event("job_started", job);
+        active_.emplace(id, std::thread([this, id] { run_job(id); }));
+        continue;
+      }
+    }
+
+    cv_.wait(lock);
+  }
+}
+
+void JobQueue::run_job(std::uint64_t id) {
+  JobKind kind = JobKind::kSweep;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    kind = jobs_.at(id).info.kind;
+  }
+
+  // Artifacts are built entirely off to the side; nothing below touches
+  // queue state until the single publication step at the end.
+  std::map<std::string, std::string> artifacts;
+  std::string error;
+  try {
+    Job snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshot.info = jobs_.at(id).info;
+      snapshot.spec = jobs_.at(id).spec;
+    }
+    if (kind == JobKind::kSweep) {
+      execute_sweep(snapshot, artifacts, id);
+    } else {
+      execute_campaign(snapshot, artifacts);
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown exception";
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Job& job = jobs_.at(id);
+    if (error.empty()) {
+      job.artifacts = std::move(artifacts);
+      job.info.artifacts.clear();
+      for (const auto& [name, bytes] : job.artifacts) {
+        job.info.artifacts.push_back(name);
+      }
+      job.info.state = JobState::kDone;
+      ++counters_.completed;
+    } else {
+      job.info.state = JobState::kFailed;
+      job.info.error = error;
+      ++counters_.failed;
+    }
+    running_cost_ -= cost_of(job.info);
+    --running_count_;
+    finished_threads_.push_back(id);
+    emit_job_event("job_finished", job);
+  }
+  cv_.notify_all();
+}
+
+void JobQueue::execute_sweep(Job& job,
+                             std::map<std::string, std::string>& artifacts,
+                             std::uint64_t id) {
+  const sweep::SweepSpec spec = sweep::parse_sweep_spec(job.spec);
+  sweep::SweepRunner::Options opts;
+  opts.num_threads = job.info.jobs;
+  opts.progress = [this, id](std::size_t done, std::size_t total) {
+    report_progress(id, done, total);
+  };
+  const sweep::SweepResult result = sweep::SweepRunner(opts).run(spec);
+
+  std::ostringstream summary;
+  sweep::write_summary_csv(summary, result);
+  artifacts["summary.csv"] = summary.str();
+  std::ostringstream runs;
+  sweep::write_runs_csv(runs, result);
+  artifacts["runs.csv"] = runs.str();
+  artifacts["result.json"] = sweep::to_json(result);
+
+  // Runs that captured an event trace additionally publish it in Chrome
+  // trace-event form, ready for Perfetto.
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    if (result.runs[i].trace) {
+      artifacts["trace_run" + std::to_string(i) + ".json"] =
+          trace::to_chrome_json(*result.runs[i].trace);
+    }
+  }
+}
+
+void JobQueue::execute_campaign(
+    Job& job, std::map<std::string, std::string>& artifacts) {
+  verify::CampaignSpec spec = verify::parse_campaign_spec(job.spec);
+  spec.threads = job.info.jobs;
+  const std::uint64_t id = job.info.id;
+  spec.progress = [this, id](std::uint64_t done, std::uint64_t total) {
+    report_progress(id, done, total);
+  };
+  const verify::CampaignResult result = verify::FaultCampaign(spec).run();
+  artifacts["summary.txt"] = result.summary_text();
+  artifacts["summary.md"] = result.summary_markdown();
+}
+
+void JobQueue::report_progress(std::uint64_t id, std::uint64_t done,
+                               std::uint64_t total) {
+  bool emit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Job& job = jobs_.at(id);
+    job.info.done = done;
+    job.info.total = total;
+    // Sinks see ~5% granularity (and always the final update); /runs/<id>
+    // always reports the exact live counters.
+    const std::uint64_t stride = total >= 20 ? total / 20 : 1;
+    emit = done == total || done % stride == 0;
+  }
+  if (emit && sinks_ != nullptr) {
+    json::Object o;
+    o.emplace_back("event", Value("job_progress"));
+    o.emplace_back("job", Value(static_cast<double>(id)));
+    o.emplace_back("done", Value(static_cast<double>(done)));
+    o.emplace_back("total", Value(static_cast<double>(total)));
+    sinks_->emit(Value(std::move(o)));
+  }
+}
+
+void JobQueue::emit_job_event(const char* event, const Job& job) {
+  if (sinks_ == nullptr) return;
+  json::Object o;
+  o.emplace_back("event", Value(event));
+  o.emplace_back("job", Value(static_cast<double>(job.info.id)));
+  o.emplace_back("kind", Value(to_string(job.info.kind)));
+  o.emplace_back("state", Value(to_string(job.info.state)));
+  o.emplace_back("jobs", Value(job.info.jobs));
+  o.emplace_back("step_threads", Value(job.info.step_threads));
+  o.emplace_back("cost", Value(cost_of(job.info)));
+  if (!job.info.error.empty()) {
+    o.emplace_back("error", Value(job.info.error));
+  }
+  if (job.info.state == JobState::kDone) {
+    o.emplace_back("artifacts",
+                   Value(static_cast<double>(job.info.artifacts.size())));
+  }
+  sinks_->emit(Value(std::move(o)));
+}
+
+}  // namespace htnoc::server

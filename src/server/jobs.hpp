@@ -1,0 +1,146 @@
+// Multi-tenant job queue: accepted sweep / campaign specs run on worker
+// threads admitted against a core budget (a job occupies its run-level
+// `jobs` workers times the spec's intra-run `step_threads`, the same
+// jobs x step_threads product docs/SCALING.md budgets for the CLIs).
+// Admission is strict FIFO — the head job waits until its cost fits, and a
+// job costing more than the whole budget still runs, alone — so no job can
+// be starved by cheaper late arrivals.
+//
+// Determinism contract: a job's artifacts are produced by re-parsing its
+// canonical spec JSON and running the exact engine + emitters the CLIs
+// use, so the bytes are identical to a sweep_cli/campaign_cli run of the
+// same spec, for any queue interleaving and worker count. Artifacts are
+// built off to the side and published atomically under the queue lock —
+// readers (and a SIGTERM drain) never observe a partially-written result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "server/sink.hpp"
+
+namespace htnoc::server {
+
+enum class JobKind { kSweep, kCampaign };
+enum class JobState { kQueued, kRunning, kDone, kFailed };
+
+[[nodiscard]] const char* to_string(JobKind k);
+[[nodiscard]] const char* to_string(JobState s);
+
+/// Immutable-once-published snapshot of one job for the admin surface.
+struct JobInfo {
+  std::uint64_t id = 0;
+  JobKind kind = JobKind::kSweep;
+  JobState state = JobState::kQueued;
+  int jobs = 1;          ///< Run-level worker threads.
+  int step_threads = 1;  ///< Intra-run stepping threads (from the spec).
+  std::uint64_t done = 0;   ///< Runs / scenarios finished so far.
+  std::uint64_t total = 0;  ///< 0 until the job starts.
+  std::string error;        ///< Set when state == kFailed.
+  std::vector<std::string> artifacts;  ///< Names servable once kDone.
+};
+
+/// Monotonically increasing totals for /stats.
+struct JobCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;  ///< Envelope or spec failed strict parsing.
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+};
+
+class JobQueue {
+ public:
+  struct Options {
+    /// Core budget jobs are admitted against; <= 0 resolves to
+    /// hardware_concurrency (minimum 1).
+    int core_budget = 0;
+    /// Observability fan-out; may be null. Not owned.
+    SinkSet* sinks = nullptr;
+  };
+
+  explicit JobQueue(const Options& opts);
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Parse a submission envelope — {"kind": "sweep"|"campaign",
+  /// "jobs": N (optional, default 1), "spec": {...}} — strictly, enqueue
+  /// the job and return its id. Throws sweep::SpecError (including
+  /// json::ParseError wrapped) on any malformed input; nothing is
+  /// enqueued in that case. Throws std::runtime_error when draining.
+  std::uint64_t submit(const std::string& envelope_json);
+
+  [[nodiscard]] std::optional<JobInfo> info(std::uint64_t id) const;
+  [[nodiscard]] std::vector<JobInfo> list() const;
+
+  /// Artifact bytes, or nullopt when the job or artifact does not exist
+  /// (artifacts appear only when the job reaches kDone).
+  [[nodiscard]] std::optional<std::string> artifact(
+      std::uint64_t id, const std::string& name) const;
+
+  /// The canonical spec JSON the job runs from (nullopt: unknown id).
+  [[nodiscard]] std::optional<std::string> canonical_spec(
+      std::uint64_t id) const;
+
+  [[nodiscard]] JobCounters counters() const;
+  [[nodiscard]] int core_budget() const noexcept { return budget_; }
+  [[nodiscard]] int cores_in_use() const;
+  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] std::size_t running() const;
+  [[nodiscard]] bool draining() const;
+
+  /// Graceful shutdown: refuse new submissions, run every job already
+  /// accepted to completion, then stop the scheduler. Every accepted job
+  /// is kDone or kFailed when this returns. Idempotent.
+  void drain();
+
+ private:
+  struct Job {
+    JobInfo info;
+    std::string spec;  ///< Canonical spec JSON (the single source of truth).
+    std::map<std::string, std::string> artifacts;
+  };
+
+  void scheduler_loop();
+  void run_job(std::uint64_t id);
+  void execute_sweep(Job& job, std::map<std::string, std::string>& artifacts,
+                     std::uint64_t id);
+  void execute_campaign(Job& job,
+                        std::map<std::string, std::string>& artifacts);
+  void emit_job_event(const char* event, const Job& job);
+  [[nodiscard]] static int cost_of(const JobInfo& info) {
+    return info.jobs * info.step_threads;
+  }
+  void report_progress(std::uint64_t id, std::uint64_t done,
+                       std::uint64_t total);
+
+  int budget_ = 1;
+  SinkSet* sinks_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Job> jobs_;
+  std::deque<std::uint64_t> fifo_;  ///< Queued ids in submission order.
+  int running_cost_ = 0;
+  std::size_t running_count_ = 0;
+  JobCounters counters_;
+  bool draining_ = false;
+  bool stop_scheduler_ = false;
+
+  std::map<std::uint64_t, std::thread> active_;   ///< Joined by scheduler.
+  std::vector<std::uint64_t> finished_threads_;   ///< Ready to join.
+  std::thread scheduler_;
+};
+
+}  // namespace htnoc::server

@@ -1,0 +1,291 @@
+#include "server/server.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "sweep/spec_json.hpp"
+
+namespace htnoc::server {
+
+namespace {
+
+using json::Value;
+
+/// Split "/runs/3/summary.csv" into segments; empty segments rejected by
+/// returning an empty vector.
+std::vector<std::string> split_path(const std::string& target) {
+  std::vector<std::string> out;
+  std::size_t pos = 1;  // skip leading '/'
+  while (pos <= target.size()) {
+    const std::size_t next = target.find('/', pos);
+    const std::size_t end = next == std::string::npos ? target.size() : next;
+    if (end == pos) return {};  // empty segment ("//" or trailing "/")
+    out.push_back(target.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+bool parse_id(const std::string& s, std::uint64_t& id) {
+  if (s.empty() || s.size() > 18) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  id = v;
+  return true;
+}
+
+Value job_to_json(const JobInfo& info) {
+  json::Object o;
+  o.emplace_back("id", Value(static_cast<double>(info.id)));
+  o.emplace_back("kind", Value(to_string(info.kind)));
+  o.emplace_back("state", Value(to_string(info.state)));
+  o.emplace_back("jobs", Value(info.jobs));
+  o.emplace_back("step_threads", Value(info.step_threads));
+  o.emplace_back("cost", Value(info.jobs * info.step_threads));
+  o.emplace_back("done", Value(static_cast<double>(info.done)));
+  o.emplace_back("total", Value(static_cast<double>(info.total)));
+  if (!info.error.empty()) o.emplace_back("error", Value(info.error));
+  json::Array arts;
+  for (const std::string& a : info.artifacts) arts.emplace_back(a);
+  o.emplace_back("artifacts", Value(std::move(arts)));
+  return Value(std::move(o));
+}
+
+std::string content_type_for(const std::string& artifact) {
+  if (artifact.size() >= 4 &&
+      artifact.compare(artifact.size() - 4, 4, ".csv") == 0) {
+    return "text/csv";
+  }
+  if (artifact.size() >= 5 &&
+      artifact.compare(artifact.size() - 5, 5, ".json") == 0) {
+    return "application/json";
+  }
+  return "text/plain";
+}
+
+}  // namespace
+
+HttpResponse error_response(int status, const std::string& msg) {
+  json::Object o;
+  o.emplace_back("error", Value(msg));
+  HttpResponse r;
+  r.status = status;
+  r.body = json::to_string(Value(std::move(o))) + "\n";
+  return r;
+}
+
+Server::Server(const Options& opts, SinkSet* sinks)
+    : opts_(opts), sinks_(sinks), jobs_(JobQueue::Options{
+                                      opts.core_budget, sinks}) {
+  HttpServer::Options ho;
+  ho.port = opts.port;
+  ho.num_workers = opts.http_workers;
+  http_ = std::make_unique<HttpServer>(
+      ho, [this](const HttpRequest& req) { return handle(req); });
+  if (sinks_ != nullptr) {
+    json::Object o;
+    o.emplace_back("event", Value("server_started"));
+    o.emplace_back("port", Value(http_->port()));
+    o.emplace_back("core_budget", Value(jobs_.core_budget()));
+    sinks_->emit(Value(std::move(o)));
+  }
+}
+
+Server::~Server() {
+  shutdown();
+  if (quit_thread_.joinable()) quit_thread_.join();
+}
+
+void Server::shutdown() {
+  if (shutting_down_.exchange(true)) {
+    wait();
+    return;
+  }
+  if (sinks_ != nullptr) {
+    json::Object o;
+    o.emplace_back("event", Value("server_stopping"));
+    sinks_->emit(Value(std::move(o)));
+  }
+  // Order matters: drain first (accepted jobs finish and publish whole
+  // artifacts), then stop the listener so in-flight admin reads complete.
+  jobs_.drain();
+  http_->stop();
+  if (sinks_ != nullptr) sinks_->flush();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    cv_.notify_all();
+  }
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return stopped_; });
+}
+
+HttpResponse Server::handle(const HttpRequest& req) {
+  const auto start = std::chrono::steady_clock::now();
+  HttpResponse resp;
+  if (req.method == "GET") {
+    resp = handle_get(req.target);
+  } else {
+    resp = handle_post(req);
+  }
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++requests_total_;
+    request_latency_us_.record(static_cast<Cycle>(us));
+  }
+  return resp;
+}
+
+HttpResponse Server::handle_get(const std::string& target) {
+  if (target == "/healthz") {
+    json::Object o;
+    o.emplace_back("status",
+                   Value(jobs_.draining() ? "draining" : "ok"));
+    HttpResponse r;
+    r.body = json::to_string(Value(std::move(o))) + "\n";
+    return r;
+  }
+  if (target == "/stats") return stats_response();
+  if (target == "/config_dump") return config_dump();
+  if (target == "/runs") {
+    json::Array arr;
+    for (const JobInfo& info : jobs_.list()) arr.push_back(job_to_json(info));
+    json::Object o;
+    o.emplace_back("runs", Value(std::move(arr)));
+    HttpResponse r;
+    r.body = json::to_string(Value(std::move(o)), 1) + "\n";
+    return r;
+  }
+
+  const std::vector<std::string> parts = split_path(target);
+  if (parts.size() >= 2 && parts[0] == "runs") {
+    std::uint64_t id = 0;
+    if (!parse_id(parts[1], id)) {
+      return error_response(404, "bad run id \"" + parts[1] + "\"");
+    }
+    if (parts.size() == 2) {
+      const std::optional<JobInfo> info = jobs_.info(id);
+      if (!info) return error_response(404, "no such run");
+      HttpResponse r;
+      r.body = json::to_string(job_to_json(*info), 1) + "\n";
+      return r;
+    }
+    if (parts.size() == 3) {
+      const std::optional<std::string> bytes = jobs_.artifact(id, parts[2]);
+      if (!bytes) return error_response(404, "no such artifact");
+      HttpResponse r;
+      r.content_type = content_type_for(parts[2]);
+      r.body = *bytes;
+      return r;
+    }
+  }
+  return error_response(404, "no such endpoint");
+}
+
+HttpResponse Server::handle_post(const HttpRequest& req) {
+  if (req.target == "/quitquitquit") {
+    // Shut down from a separate thread: drain() blocks on running jobs and
+    // the HTTP worker serving this request must answer first. The thread is
+    // a member so the destructor can join it.
+    if (!quit_requested_.exchange(true)) {
+      quit_thread_ = std::thread([this] { shutdown(); });
+    }
+    json::Object o;
+    o.emplace_back("status", Value("draining"));
+    HttpResponse r;
+    r.body = json::to_string(Value(std::move(o))) + "\n";
+    return r;
+  }
+  if (req.target == "/runs") {
+    try {
+      const std::uint64_t id = jobs_.submit(req.body);
+      json::Object o;
+      o.emplace_back("id", Value(static_cast<double>(id)));
+      o.emplace_back("state", Value("queued"));
+      HttpResponse r;
+      r.status = 202;
+      r.body = json::to_string(Value(std::move(o))) + "\n";
+      return r;
+    } catch (const sweep::SpecError& e) {
+      return error_response(400, e.what());
+    } catch (const std::runtime_error& e) {
+      return error_response(503, e.what());
+    }
+  }
+  return error_response(404, "no such endpoint");
+}
+
+HttpResponse Server::stats_response() {
+  const JobCounters c = jobs_.counters();
+  json::Object o;
+  json::Object counters;
+  counters.emplace_back("jobs_submitted",
+                        Value(static_cast<double>(c.submitted)));
+  counters.emplace_back("jobs_rejected",
+                        Value(static_cast<double>(c.rejected)));
+  counters.emplace_back("jobs_completed",
+                        Value(static_cast<double>(c.completed)));
+  counters.emplace_back("jobs_failed", Value(static_cast<double>(c.failed)));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    counters.emplace_back("http_requests",
+                          Value(static_cast<double>(requests_total_)));
+  }
+  o.emplace_back("counters", Value(std::move(counters)));
+  json::Object gauges;
+  gauges.emplace_back("jobs_queued",
+                      Value(static_cast<double>(jobs_.queued())));
+  gauges.emplace_back("jobs_running",
+                      Value(static_cast<double>(jobs_.running())));
+  gauges.emplace_back("cores_in_use", Value(jobs_.cores_in_use()));
+  gauges.emplace_back("core_budget", Value(jobs_.core_budget()));
+  o.emplace_back("gauges", Value(std::move(gauges)));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    o.emplace_back("request_latency_us", request_latency_us_.to_json());
+  }
+  HttpResponse r;
+  r.body = json::to_string(Value(std::move(o)), 1) + "\n";
+  return r;
+}
+
+HttpResponse Server::config_dump() {
+  json::Object options;
+  options.emplace_back("port", Value(http_->port()));
+  options.emplace_back("core_budget", Value(jobs_.core_budget()));
+  options.emplace_back("http_workers", Value(opts_.http_workers));
+  options.emplace_back(
+      "sinks",
+      Value(static_cast<double>(sinks_ != nullptr ? sinks_->size() : 0)));
+  json::Object o;
+  o.emplace_back("options", Value(std::move(options)));
+  json::Array jobs;
+  for (const JobInfo& info : jobs_.list()) {
+    json::Object j;
+    j.emplace_back("id", Value(static_cast<double>(info.id)));
+    j.emplace_back("kind", Value(to_string(info.kind)));
+    j.emplace_back("jobs", Value(info.jobs));
+    if (const std::optional<std::string> spec =
+            jobs_.canonical_spec(info.id)) {
+      // The canonical text is itself JSON; embed it as a structured value.
+      j.emplace_back("spec", json::parse(*spec));
+    }
+    jobs.push_back(Value(std::move(j)));
+  }
+  o.emplace_back("jobs", Value(std::move(jobs)));
+  HttpResponse r;
+  r.body = json::to_string(Value(std::move(o)), 1) + "\n";
+  return r;
+}
+
+}  // namespace htnoc::server

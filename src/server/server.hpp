@@ -1,0 +1,84 @@
+// The simulation-as-a-service daemon: HTTP transport + job queue + stat
+// sinks behind an Envoy-style admin surface (see docs/SERVER.md for the
+// full API reference):
+//
+//   GET  /healthz            liveness ("ok", or "draining")
+//   GET  /stats              counters, gauges and request-latency histogram
+//   GET  /runs               every job the daemon has accepted
+//   POST /runs               submit {"kind", "jobs"?, "spec"} -> 202 + id
+//   GET  /runs/<id>          one job: state, progress, artifact names
+//   GET  /runs/<id>/<name>   artifact bytes (byte-identical to the CLIs)
+//   GET  /config_dump        effective options + canonical spec of each job
+//   POST /quitquitquit       graceful drain-and-stop
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "server/http.hpp"
+#include "server/jobs.hpp"
+#include "server/sink.hpp"
+#include "stats/stats.hpp"
+
+namespace htnoc::server {
+
+class Server {
+ public:
+  struct Options {
+    int port = 0;         ///< 0: ephemeral (the bound port is port()).
+    int core_budget = 0;  ///< <= 0: hardware_concurrency.
+    int http_workers = 4;
+  };
+
+  /// Binds and starts serving immediately; throws on bind failure. The
+  /// sink set must outlive the server.
+  Server(const Options& opts, SinkSet* sinks);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] int port() const noexcept { return http_->port(); }
+  [[nodiscard]] JobQueue& jobs() noexcept { return jobs_; }
+
+  /// Graceful shutdown: refuse new work, finish every accepted job, stop
+  /// the listener. Safe to call from a signal-watcher thread; idempotent.
+  void shutdown();
+
+  /// Block until shutdown() has completed (the daemon main's park).
+  void wait();
+
+ private:
+  HttpResponse handle(const HttpRequest& req);
+  HttpResponse handle_get(const std::string& target);
+  HttpResponse handle_post(const HttpRequest& req);
+  HttpResponse stats_response();
+  HttpResponse config_dump();
+
+  Options opts_;
+  SinkSet* sinks_;
+  JobQueue jobs_;
+  std::unique_ptr<HttpServer> http_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> quit_requested_{false};
+  std::thread quit_thread_;  ///< Runs shutdown() for POST /quitquitquit.
+
+  std::mutex stats_mu_;
+  std::uint64_t requests_total_ = 0;
+  stats::LatencyStats request_latency_us_;
+};
+
+/// JSON error body {"error": "<msg>"} with the given status.
+[[nodiscard]] HttpResponse error_response(int status, const std::string& msg);
+
+}  // namespace htnoc::server

@@ -1,0 +1,52 @@
+#include "server/sink.hpp"
+
+#include <stdexcept>
+
+namespace htnoc::server {
+
+void StdoutSink::write(const json::Value& event) {
+  const std::string line = json::to_string(event) + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), stdout);
+}
+
+void StdoutSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fflush(stdout);
+}
+
+FileSink::FileSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open sink file: " + path);
+  }
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::write(const json::Value& event) {
+  const std::string line = json::to_string(event) + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+void FileSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fflush(file_);
+}
+
+std::unique_ptr<StatSink> make_sink(const std::string& desc) {
+  if (desc == "stdout") return std::make_unique<StdoutSink>();
+  if (desc.rfind("file:", 0) == 0) {
+    const std::string path = desc.substr(5);
+    if (path.empty()) throw std::runtime_error("file sink needs a path");
+    return std::make_unique<FileSink>(path);
+  }
+  throw std::runtime_error("unknown sink \"" + desc +
+                           "\" (expected stdout or file:<path>)");
+}
+
+}  // namespace htnoc::server

@@ -1,0 +1,77 @@
+// Pluggable streaming stat sinks: the daemon narrates its lifecycle and
+// every job's progress as one compact JSON object per line ("JSON lines"),
+// pushed through whichever sinks the operator configured. Sinks are
+// side-channel observability only — job results never flow through them,
+// so a slow or failing sink cannot perturb the byte-identical artifacts.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace htnoc::server {
+
+/// One JSON-lines consumer. write() receives a complete event object and
+/// is called from multiple threads; implementations serialize internally.
+class StatSink {
+ public:
+  virtual ~StatSink() = default;
+  virtual void write(const json::Value& event) = 0;
+  /// Push buffered lines to the underlying device (no-op by default).
+  virtual void flush() {}
+};
+
+/// JSON lines to stdout — the "pipe the daemon into jq" sink.
+class StdoutSink : public StatSink {
+ public:
+  void write(const json::Value& event) override;
+  void flush() override;
+
+ private:
+  std::mutex mu_;
+};
+
+/// JSON lines appended to a file. Opens on construction (throws on
+/// failure); every line is flushed so a crash loses at most the line being
+/// written.
+class FileSink : public StatSink {
+ public:
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+  void write(const json::Value& event) override;
+  void flush() override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Fan-out held by the server; owns its sinks. Thread-safe via the sinks'
+/// own locking. An empty set is valid (events are dropped).
+class SinkSet {
+ public:
+  void add(std::unique_ptr<StatSink> sink) {
+    sinks_.push_back(std::move(sink));
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return sinks_.size(); }
+
+  void emit(const json::Value& event) {
+    for (const auto& s : sinks_) s->write(event);
+  }
+  void flush() {
+    for (const auto& s : sinks_) s->flush();
+  }
+
+ private:
+  std::vector<std::unique_ptr<StatSink>> sinks_;
+};
+
+/// Parse a sink description from the CLI: "stdout" or "file:<path>".
+/// Throws std::runtime_error on anything else.
+[[nodiscard]] std::unique_ptr<StatSink> make_sink(const std::string& desc);
+
+}  // namespace htnoc::server

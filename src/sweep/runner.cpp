@@ -233,6 +233,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
   // Index-addressed result slots + an atomic work cursor: no ordering or
   // locking anywhere, and the output is independent of the schedule.
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> done{0};
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -247,6 +248,10 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
         out.runs[i].spec = runs[i];
         out.runs[i].ok = false;
         out.runs[i].error = "unknown exception";
+      }
+      if (opts_.progress) {
+        opts_.progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                       runs.size());
       }
     }
   };

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,13 @@ class SweepRunner {
     /// machine; see docs/SCALING.md). An explicit request is taken as-is.
     /// Always clamped to [1, number of runs].
     int num_threads = 0;
+
+    /// Invoked after each run finishes with (runs completed so far, total
+    /// runs). Called from worker threads, possibly concurrently — the
+    /// callee synchronizes. Purely observational: it must not (and cannot)
+    /// affect results, which stay byte-identical with or without it. The
+    /// server's /runs endpoint feeds per-job progress from this.
+    std::function<void(std::size_t, std::size_t)> progress = nullptr;
   };
 
   SweepRunner() = default;

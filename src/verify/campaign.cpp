@@ -381,11 +381,16 @@ CampaignResult FaultCampaign::run() const {
   out.threads_used = nthreads;
 
   std::atomic<std::uint64_t> cursor{0};
+  std::atomic<std::uint64_t> done{0};
   auto worker = [&]() {
     for (;;) {
       const std::uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= spec_.scenarios) return;
       out.scenarios[static_cast<std::size_t>(i)] = run_scenario(spec_, i);
+      if (spec_.progress) {
+        spec_.progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                       spec_.scenarios);
+      }
     }
   };
   if (nthreads == 1) {

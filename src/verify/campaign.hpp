@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +45,12 @@ struct CampaignSpec {
   /// per scenario picking a kind from this list (plus a size draw for
   /// kMesh), uniformly.
   std::vector<TopologyKind> topologies;
+  /// Invoked after each scenario finishes with (scenarios completed so far,
+  /// total scenarios). Called from worker threads, possibly concurrently —
+  /// the callee synchronizes. Observational only; results are byte-identical
+  /// with or without it. Not part of the spec document (campaign_json.cpp
+  /// never serializes it) and ignored by comparisons.
+  std::function<void(std::uint64_t, std::uint64_t)> progress = nullptr;
 };
 
 /// Everything needed to replay one failing scenario exactly.

@@ -1,0 +1,108 @@
+#include "verify/campaign_json.hpp"
+
+#include <cstdio>
+
+namespace htnoc::verify {
+
+namespace {
+
+using json::Value;
+using sweep::SpecError;
+
+[[noreturn]] void bad(const std::string& path, const std::string& msg) {
+  throw SpecError(path + ": " + msg);
+}
+
+std::uint64_t get_u64(const Value& v, const std::string& path) {
+  try {
+    return json::as_uint64(v);
+  } catch (const json::TypeError& e) {
+    bad(path, e.what());
+  }
+}
+
+std::uint64_t get_u64_range(const Value& v, const std::string& path,
+                            std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t x = get_u64(v, path);
+  if (x < lo || x > hi) {
+    bad(path, "value " + std::to_string(x) + " out of range [" +
+                  std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return x;
+}
+
+std::string hex_string(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+CampaignSpec campaign_spec_from_json(const json::Value& doc) {
+  const json::Object* root = nullptr;
+  try {
+    root = &doc.as_object();
+  } catch (const json::TypeError& e) {
+    bad("spec", e.what());
+  }
+  CampaignSpec spec;
+  for (const auto& [key, val] : *root) {
+    if (key == "seed") {
+      spec.seed = get_u64(val, "seed");
+    } else if (key == "scenarios") {
+      spec.scenarios = get_u64_range(val, "scenarios", 1, 100'000'000);
+    } else if (key == "step_threads") {
+      spec.step_threads =
+          static_cast<int>(get_u64_range(val, "step_threads", 1, 256));
+    } else if (key == "audit_period") {
+      spec.audit.period = get_u64_range(val, "audit_period", 1, 1'000'000);
+    } else if (key == "topologies") {
+      const json::Array* arr = nullptr;
+      try {
+        arr = &val.as_array();
+      } catch (const json::TypeError& e) {
+        bad("topologies", e.what());
+      }
+      spec.topologies.clear();
+      for (const Value& t : *arr) {
+        std::string name;
+        try {
+          name = t.as_string();
+        } catch (const json::TypeError& e) {
+          bad("topologies[]", e.what());
+        }
+        try {
+          spec.topologies.push_back(topology_kind_from_string(name));
+        } catch (const std::exception&) {
+          bad("topologies[]", "unknown topology \"" + name +
+                                  "\" (expected cmesh/mesh/torus)");
+        }
+      }
+    } else {
+      bad(key, "unknown key in campaign spec");
+    }
+  }
+  return spec;
+}
+
+CampaignSpec parse_campaign_spec(const std::string& text) {
+  return campaign_spec_from_json(json::parse(text));
+}
+
+json::Value campaign_spec_to_json(const CampaignSpec& spec) {
+  json::Object o;
+  o.emplace_back("seed", Value(hex_string(spec.seed)));
+  o.emplace_back("scenarios", Value(static_cast<double>(spec.scenarios)));
+  o.emplace_back("step_threads", Value(spec.step_threads));
+  o.emplace_back("audit_period",
+                 Value(static_cast<double>(spec.audit.period)));
+  json::Array topos;
+  for (const TopologyKind k : spec.topologies) {
+    topos.emplace_back(to_string(k));
+  }
+  o.emplace_back("topologies", Value(std::move(topos)));
+  return Value(std::move(o));
+}
+
+}  // namespace htnoc::verify

@@ -1,0 +1,302 @@
+// The simulation daemon end to end, over real loopback HTTP: submitted
+// jobs must produce artifacts byte-identical to the same spec run through
+// the direct engine + emitters (the exact code path sweep_cli /
+// campaign_cli use), for any queue interleaving and worker count; drain
+// must leave every accepted job whole; malformed submissions must be
+// rejected atomically; and the admin surface must answer.
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <iterator>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/emit.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec_json.hpp"
+#include "verify/campaign.hpp"
+#include "verify/campaign_json.hpp"
+
+namespace htnoc::server {
+namespace {
+
+constexpr const char* kSweepSpec = R"({
+  "modes": ["none", "lob"],
+  "attacks": ["single"],
+  "profiles": ["blackscholes"],
+  "rates": [1.0],
+  "replicates": 2,
+  "seed": "0x5eed",
+  "cycles": 250
+})";
+
+constexpr const char* kCampaignSpec = R"({
+  "seed": "0x20260807",
+  "scenarios": 6,
+  "audit_period": 64
+})";
+
+std::string envelope(const std::string& kind, int jobs,
+                     const std::string& spec) {
+  return "{\"kind\":\"" + kind + "\",\"jobs\":" + std::to_string(jobs) +
+         ",\"spec\":" + spec + "}";
+}
+
+/// Block until the run leaves queued/running (tests are quick; a stuck
+/// job fails by timeout).
+std::string wait_state(int port, std::uint64_t id) {
+  for (int i = 0; i < 2000; ++i) {
+    const HttpResponse r = http_get(port, "/runs/" + std::to_string(id));
+    if (r.status != 200) return "http_" + std::to_string(r.status);
+    const json::Value doc = json::parse(r.body);
+    const std::string& s = doc.find("state")->as_string();
+    if (s == "done" || s == "failed") return s;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return "timeout";
+}
+
+std::uint64_t submit_ok(int port, const std::string& body) {
+  const HttpResponse r = http_post(port, "/runs", body);
+  EXPECT_EQ(r.status, 202) << r.body;
+  return json::as_uint64(*json::parse(r.body).find("id"));
+}
+
+std::string fetch(int port, const std::string& target) {
+  const HttpResponse r = http_get(port, target);
+  EXPECT_EQ(r.status, 200) << target << ": " << r.body;
+  return r.body;
+}
+
+/// The reference bytes: the same spec through the engine + emitters
+/// directly (exactly what sweep_cli does with --spec).
+struct SweepReference {
+  std::string summary_csv;
+  std::string runs_csv;
+  std::string result_json;
+};
+
+SweepReference reference_sweep(const std::string& spec_text, int jobs) {
+  const sweep::SweepSpec spec = sweep::parse_sweep_spec(spec_text);
+  sweep::SweepRunner::Options opts;
+  opts.num_threads = jobs;
+  const sweep::SweepResult result = sweep::SweepRunner(opts).run(spec);
+  SweepReference ref;
+  std::ostringstream s1;
+  sweep::write_summary_csv(s1, result);
+  ref.summary_csv = s1.str();
+  std::ostringstream s2;
+  sweep::write_runs_csv(s2, result);
+  ref.runs_csv = s2.str();
+  ref.result_json = sweep::to_json(result);
+  return ref;
+}
+
+TEST(Server, SweepOverHttpMatchesDirectEmittersByteForByte) {
+  SinkSet sinks;
+  Server server(Server::Options{0, 2, 2}, &sinks);
+  const int port = server.port();
+
+  const std::uint64_t id =
+      submit_ok(port, envelope("sweep", 2, kSweepSpec));
+  ASSERT_EQ(wait_state(port, id), "done");
+
+  const SweepReference ref = reference_sweep(kSweepSpec, 1);
+  const std::string base = "/runs/" + std::to_string(id);
+  EXPECT_EQ(fetch(port, base + "/summary.csv"), ref.summary_csv);
+  EXPECT_EQ(fetch(port, base + "/runs.csv"), ref.runs_csv);
+  EXPECT_EQ(fetch(port, base + "/result.json"), ref.result_json);
+}
+
+TEST(Server, CampaignOverHttpMatchesDirectSummaries) {
+  SinkSet sinks;
+  Server server(Server::Options{0, 2, 2}, &sinks);
+  const int port = server.port();
+
+  const std::uint64_t id =
+      submit_ok(port, envelope("campaign", 2, kCampaignSpec));
+  ASSERT_EQ(wait_state(port, id), "done");
+
+  verify::CampaignSpec spec = verify::parse_campaign_spec(kCampaignSpec);
+  spec.threads = 1;
+  const verify::CampaignResult direct = verify::FaultCampaign(spec).run();
+  const std::string base = "/runs/" + std::to_string(id);
+  EXPECT_EQ(fetch(port, base + "/summary.txt"), direct.summary_text());
+  EXPECT_EQ(fetch(port, base + "/summary.md"), direct.summary_markdown());
+}
+
+TEST(Server, AnyInterleavingAndWorkerCountSameBytes) {
+  // A tight core budget forces queueing and staggered admission; distinct
+  // per-job worker counts exercise different run schedules. Every copy of
+  // the sweep must still publish identical bytes.
+  SinkSet sinks;
+  Server server(Server::Options{0, 2, 4}, &sinks);
+  const int port = server.port();
+
+  std::vector<std::uint64_t> sweep_ids;
+  for (const int jobs : {1, 2, 3}) {
+    sweep_ids.push_back(
+        submit_ok(port, envelope("sweep", jobs, kSweepSpec)));
+  }
+  const std::uint64_t campaign_id =
+      submit_ok(port, envelope("campaign", 2, kCampaignSpec));
+
+  for (const std::uint64_t id : sweep_ids) {
+    ASSERT_EQ(wait_state(port, id), "done") << "sweep " << id;
+  }
+  ASSERT_EQ(wait_state(port, campaign_id), "done");
+
+  const SweepReference ref = reference_sweep(kSweepSpec, 1);
+  for (const std::uint64_t id : sweep_ids) {
+    const std::string base = "/runs/" + std::to_string(id);
+    EXPECT_EQ(fetch(port, base + "/summary.csv"), ref.summary_csv);
+    EXPECT_EQ(fetch(port, base + "/runs.csv"), ref.runs_csv);
+    EXPECT_EQ(fetch(port, base + "/result.json"), ref.result_json);
+  }
+}
+
+TEST(Server, DrainFinishesEveryAcceptedJobWhole) {
+  SinkSet sinks;
+  auto server = std::make_unique<Server>(Server::Options{0, 1, 2}, &sinks);
+  const int port = server->port();
+
+  // Several queued jobs, then an immediate drain: all of them must still
+  // complete and publish their full artifact set.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(submit_ok(port, envelope("sweep", 1, kSweepSpec)));
+  }
+  server->shutdown();
+
+  const SweepReference ref = reference_sweep(kSweepSpec, 1);
+  for (const std::uint64_t id : ids) {
+    const std::optional<JobInfo> info = server->jobs().info(id);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->state, JobState::kDone) << "job " << id;
+    const std::optional<std::string> summary =
+        server->jobs().artifact(id, "summary.csv");
+    ASSERT_TRUE(summary.has_value());
+    EXPECT_EQ(*summary, ref.summary_csv);
+    EXPECT_EQ(server->jobs().artifact(id, "result.json"), ref.result_json);
+  }
+}
+
+TEST(Server, MalformedSubmissionsRejectedWithoutSideEffects) {
+  SinkSet sinks;
+  Server server(Server::Options{0, 1, 2}, &sinks);
+  const int port = server.port();
+
+  const char* bad_bodies[] = {
+      "",
+      "not json",
+      R"({"kind": "sweep"})",                          // missing spec
+      R"({"spec": {}})",                               // missing kind
+      R"({"kind": "bake", "spec": {}})",               // unknown kind
+      R"({"kind": "sweep", "spec": {"bogus": 1}})",    // unknown spec key
+      R"({"kind": "sweep", "spec": {"rates": [0]}})",  // out of range
+      R"({"kind": "sweep", "jobs": 0, "spec": {}})",   // jobs out of range
+      R"({"kind": "sweep", "spec": {}, "extra": 1})",  // unknown envelope key
+      R"({"kind": "campaign", "spec": {"threads": 2}})",
+  };
+  for (const char* body : bad_bodies) {
+    const HttpResponse r = http_post(port, "/runs", body);
+    EXPECT_EQ(r.status, 400) << "accepted: " << body;
+  }
+
+  // Nothing was enqueued; the rejections were counted.
+  const json::Value stats = json::parse(fetch(port, "/stats"));
+  const json::Value* counters = stats.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(json::as_uint64(*counters->find("jobs_submitted")), 0u);
+  EXPECT_EQ(json::as_uint64(*counters->find("jobs_rejected")),
+            std::size(bad_bodies));
+  EXPECT_TRUE(json::parse(fetch(port, "/runs")).find("runs")->
+              as_array().empty());
+}
+
+TEST(Server, AdminSurfaceAnswers) {
+  SinkSet sinks;
+  Server server(Server::Options{0, 2, 2}, &sinks);
+  const int port = server.port();
+
+  const json::Value health = json::parse(fetch(port, "/healthz"));
+  EXPECT_EQ(health.find("status")->as_string(), "ok");
+
+  const std::uint64_t id = submit_ok(port, envelope("sweep", 1, kSweepSpec));
+  ASSERT_EQ(wait_state(port, id), "done");
+
+  // /runs lists the job with its artifacts.
+  const json::Value runs = json::parse(fetch(port, "/runs"));
+  const json::Array& arr = runs.find("runs")->as_array();
+  ASSERT_EQ(arr.size(), 1u);
+  EXPECT_EQ(arr[0].find("kind")->as_string(), "sweep");
+  EXPECT_EQ(arr[0].find("state")->as_string(), "done");
+
+  // /config_dump embeds the canonical spec; re-parsing it reproduces the
+  // job exactly (the canonical form is a fixed point).
+  const json::Value dump = json::parse(fetch(port, "/config_dump"));
+  const json::Array& jobs = dump.find("jobs")->as_array();
+  ASSERT_EQ(jobs.size(), 1u);
+  const json::Value* spec = jobs[0].find("spec");
+  ASSERT_NE(spec, nullptr);
+  const std::string canon = json::to_string(
+      sweep::sweep_spec_to_json(sweep::sweep_spec_from_json(*spec)));
+  EXPECT_EQ(canon, json::to_string(*spec));
+
+  // /stats reports the request latency histogram via stats::LatencyStats.
+  const json::Value stats = json::parse(fetch(port, "/stats"));
+  const json::Value* lat = stats.find("request_latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GT(lat->find("count")->as_number(), 0.0);
+  EXPECT_EQ(lat->find("histogram")->as_array().size(), 10u);
+
+  // Unknown endpoints and artifacts 404 without breaking the server.
+  EXPECT_EQ(http_get(port, "/nope").status, 404);
+  EXPECT_EQ(http_get(port, "/runs/999").status, 404);
+  EXPECT_EQ(http_get(port, "/runs/" + std::to_string(id) + "/nope.csv")
+                .status,
+            404);
+  EXPECT_EQ(http_get(port, "/runs/xyz").status, 404);
+  EXPECT_EQ(http_request(port, "PUT", "/runs").status, 405);
+}
+
+TEST(Server, DrainingRefusesNewSubmissions) {
+  SinkSet sinks;
+  Server server(Server::Options{0, 1, 2}, &sinks);
+  const int port = server.port();
+  server.jobs().drain();
+  const HttpResponse r = http_post(port, "/runs",
+                                   envelope("sweep", 1, kSweepSpec));
+  EXPECT_EQ(r.status, 503);
+  const json::Value health = json::parse(fetch(port, "/healthz"));
+  EXPECT_EQ(health.find("status")->as_string(), "draining");
+}
+
+TEST(JobQueueBudget, OverBudgetJobStillRunsAlone) {
+  // cost = jobs x step_threads = 4 x 2 = 8 > budget 2: the FIFO head runs
+  // once the queue is idle instead of deadlocking.
+  SinkSet sinks;
+  Server server(Server::Options{0, 2, 2}, &sinks);
+  const int port = server.port();
+  const std::string spec =
+      R"({"modes": ["none"], "attacks": ["none"], "profiles": ["blackscholes"],
+          "rates": [1.0], "replicates": 4, "cycles": 120,
+          "noc": {"step_threads": 2, "vcs_per_port": 2}})";
+  const std::uint64_t big = submit_ok(port, envelope("sweep", 4, spec));
+  const std::uint64_t small =
+      submit_ok(port, envelope("sweep", 1, kSweepSpec));
+  EXPECT_EQ(wait_state(port, big), "done");
+  EXPECT_EQ(wait_state(port, small), "done");
+  const json::Value info =
+      json::parse(fetch(port, "/runs/" + std::to_string(big)));
+  EXPECT_EQ(info.find("cost")->as_number(), 8.0);
+}
+
+}  // namespace
+}  // namespace htnoc::server
