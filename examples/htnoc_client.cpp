@@ -4,11 +4,13 @@
 //   htnoc_client --port 8080 submit sweep examples/specs/sweep_smoke.json
 //   htnoc_client --port 8080 wait 1
 //   htnoc_client --port 8080 get /runs/1/summary.csv
+//   htnoc_client --port 8080 cancel 1
 //   htnoc_client --port 8080 quit
 //
 // `submit` prints the new run id on stdout; `wait` polls /runs/<id> until
-// the job leaves the queue/running states and exits 0 (done) or 1
-// (failed); `get` prints the raw response body.
+// the job leaves the queue/running states and exits 0 (done), 1 (failed)
+// or 3 (cancelled); `cancel` DELETEs the run; `get` prints the raw
+// response body.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +33,9 @@ void usage() {
       "                     run id (KIND: sweep or campaign)\n"
       "  submit-jobs KIND N FILE  same, with run-level workers N\n"
       "  wait ID            poll /runs/ID until done (exit 0) / failed (1)\n"
+      "                     / cancelled (3)\n"
+      "  cancel ID          DELETE /runs/ID (cancel a queued/running job);\n"
+      "                     prints the final state\n"
       "  get TARGET         GET any admin path, print the body\n"
       "  quit               POST /quitquitquit (graceful drain)\n");
 }
@@ -125,8 +130,27 @@ int main(int argc, char** argv) {
                        args[1].c_str());
           return 1;
         }
+        if (s == "cancelled") {
+          std::fprintf(stderr, "htnoc_client: run %s cancelled\n",
+                       args[1].c_str());
+          return 3;
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
       }
+    }
+    if (cmd == "cancel") {
+      if (args.size() != 2) throw std::runtime_error("cancel: bad args");
+      const HttpResponse r = http_delete(port, "/runs/" + args[1]);
+      if (r.status != 200) {
+        std::fprintf(stderr, "htnoc_client: cancel failed (%d): %s\n",
+                     r.status, r.body.c_str());
+        return 1;
+      }
+      const json::Value doc = json::parse(r.body);
+      const json::Value* state = find_field(doc, "state");
+      std::printf("%s\n",
+                  state != nullptr ? state->as_string().c_str() : "?");
+      return 0;
     }
     if (cmd == "get") {
       if (args.size() != 2) throw std::runtime_error("get: bad args");

@@ -40,6 +40,9 @@ void usage() {
       "  --sink S        add a streaming stat sink: stdout or file:<path>\n"
       "                  (repeatable; default: none)\n"
       "  --http-workers N  connection worker threads (default 4)\n"
+      "  --state-dir D   persist job specs, events and artifacts under D\n"
+      "                  and recover them on restart (default: in-memory\n"
+      "                  only; see docs/SERVER.md)\n"
       "  --help          this text\n");
 }
 
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
         sinks.add(make_sink(value()));
       } else if (arg == "--http-workers") {
         opts.http_workers = std::stoi(value());
+      } else if (arg == "--state-dir") {
+        opts.state_dir = value();
       } else {
         throw std::runtime_error("unknown option: " + arg);
       }

@@ -3,6 +3,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -90,12 +91,18 @@ bool read_request(int fd, HttpRequest& req) {
   }
 
   std::size_t content_length = 0;
+  bool have_content_length = false;
   std::size_t pos = line_end + 2;
   while (pos < header_end) {
     const std::size_t eol = buf.find("\r\n", pos);
     const std::string header = buf.substr(pos, eol - pos);
     pos = eol + 2;
     if (iprefix(header, "content-length:")) {
+      // Exactly one Content-Length is allowed: picking either copy of a
+      // duplicated header is how request-smuggling desyncs start, so the
+      // request is rejected outright.
+      if (have_content_length) return false;
+      have_content_length = true;
       const std::string v = header.substr(15);
       char* end = nullptr;
       const unsigned long long n =
@@ -137,7 +144,7 @@ const char* status_text(int status) {
 }
 
 HttpServer::HttpServer(const Options& opts, Handler handler)
-    : handler_(std::move(handler)) {
+    : handler_(std::move(handler)), recv_timeout_ms_(opts.recv_timeout_ms) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) sys_fail("socket");
   const int one = 1;
@@ -234,12 +241,22 @@ void HttpServer::worker_loop() {
 }
 
 void HttpServer::handle_connection(int fd) {
+  if (recv_timeout_ms_ > 0) {
+    // A stalled client times recv(2) out (EAGAIN) and falls into the
+    // malformed-request path below instead of blocking this worker —
+    // stop() joins the workers, so an unbounded recv would block drain.
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms_ / 1000;
+    tv.tv_usec = (recv_timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
   HttpRequest req;
   HttpResponse resp;
   if (!read_request(fd, req)) {
     resp.status = 400;
     resp.body = "{\"error\":\"malformed request\"}\n";
-  } else if (req.method != "GET" && req.method != "POST") {
+  } else if (req.method != "GET" && req.method != "POST" &&
+             req.method != "DELETE") {
     resp.status = 405;
     resp.body = "{\"error\":\"method not allowed\"}\n";
   } else {
@@ -328,6 +345,10 @@ HttpResponse http_get(int port, const std::string& target) {
 HttpResponse http_post(int port, const std::string& target,
                        const std::string& body) {
   return http_request(port, "POST", target, body);
+}
+
+HttpResponse http_delete(int port, const std::string& target) {
+  return http_request(port, "DELETE", target);
 }
 
 }  // namespace htnoc::server

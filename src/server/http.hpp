@@ -2,8 +2,9 @@
 // a loopback listener with a bounded connection-worker pool, plus the
 // blocking client helper the bundled CLI client and the tests share. Only
 // the subset the admin surface needs is implemented — one request per
-// connection (the server always answers `Connection: close`), methods GET
-// and POST, bodies framed by Content-Length.
+// connection (the server always answers `Connection: close`), methods GET,
+// POST and DELETE, bodies framed by a single Content-Length header
+// (duplicates are rejected — the classic request-smuggling vector).
 #pragma once
 
 #include <cstdint>
@@ -20,7 +21,7 @@
 namespace htnoc::server {
 
 struct HttpRequest {
-  std::string method;  ///< "GET" or "POST" (anything else is rejected).
+  std::string method;  ///< "GET", "POST" or "DELETE" (others are rejected).
   std::string target;  ///< Request path, e.g. "/runs/3" (no query support).
   std::string body;    ///< Raw body bytes (empty unless Content-Length > 0).
 };
@@ -47,6 +48,12 @@ class HttpServer {
   struct Options {
     int port = 0;         ///< 0: ephemeral.
     int num_workers = 4;  ///< Connection workers (clamped to >= 1).
+    /// SO_RCVTIMEO applied to every accepted connection. A client that
+    /// stalls mid-request (half-sent headers or a short body) times out
+    /// and is answered 400 instead of pinning a worker forever — without
+    /// this, a single slow client could wedge the graceful-drain path.
+    /// <= 0 disables the timeout (the tests use tiny values).
+    int recv_timeout_ms = 10000;
   };
 
   HttpServer(const Options& opts, Handler handler);
@@ -70,6 +77,7 @@ class HttpServer {
   Handler handler_;
   int listen_fd_ = -1;
   int port_ = 0;
+  int recv_timeout_ms_ = 0;
   std::atomic<bool> stopping_{false};
 
   std::mutex mu_;
@@ -91,5 +99,6 @@ class HttpServer {
 [[nodiscard]] HttpResponse http_get(int port, const std::string& target);
 [[nodiscard]] HttpResponse http_post(int port, const std::string& target,
                                      const std::string& body);
+[[nodiscard]] HttpResponse http_delete(int port, const std::string& target);
 
 }  // namespace htnoc::server

@@ -1,9 +1,11 @@
 #include "server/jobs.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "server/state.hpp"
 #include "sweep/emit.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/spec_json.hpp"
@@ -16,6 +18,11 @@ namespace htnoc::server {
 namespace {
 
 using json::Value;
+
+/// Per-job replay ring bound: generously above the ~25 lifecycle +
+/// progress events a job emits, small enough that a million-run daemon
+/// cannot be memory-bombed through its own observability.
+constexpr std::size_t kEventRingCap = 1024;
 
 [[noreturn]] void bad(const std::string& path, const std::string& msg) {
   throw sweep::SpecError(path + ": " + msg);
@@ -32,9 +39,25 @@ const char* to_string(JobState s) {
     case JobState::kQueued: return "queued";
     case JobState::kRunning: return "running";
     case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
     case JobState::kFailed: return "failed";
   }
   return "?";
+}
+
+std::optional<JobKind> job_kind_from_string(const std::string& s) {
+  if (s == "sweep") return JobKind::kSweep;
+  if (s == "campaign") return JobKind::kCampaign;
+  return std::nullopt;
+}
+
+std::optional<JobState> job_state_from_string(const std::string& s) {
+  if (s == "queued") return JobState::kQueued;
+  if (s == "running") return JobState::kRunning;
+  if (s == "done") return JobState::kDone;
+  if (s == "cancelled") return JobState::kCancelled;
+  if (s == "failed") return JobState::kFailed;
+  return std::nullopt;
 }
 
 JobQueue::JobQueue(const Options& opts) : sinks_(opts.sinks) {
@@ -43,10 +66,54 @@ JobQueue::JobQueue(const Options& opts) : sinks_(opts.sinks) {
     budget_ = static_cast<int>(std::thread::hardware_concurrency());
   }
   if (budget_ <= 0) budget_ = 1;
+  if (!opts.state_dir.empty()) {
+    store_ = std::make_unique<StateStore>(opts.state_dir);
+    recover_state();
+  }
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
 JobQueue::~JobQueue() { drain(); }
+
+void JobQueue::recover_state() {
+  // Runs before the scheduler thread exists, so no locking is needed; the
+  // queue is rebuilt exactly as a drain would have left it, except that
+  // jobs caught mid-flight go back to the head of the FIFO.
+  const RecoveredState recovered = store_->recover();
+  for (const std::string& w : recovered.warnings) {
+    if (sinks_ != nullptr) {
+      json::Object o;
+      o.emplace_back("event", Value("state_warning"));
+      o.emplace_back("detail", Value(w));
+      sinks_->emit(Value(std::move(o)));
+    }
+  }
+  for (const PersistedJob& pj : recovered.jobs) {
+    Job& job = jobs_[pj.info.id];
+    job.info = pj.info;
+    job.spec = pj.spec;
+    for (const std::string& line : pj.events) {
+      job.events.push_back(line);
+      if (job.events.size() > kEventRingCap) job.events.pop_front();
+    }
+    next_id_ = std::max(next_id_, pj.info.id + 1);
+    ++counters_.recovered;
+    if (job.info.state == JobState::kQueued ||
+        job.info.state == JobState::kRunning) {
+      // Accepted but never published: the terminal record never landed, so
+      // whatever the old process was doing is void — re-run from the
+      // canonical spec (deterministic: the artifacts come out byte-equal).
+      job.info.state = JobState::kQueued;
+      job.info.done = 0;
+      job.info.total = 0;
+      job.info.error.clear();
+      job.info.artifacts.clear();
+      store_->save_accepted(job.info, job.spec);
+      fifo_.push_back(pj.info.id);
+      emit_job_event("job_recovered", job);
+    }
+  }
+}
 
 std::uint64_t JobQueue::submit(const std::string& envelope_json) {
   // Parse the envelope strictly before touching any queue state, so a
@@ -69,10 +136,8 @@ std::uint64_t JobQueue::submit(const std::string& envelope_json) {
     for (const auto& [key, val] : doc.as_object()) {
       if (key == "kind") {
         const std::string& s = val.as_string();
-        if (s == "sweep") {
-          kind = JobKind::kSweep;
-        } else if (s == "campaign") {
-          kind = JobKind::kCampaign;
+        if (const std::optional<JobKind> k = job_kind_from_string(s)) {
+          kind = *k;
         } else {
           bad("kind", "unknown job kind \"" + s +
                           "\" (expected sweep/campaign)");
@@ -135,6 +200,17 @@ std::uint64_t JobQueue::submit(const std::string& envelope_json) {
     job.info.jobs = jobs;
     job.info.step_threads = step_threads;
     job.spec = std::move(canonical);
+    if (store_ != nullptr) {
+      // Persist before acknowledging: once the client holds an id, a crash
+      // must not lose the job. A disk failure rejects the submission whole.
+      try {
+        store_->save_accepted(job.info, job.spec);
+      } catch (const std::exception&) {
+        jobs_.erase(id);
+        --next_id_;
+        throw;
+      }
+    }
     fifo_.push_back(id);
     ++counters_.submitted;
     emit_job_event("job_submitted", job);
@@ -164,8 +240,16 @@ std::optional<std::string> JobQueue::artifact(std::uint64_t id,
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   const auto art = it->second.artifacts.find(name);
-  if (art == it->second.artifacts.end()) return std::nullopt;
-  return art->second;
+  if (art != it->second.artifacts.end()) return art->second;
+  // Recovered jobs keep their bytes on disk only; serve them transparently
+  // when the published name list vouches for the artifact.
+  const JobInfo& info = it->second.info;
+  if (store_ != nullptr &&
+      std::find(info.artifacts.begin(), info.artifacts.end(), name) !=
+          info.artifacts.end()) {
+    return store_->read_artifact(id, name);
+  }
+  return std::nullopt;
 }
 
 std::optional<std::string> JobQueue::canonical_spec(std::uint64_t id) const {
@@ -173,6 +257,53 @@ std::optional<std::string> JobQueue::canonical_spec(std::uint64_t id) const {
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   return it->second.spec;
+}
+
+std::optional<std::vector<std::string>> JobQueue::events(
+    std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return std::vector<std::string>(it->second.events.begin(),
+                                  it->second.events.end());
+}
+
+CancelResult JobQueue::cancel(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return {CancelResult::Status::kNotFound, JobState::kQueued};
+  }
+  Job& job = it->second;
+  switch (job.info.state) {
+    case JobState::kDone:
+    case JobState::kFailed:
+      return {CancelResult::Status::kConflict, job.info.state};
+    case JobState::kCancelled:  // idempotent
+      return {CancelResult::Status::kOk, JobState::kCancelled};
+    case JobState::kQueued: {
+      // Removed outright: it never starts, never holds budget.
+      fifo_.erase(std::remove(fifo_.begin(), fifo_.end(), id), fifo_.end());
+      job.info.state = JobState::kCancelled;
+      ++counters_.cancelled;
+      emit_job_event("job_cancelled", job);
+      if (store_ != nullptr) store_->save_terminal(job.info, {});
+      cv_.notify_all();
+      return {CancelResult::Status::kOk, JobState::kCancelled};
+    }
+    case JobState::kRunning: {
+      // Raise the engine's stop token and wait for the run/scenario
+      // boundary: run_job publishes the terminal state (normally
+      // kCancelled; kDone if the engine finished first) and releases the
+      // job's core budget before notifying.
+      job.stop->store(true, std::memory_order_relaxed);
+      cv_.wait(lock, [this, id] {
+        return jobs_.at(id).info.state != JobState::kRunning;
+      });
+      return {CancelResult::Status::kOk, jobs_.at(id).info.state};
+    }
+  }
+  return {CancelResult::Status::kNotFound, JobState::kQueued};
 }
 
 JobCounters JobQueue::counters() const {
@@ -253,27 +384,23 @@ void JobQueue::scheduler_loop() {
 }
 
 void JobQueue::run_job(std::uint64_t id) {
-  JobKind kind = JobKind::kSweep;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    kind = jobs_.at(id).info.kind;
-  }
-
   // Artifacts are built entirely off to the side; nothing below touches
   // queue state until the single publication step at the end.
   std::map<std::string, std::string> artifacts;
   std::string error;
+  bool cancelled = false;
   try {
     Job snapshot;
     {
       std::lock_guard<std::mutex> lock(mu_);
       snapshot.info = jobs_.at(id).info;
       snapshot.spec = jobs_.at(id).spec;
+      snapshot.stop = jobs_.at(id).stop;
     }
-    if (kind == JobKind::kSweep) {
-      execute_sweep(snapshot, artifacts, id);
+    if (snapshot.info.kind == JobKind::kSweep) {
+      execute_sweep(snapshot, artifacts, id, cancelled);
     } else {
-      execute_campaign(snapshot, artifacts);
+      execute_campaign(snapshot, artifacts, cancelled);
     }
   } catch (const std::exception& e) {
     error = e.what();
@@ -281,23 +408,48 @@ void JobQueue::run_job(std::uint64_t id) {
     error = "unknown exception";
   }
 
+  // Assemble the terminal record and commit it to disk BEFORE the
+  // in-memory publish: the state dir never claims more than memory serves,
+  // and no disk I/O happens under the queue lock on the hot path.
+  JobInfo final_info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    final_info = jobs_.at(id).info;
+  }
+  if (error.empty()) {
+    final_info.state = cancelled ? JobState::kCancelled : JobState::kDone;
+    for (const auto& [name, bytes] : artifacts) {
+      final_info.artifacts.push_back(name);
+    }
+  } else {
+    final_info.state = JobState::kFailed;
+    final_info.error = error;
+  }
+  if (store_ != nullptr) {
+    try {
+      store_->save_terminal(final_info, artifacts);
+    } catch (const std::exception& e) {
+      // A job whose results cannot be made durable must not report
+      // success — the restart-recovery contract would be a lie.
+      final_info.state = JobState::kFailed;
+      final_info.error = std::string("state persistence failed: ") + e.what();
+      final_info.artifacts.clear();
+      artifacts.clear();
+    }
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     Job& job = jobs_.at(id);
-    if (error.empty()) {
-      job.artifacts = std::move(artifacts);
-      job.info.artifacts.clear();
-      for (const auto& [name, bytes] : job.artifacts) {
-        job.info.artifacts.push_back(name);
-      }
-      job.info.state = JobState::kDone;
-      ++counters_.completed;
-    } else {
-      job.info.state = JobState::kFailed;
-      job.info.error = error;
-      ++counters_.failed;
+    const int cost = cost_of(job.info);
+    job.info = final_info;
+    job.artifacts = std::move(artifacts);
+    switch (job.info.state) {
+      case JobState::kDone: ++counters_.completed; break;
+      case JobState::kCancelled: ++counters_.cancelled; break;
+      default: ++counters_.failed; break;
     }
-    running_cost_ -= cost_of(job.info);
+    running_cost_ -= cost;
     --running_count_;
     finished_threads_.push_back(id);
     emit_job_event("job_finished", job);
@@ -307,15 +459,22 @@ void JobQueue::run_job(std::uint64_t id) {
 
 void JobQueue::execute_sweep(Job& job,
                              std::map<std::string, std::string>& artifacts,
-                             std::uint64_t id) {
+                             std::uint64_t id, bool& cancelled) {
   const sweep::SweepSpec spec = sweep::parse_sweep_spec(job.spec);
   sweep::SweepRunner::Options opts;
   opts.num_threads = job.info.jobs;
   opts.progress = [this, id](std::size_t done, std::size_t total) {
     report_progress(id, done, total);
   };
+  const std::shared_ptr<std::atomic<bool>> stop = job.stop;
+  opts.should_stop = [stop] {
+    return stop->load(std::memory_order_relaxed);
+  };
   const sweep::SweepResult result = sweep::SweepRunner(opts).run(spec);
+  cancelled = result.cancelled;
 
+  // A cancelled sweep publishes the artifacts of its completed prefix —
+  // the emitters run over the truncated (deterministic) result.
   std::ostringstream summary;
   sweep::write_summary_csv(summary, result);
   artifacts["summary.csv"] = summary.str();
@@ -335,14 +494,20 @@ void JobQueue::execute_sweep(Job& job,
 }
 
 void JobQueue::execute_campaign(
-    Job& job, std::map<std::string, std::string>& artifacts) {
+    Job& job, std::map<std::string, std::string>& artifacts,
+    bool& cancelled) {
   verify::CampaignSpec spec = verify::parse_campaign_spec(job.spec);
   spec.threads = job.info.jobs;
   const std::uint64_t id = job.info.id;
   spec.progress = [this, id](std::uint64_t done, std::uint64_t total) {
     report_progress(id, done, total);
   };
+  const std::shared_ptr<std::atomic<bool>> stop = job.stop;
+  spec.should_stop = [stop] {
+    return stop->load(std::memory_order_relaxed);
+  };
   const verify::CampaignResult result = verify::FaultCampaign(spec).run();
+  cancelled = result.cancelled;
   artifacts["summary.txt"] = result.summary_text();
   artifacts["summary.md"] = result.summary_markdown();
 }
@@ -350,6 +515,7 @@ void JobQueue::execute_campaign(
 void JobQueue::report_progress(std::uint64_t id, std::uint64_t done,
                                std::uint64_t total) {
   bool emit = false;
+  std::string line;
   {
     std::lock_guard<std::mutex> lock(mu_);
     Job& job = jobs_.at(id);
@@ -359,19 +525,33 @@ void JobQueue::report_progress(std::uint64_t id, std::uint64_t done,
     // always reports the exact live counters.
     const std::uint64_t stride = total >= 20 ? total / 20 : 1;
     emit = done == total || done % stride == 0;
+    if (emit) {
+      json::Object o;
+      o.emplace_back("event", Value("job_progress"));
+      o.emplace_back("job", Value(static_cast<double>(id)));
+      o.emplace_back("done", Value(static_cast<double>(done)));
+      o.emplace_back("total", Value(static_cast<double>(total)));
+      line = json::to_string(Value(std::move(o)));
+      job.events.push_back(line);
+      if (job.events.size() > kEventRingCap) job.events.pop_front();
+    }
   }
-  if (emit && sinks_ != nullptr) {
-    json::Object o;
-    o.emplace_back("event", Value("job_progress"));
-    o.emplace_back("job", Value(static_cast<double>(id)));
-    o.emplace_back("done", Value(static_cast<double>(done)));
-    o.emplace_back("total", Value(static_cast<double>(total)));
-    sinks_->emit(Value(std::move(o)));
-  }
+  if (!emit) return;
+  // Disk and sink I/O stay off the queue lock; per-job ordering holds
+  // because one job thread emits all of a job's progress.
+  if (store_ != nullptr) store_->append_event(id, line);
+  if (sinks_ != nullptr) sinks_->emit(json::parse(line));
+}
+
+void JobQueue::record_event(Job& job, const json::Value& event) {
+  const std::string line = json::to_string(event);
+  job.events.push_back(line);
+  if (job.events.size() > kEventRingCap) job.events.pop_front();
+  if (store_ != nullptr) store_->append_event(job.info.id, line);
+  if (sinks_ != nullptr) sinks_->emit(event);
 }
 
 void JobQueue::emit_job_event(const char* event, const Job& job) {
-  if (sinks_ == nullptr) return;
   json::Object o;
   o.emplace_back("event", Value(event));
   o.emplace_back("job", Value(static_cast<double>(job.info.id)));
@@ -383,11 +563,12 @@ void JobQueue::emit_job_event(const char* event, const Job& job) {
   if (!job.info.error.empty()) {
     o.emplace_back("error", Value(job.info.error));
   }
-  if (job.info.state == JobState::kDone) {
+  if (job.info.state == JobState::kDone ||
+      job.info.state == JobState::kCancelled) {
     o.emplace_back("artifacts",
                    Value(static_cast<double>(job.info.artifacts.size())));
   }
-  sinks_->emit(Value(std::move(o)));
+  record_event(const_cast<Job&>(job), Value(std::move(o)));
 }
 
 }  // namespace htnoc::server

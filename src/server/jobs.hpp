@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -30,11 +31,24 @@
 
 namespace htnoc::server {
 
+class StateStore;
+
 enum class JobKind { kSweep, kCampaign };
-enum class JobState { kQueued, kRunning, kDone, kFailed };
+
+/// The full job-state vocabulary every surface (POST /runs responses,
+/// /runs listings, sink events, persisted records) draws from. These five
+/// strings are a wire contract — clients and the on-disk state format
+/// parse them — locked by tests/test_server.cpp (StateVocabulary).
+enum class JobState { kQueued, kRunning, kDone, kCancelled, kFailed };
 
 [[nodiscard]] const char* to_string(JobKind k);
 [[nodiscard]] const char* to_string(JobState s);
+/// Inverses of to_string (nullopt for anything outside the vocabulary);
+/// the persisted-state codec round-trips through these.
+[[nodiscard]] std::optional<JobKind> job_kind_from_string(
+    const std::string& s);
+[[nodiscard]] std::optional<JobState> job_state_from_string(
+    const std::string& s);
 
 /// Immutable-once-published snapshot of one job for the admin surface.
 struct JobInfo {
@@ -46,15 +60,32 @@ struct JobInfo {
   std::uint64_t done = 0;   ///< Runs / scenarios finished so far.
   std::uint64_t total = 0;  ///< 0 until the job starts.
   std::string error;        ///< Set when state == kFailed.
-  std::vector<std::string> artifacts;  ///< Names servable once kDone.
+  /// Names servable once the job is terminal: the full set for kDone, the
+  /// completed-prefix set for kCancelled, empty for kFailed.
+  std::vector<std::string> artifacts;
 };
 
-/// Monotonically increasing totals for /stats.
+/// Monotonically increasing totals for /stats (per process; restart
+/// recovery does not replay them).
 struct JobCounters {
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;  ///< Envelope or spec failed strict parsing.
   std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;
+  std::uint64_t recovered = 0;  ///< Jobs restored from --state-dir.
+};
+
+/// Outcome of JobQueue::cancel().
+struct CancelResult {
+  enum class Status {
+    kNotFound,  ///< Unknown job id.
+    kConflict,  ///< Job already reached kDone / kFailed.
+    kOk,        ///< Job is (now) cancelled — or finished first; see state.
+  };
+  Status status = Status::kNotFound;
+  /// Final state when status != kNotFound.
+  JobState state = JobState::kQueued;
 };
 
 class JobQueue {
@@ -65,6 +96,12 @@ class JobQueue {
     int core_budget = 0;
     /// Observability fan-out; may be null. Not owned.
     SinkSet* sinks = nullptr;
+    /// When non-empty, every job's spec, state, events and artifacts are
+    /// persisted under this directory (see state.hpp for the layout) and
+    /// the constructor recovers whatever a previous process left there:
+    /// terminal jobs become servable again, accepted-but-unpublished jobs
+    /// are re-queued. Empty (the default): in-memory only, as before.
+    std::string state_dir;
   };
 
   explicit JobQueue(const Options& opts);
@@ -84,9 +121,25 @@ class JobQueue {
   [[nodiscard]] std::vector<JobInfo> list() const;
 
   /// Artifact bytes, or nullopt when the job or artifact does not exist
-  /// (artifacts appear only when the job reaches kDone).
+  /// (artifacts appear only when the job reaches a terminal state). Served
+  /// from memory, or transparently from the state dir for recovered jobs.
   [[nodiscard]] std::optional<std::string> artifact(
       std::uint64_t id, const std::string& name) const;
+
+  /// Cooperative cancellation (DELETE /runs/<id>): a queued job is removed
+  /// from the FIFO and marked cancelled immediately; a running job has its
+  /// stop token raised and this call blocks until the engine acknowledges
+  /// at the next run/scenario boundary — so it returns within one scenario
+  /// of work, with the job's core budget already released. Cancelling an
+  /// already-cancelled job is an idempotent success; a job that reached
+  /// kDone/kFailed first reports kConflict.
+  CancelResult cancel(std::uint64_t id);
+
+  /// The job's JSON-lines event history (every sink event it emitted, in
+  /// order, bounded by a per-job ring) — the replay feed behind
+  /// GET /runs/<id>/events. nullopt: unknown id.
+  [[nodiscard]] std::optional<std::vector<std::string>> events(
+      std::uint64_t id) const;
 
   /// The canonical spec JSON the job runs from (nullopt: unknown id).
   [[nodiscard]] std::optional<std::string> canonical_spec(
@@ -108,16 +161,29 @@ class JobQueue {
   struct Job {
     JobInfo info;
     std::string spec;  ///< Canonical spec JSON (the single source of truth).
+    /// In-memory artifact bytes. Empty for recovered jobs whose artifacts
+    /// live in the state dir (artifact() falls through to the store).
     std::map<std::string, std::string> artifacts;
+    /// Cooperative stop token shared with the engine's should_stop hook;
+    /// shared_ptr so the hook outlives queue-side bookkeeping races.
+    std::shared_ptr<std::atomic<bool>> stop =
+        std::make_shared<std::atomic<bool>>(false);
+    /// Replay ring for GET /runs/<id>/events (oldest first, bounded).
+    std::deque<std::string> events;
   };
 
   void scheduler_loop();
   void run_job(std::uint64_t id);
   void execute_sweep(Job& job, std::map<std::string, std::string>& artifacts,
-                     std::uint64_t id);
+                     std::uint64_t id, bool& cancelled);
   void execute_campaign(Job& job,
-                        std::map<std::string, std::string>& artifacts);
+                        std::map<std::string, std::string>& artifacts,
+                        bool& cancelled);
   void emit_job_event(const char* event, const Job& job);
+  /// Record one event line everywhere it flows: the job's replay ring, the
+  /// state dir (if any) and the sink fan-out. Caller holds mu_.
+  void record_event(Job& job, const json::Value& event);
+  void recover_state();
   [[nodiscard]] static int cost_of(const JobInfo& info) {
     return info.jobs * info.step_threads;
   }
@@ -126,6 +192,7 @@ class JobQueue {
 
   int budget_ = 1;
   SinkSet* sinks_ = nullptr;
+  std::unique_ptr<StateStore> store_;  ///< Null when persistence is off.
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

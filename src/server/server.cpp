@@ -80,10 +80,12 @@ HttpResponse error_response(int status, const std::string& msg) {
 
 Server::Server(const Options& opts, SinkSet* sinks)
     : opts_(opts), sinks_(sinks), jobs_(JobQueue::Options{
-                                      opts.core_budget, sinks}) {
+                                      opts.core_budget, sinks,
+                                      opts.state_dir}) {
   HttpServer::Options ho;
   ho.port = opts.port;
   ho.num_workers = opts.http_workers;
+  ho.recv_timeout_ms = opts.recv_timeout_ms;
   http_ = std::make_unique<HttpServer>(
       ho, [this](const HttpRequest& req) { return handle(req); });
   if (sinks_ != nullptr) {
@@ -132,6 +134,8 @@ HttpResponse Server::handle(const HttpRequest& req) {
   HttpResponse resp;
   if (req.method == "GET") {
     resp = handle_get(req.target);
+  } else if (req.method == "DELETE") {
+    resp = handle_delete(req.target);
   } else {
     resp = handle_post(req);
   }
@@ -180,6 +184,21 @@ HttpResponse Server::handle_get(const std::string& target) {
       r.body = json::to_string(job_to_json(*info), 1) + "\n";
       return r;
     }
+    if (parts.size() == 3 && parts[2] == "events") {
+      // "events" is outside the artifact-name vocabulary, so this route
+      // cannot shadow a real artifact.
+      const std::optional<std::vector<std::string>> lines = jobs_.events(id);
+      if (!lines) return error_response(404, "no such run");
+      std::string body;
+      for (const std::string& line : *lines) {
+        body += line;
+        body += '\n';
+      }
+      HttpResponse r;
+      r.content_type = "application/x-ndjson";
+      r.body = std::move(body);
+      return r;
+    }
     if (parts.size() == 3) {
       const std::optional<std::string> bytes = jobs_.artifact(id, parts[2]);
       if (!bytes) return error_response(404, "no such artifact");
@@ -190,6 +209,35 @@ HttpResponse Server::handle_get(const std::string& target) {
     }
   }
   return error_response(404, "no such endpoint");
+}
+
+HttpResponse Server::handle_delete(const std::string& target) {
+  const std::vector<std::string> parts = split_path(target);
+  if (parts.size() != 2 || parts[0] != "runs") {
+    return error_response(404, "no such endpoint");
+  }
+  std::uint64_t id = 0;
+  if (!parse_id(parts[1], id)) {
+    return error_response(404, "bad run id \"" + parts[1] + "\"");
+  }
+  const CancelResult result = jobs_.cancel(id);
+  switch (result.status) {
+    case CancelResult::Status::kNotFound:
+      return error_response(404, "no such run");
+    case CancelResult::Status::kConflict:
+      return error_response(409, std::string("run already ") +
+                                     to_string(result.state));
+    case CancelResult::Status::kOk:
+      break;
+  }
+  json::Object o;
+  o.emplace_back("id", Value(static_cast<double>(id)));
+  // Normally "cancelled"; "done" when the job beat the stop token to the
+  // finish line — the caller learns the truth either way.
+  o.emplace_back("state", Value(to_string(result.state)));
+  HttpResponse r;
+  r.body = json::to_string(Value(std::move(o))) + "\n";
+  return r;
 }
 
 HttpResponse Server::handle_post(const HttpRequest& req) {
@@ -235,7 +283,11 @@ HttpResponse Server::stats_response() {
                         Value(static_cast<double>(c.rejected)));
   counters.emplace_back("jobs_completed",
                         Value(static_cast<double>(c.completed)));
+  counters.emplace_back("jobs_cancelled",
+                        Value(static_cast<double>(c.cancelled)));
   counters.emplace_back("jobs_failed", Value(static_cast<double>(c.failed)));
+  counters.emplace_back("jobs_recovered",
+                        Value(static_cast<double>(c.recovered)));
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     counters.emplace_back("http_requests",
@@ -264,6 +316,8 @@ HttpResponse Server::config_dump() {
   options.emplace_back("port", Value(http_->port()));
   options.emplace_back("core_budget", Value(jobs_.core_budget()));
   options.emplace_back("http_workers", Value(opts_.http_workers));
+  options.emplace_back("state_dir", Value(opts_.state_dir));
+  options.emplace_back("recv_timeout_ms", Value(opts_.recv_timeout_ms));
   options.emplace_back(
       "sinks",
       Value(static_cast<double>(sinks_ != nullptr ? sinks_->size() : 0)));

@@ -8,6 +8,9 @@
 //   POST /runs               submit {"kind", "jobs"?, "spec"} -> 202 + id
 //   GET  /runs/<id>          one job: state, progress, artifact names
 //   GET  /runs/<id>/<name>   artifact bytes (byte-identical to the CLIs)
+//   GET  /runs/<id>/events   the job's JSON-lines event history (replay)
+//   DELETE /runs/<id>        cancel: queued jobs vanish, running jobs stop
+//                            at the next run/scenario boundary
 //   GET  /config_dump        effective options + canonical spec of each job
 //   POST /quitquitquit       graceful drain-and-stop
 #pragma once
@@ -34,6 +37,12 @@ class Server {
     int port = 0;         ///< 0: ephemeral (the bound port is port()).
     int core_budget = 0;  ///< <= 0: hardware_concurrency.
     int http_workers = 4;
+    /// Passed through to JobQueue::Options::state_dir: when non-empty,
+    /// jobs persist there and the constructor recovers a previous
+    /// process's state. Empty: in-memory only.
+    std::string state_dir;
+    /// Per-connection receive timeout (HttpServer::Options); <= 0 off.
+    int recv_timeout_ms = 10000;
   };
 
   /// Binds and starts serving immediately; throws on bind failure. The
@@ -58,6 +67,7 @@ class Server {
   HttpResponse handle(const HttpRequest& req);
   HttpResponse handle_get(const std::string& target);
   HttpResponse handle_post(const HttpRequest& req);
+  HttpResponse handle_delete(const std::string& target);
   HttpResponse stats_response();
   HttpResponse config_dump();
 

@@ -1,0 +1,253 @@
+#include "server/state.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace htnoc::server {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using json::Value;
+
+/// Write bytes to `<path>.tmp`, fsync, then rename over `path` — the
+/// standard atomic-replace idiom, so a reader (or a post-crash recovery
+/// scan) sees either the old file or the new one, never a torn write.
+void write_file_atomic(const fs::path& path, const std::string& bytes) {
+  const fs::path tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("state: cannot open " + tmp.string() + ": " +
+                             std::strerror(errno));
+  }
+  const char* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int e = errno;
+      ::close(fd);
+      throw std::runtime_error("state: write failed for " + tmp.string() +
+                               ": " + std::strerror(e));
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must not become durable ahead of the
+  // data it commits.
+  if (::fsync(fd) < 0) {
+    const int e = errno;
+    ::close(fd);
+    throw std::runtime_error("state: fsync failed for " + tmp.string() +
+                             ": " + std::strerror(e));
+  }
+  ::close(fd);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("state: rename " + tmp.string() + " -> " +
+                             path.string() + ": " + ec.message());
+  }
+}
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+Value record_json(const JobInfo& info) {
+  json::Object o;
+  o.emplace_back("id", Value(static_cast<double>(info.id)));
+  o.emplace_back("kind", Value(to_string(info.kind)));
+  o.emplace_back("state", Value(to_string(info.state)));
+  o.emplace_back("jobs", Value(info.jobs));
+  o.emplace_back("step_threads", Value(info.step_threads));
+  o.emplace_back("done", Value(static_cast<double>(info.done)));
+  o.emplace_back("total", Value(static_cast<double>(info.total)));
+  o.emplace_back("error", Value(info.error));
+  json::Array arts;
+  for (const std::string& a : info.artifacts) arts.emplace_back(a);
+  o.emplace_back("artifacts", Value(std::move(arts)));
+  return Value(std::move(o));
+}
+
+const Value& req(const Value& doc, const char* key) {
+  const Value* v = doc.find(key);
+  if (v == nullptr) {
+    throw std::runtime_error(std::string("missing field \"") + key + "\"");
+  }
+  return *v;
+}
+
+JobInfo record_from_json(const std::string& text) {
+  const Value doc = json::parse(text);
+  JobInfo info;
+  info.id = json::as_uint64(req(doc, "id"));
+  const std::optional<JobKind> kind =
+      job_kind_from_string(req(doc, "kind").as_string());
+  if (!kind) throw std::runtime_error("unknown job kind in record");
+  info.kind = *kind;
+  const std::optional<JobState> state =
+      job_state_from_string(req(doc, "state").as_string());
+  if (!state) throw std::runtime_error("unknown job state in record");
+  info.state = *state;
+  info.jobs = static_cast<int>(json::as_uint64(req(doc, "jobs")));
+  info.step_threads =
+      static_cast<int>(json::as_uint64(req(doc, "step_threads")));
+  info.done = json::as_uint64(req(doc, "done"));
+  info.total = json::as_uint64(req(doc, "total"));
+  info.error = req(doc, "error").as_string();
+  for (const Value& a : req(doc, "artifacts").as_array()) {
+    info.artifacts.push_back(a.as_string());
+  }
+  return info;
+}
+
+/// Artifact names come from the fixed emitter vocabulary, but the store
+/// still refuses anything that could leave its directory.
+bool safe_artifact_name(const std::string& name) {
+  return !name.empty() && name != "." && name != ".." &&
+         name.find('/') == std::string::npos &&
+         name.find('\\') == std::string::npos;
+}
+
+void discard_tmp_files(const fs::path& dir) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".tmp") fs::remove(entry.path(), ec);
+  }
+}
+
+}  // namespace
+
+StateStore::StateStore(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(fs::path(root_) / "jobs", ec);
+  if (ec) {
+    throw std::runtime_error("state: cannot create " + root_ + "/jobs: " +
+                             ec.message());
+  }
+  // Probe writability now so a misconfigured --state-dir fails at startup,
+  // not on the first submission.
+  write_file_atomic(fs::path(root_) / ".writable", "");
+}
+
+void StateStore::save_accepted(const JobInfo& info, const std::string& spec) {
+  const fs::path dir = fs::path(root_) / "jobs" / std::to_string(info.id);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("state: cannot create " + dir.string() + ": " +
+                             ec.message());
+  }
+  write_file_atomic(dir / "spec.json", spec);
+  write_file_atomic(dir / "job.json",
+                    json::to_string(record_json(info)) + "\n");
+}
+
+void StateStore::save_terminal(
+    const JobInfo& info,
+    const std::map<std::string, std::string>& artifacts) {
+  const fs::path dir = fs::path(root_) / "jobs" / std::to_string(info.id);
+  const fs::path art_dir = dir / "artifacts";
+  std::error_code ec;
+  fs::create_directories(art_dir, ec);
+  if (ec) {
+    throw std::runtime_error("state: cannot create " + art_dir.string() +
+                             ": " + ec.message());
+  }
+  for (const auto& [name, bytes] : artifacts) {
+    if (!safe_artifact_name(name)) {
+      throw std::runtime_error("state: unsafe artifact name \"" + name +
+                               "\"");
+    }
+    write_file_atomic(art_dir / name, bytes);
+  }
+  // The record goes last: naming the artifacts only after they all exist
+  // makes it the commit point a recovery scan can trust.
+  write_file_atomic(dir / "job.json",
+                    json::to_string(record_json(info)) + "\n");
+}
+
+void StateStore::append_event(std::uint64_t id, const std::string& line) {
+  const fs::path path =
+      fs::path(root_) / "jobs" / std::to_string(id) / "events.jsonl";
+  std::lock_guard<std::mutex> lock(events_mu_);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return;  // observability only; never fail the job
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+std::optional<std::string> StateStore::read_artifact(
+    std::uint64_t id, const std::string& name) const {
+  if (!safe_artifact_name(name)) return std::nullopt;
+  return read_file(fs::path(root_) / "jobs" / std::to_string(id) /
+                   "artifacts" / name);
+}
+
+RecoveredState StateStore::recover() const {
+  RecoveredState out;
+  const fs::path jobs_dir = fs::path(root_) / "jobs";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(jobs_dir, ec)) {
+    if (!entry.is_directory()) continue;
+    const fs::path dir = entry.path();
+    discard_tmp_files(dir);
+    discard_tmp_files(dir / "artifacts");
+    const std::optional<std::string> record = read_file(dir / "job.json");
+    if (!record) {
+      // A crash between mkdir and the first record leaves an empty dir;
+      // nothing was acknowledged to any client, so nothing to recover.
+      out.warnings.push_back(dir.string() + ": no job record, skipped");
+      continue;
+    }
+    PersistedJob job;
+    try {
+      job.info = record_from_json(*record);
+    } catch (const std::exception& e) {
+      out.warnings.push_back(dir.string() + ": unreadable record (" +
+                             e.what() + "), skipped");
+      continue;
+    }
+    const std::optional<std::string> spec = read_file(dir / "spec.json");
+    if (!spec) {
+      out.warnings.push_back(dir.string() + ": missing spec.json, skipped");
+      continue;
+    }
+    job.spec = *spec;
+    if (const std::optional<std::string> events =
+            read_file(dir / "events.jsonl")) {
+      std::istringstream lines(*events);
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (!line.empty()) job.events.push_back(line);
+      }
+    }
+    out.jobs.push_back(std::move(job));
+  }
+  std::sort(out.jobs.begin(), out.jobs.end(),
+            [](const PersistedJob& a, const PersistedJob& b) {
+              return a.info.id < b.info.id;
+            });
+  return out;
+}
+
+}  // namespace htnoc::server

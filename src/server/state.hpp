@@ -1,0 +1,87 @@
+// On-disk job state for the daemon's opt-in `--state-dir` persistence:
+// each accepted job owns one directory holding its canonical spec, a
+// small state record, its streamed event history and (once terminal) its
+// artifacts. Every file is written tmp-file + rename so a crash — up to
+// and including SIGKILL mid-publish — leaves either the old record or the
+// new one, never a torn file; the job record is always written last, so
+// it is the commit point for the artifacts it names.
+//
+//   <root>/jobs/<id>/job.json        id, kind, state, error, artifact names
+//   <root>/jobs/<id>/spec.json       canonical spec text (byte-exact)
+//   <root>/jobs/<id>/events.jsonl    the job's JSON-lines sink history
+//   <root>/jobs/<id>/artifacts/<name>
+//
+// Recovery (JobQueue's constructor) replays this layout: terminal jobs
+// come back servable (artifacts are read from disk on demand), and jobs
+// that were accepted but never reached a terminal record are re-queued to
+// run again from their canonical spec — which, by the determinism
+// contract, reproduces byte-identical artifacts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/jobs.hpp"
+
+namespace htnoc::server {
+
+/// One job directory as found on disk during recovery.
+struct PersistedJob {
+  JobInfo info;
+  std::string spec;                 ///< Canonical spec JSON text.
+  std::vector<std::string> events;  ///< events.jsonl lines, oldest first.
+};
+
+/// Everything a recovery scan found. `warnings` names job directories that
+/// were skipped as unreadable (a corrupt record must not take the daemon
+/// down with it).
+struct RecoveredState {
+  std::vector<PersistedJob> jobs;  ///< Sorted by id.
+  std::vector<std::string> warnings;
+};
+
+class StateStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `root`; throws
+  /// std::runtime_error when the directory cannot be created or written.
+  explicit StateStore(std::string root);
+
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+  /// Persist a freshly accepted (or recovery-re-queued) job: spec.json
+  /// first, then the queued-state record.
+  void save_accepted(const JobInfo& info, const std::string& spec);
+
+  /// Persist a terminal job: every artifact tmp+rename'd into artifacts/,
+  /// then the record naming them (the commit point). An interrupted call
+  /// leaves the previous record, so recovery re-runs the job.
+  void save_terminal(const JobInfo& info,
+                     const std::map<std::string, std::string>& artifacts);
+
+  /// Append one JSON line to the job's events.jsonl (best effort: event
+  /// history is observability, so failures are swallowed rather than
+  /// failing the job).
+  void append_event(std::uint64_t id, const std::string& line);
+
+  /// Artifact bytes of a terminal job, or nullopt when absent. Rejects
+  /// names that could escape the artifacts directory.
+  [[nodiscard]] std::optional<std::string> read_artifact(
+      std::uint64_t id, const std::string& name) const;
+
+  /// Scan the store, discarding stale *.tmp leftovers. Never throws for a
+  /// malformed job directory — it is reported in `warnings` and skipped.
+  [[nodiscard]] RecoveredState recover() const;
+
+ private:
+  std::string root_;
+  std::mutex events_mu_;  ///< Serializes events.jsonl appends.
+};
+
+}  // namespace htnoc::server

@@ -37,7 +37,9 @@ class SpecError : public std::runtime_error {
 [[nodiscard]] SweepSpec parse_sweep_spec(const std::string& text);
 
 /// Canonical serialization: every supported field, fixed order. The
-/// `transform_factory` hook is not representable in JSON and is omitted.
+/// `transform_factory` hook is not representable in JSON and is omitted
+/// (as are SweepRunner::Options' `progress` / `should_stop` runtime
+/// hooks, which live on the runner, not the spec).
 [[nodiscard]] json::Value sweep_spec_to_json(const SweepSpec& spec);
 
 /// The named attack-scenario presets the CLI has always offered ("none",

@@ -382,8 +382,15 @@ CampaignResult FaultCampaign::run() const {
 
   std::atomic<std::uint64_t> cursor{0};
   std::atomic<std::uint64_t> done{0};
+  std::atomic<bool> stopped{false};
   auto worker = [&]() {
     for (;;) {
+      // Stop token polled only between scenarios: a claimed scenario always
+      // finishes whole, and the claimed set stays the prefix [0, cursor).
+      if (spec_.should_stop && spec_.should_stop()) {
+        stopped.store(true, std::memory_order_relaxed);
+        return;
+      }
       const std::uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= spec_.scenarios) return;
       out.scenarios[static_cast<std::size_t>(i)] = run_scenario(spec_, i);
@@ -400,6 +407,16 @@ CampaignResult FaultCampaign::run() const {
     pool.reserve(static_cast<std::size_t>(nthreads));
     for (int t = 0; t < nthreads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
+  }
+  if (stopped.load(std::memory_order_relaxed)) {
+    // Truncating to the claimed prefix makes a cancelled campaign's summary
+    // a pure function of the stop point: scenario draws depend only on
+    // (seed, index), so the summary equals that of a `cursor`-scenario
+    // campaign with the same seed (locked by tests/test_server_recovery).
+    out.cancelled = true;
+    out.scenarios.resize(static_cast<std::size_t>(
+        std::min<std::uint64_t>(cursor.load(std::memory_order_relaxed),
+                                spec_.scenarios)));
   }
   return out;
 }

@@ -51,6 +51,17 @@ struct CampaignSpec {
   /// with or without it. Not part of the spec document (campaign_json.cpp
   /// never serializes it) and ignored by comparisons.
   std::function<void(std::uint64_t, std::uint64_t)> progress = nullptr;
+  /// Cooperative stop token, polled before each scenario is claimed
+  /// (scenario granularity: a scenario in flight always finishes whole).
+  /// When it returns true the campaign ends early: the claimed prefix of
+  /// scenario indices completes and the result carries `cancelled == true`
+  /// with `scenarios` truncated to that prefix. Must be thread-safe
+  /// (typically an std::atomic<bool> load). Like `progress`, an execution
+  /// hook, not a scenario parameter: never serialized by campaign_json.cpp
+  /// and it cannot perturb the draw sequence — a campaign cancelled after
+  /// k scenarios summarizes byte-identically to a k-scenario campaign of
+  /// the same seed (the server's DELETE /runs/<id> relies on this).
+  std::function<bool()> should_stop = nullptr;
 };
 
 /// Everything needed to replay one failing scenario exactly.
@@ -83,6 +94,9 @@ struct CampaignResult {
   CampaignSpec spec;
   std::vector<ScenarioResult> scenarios;  ///< Indexed by scenario index.
   int threads_used = 1;  ///< Informational; never serialized.
+  /// True when CampaignSpec::should_stop ended the campaign early;
+  /// `scenarios` then holds exactly the claimed prefix of indices.
+  bool cancelled = false;
 
   [[nodiscard]] std::size_t failures() const {
     std::size_t n = 0;

@@ -8,9 +8,10 @@
 // to_json(from_json(doc)) is a fixed point.
 //
 // Execution knobs that do not change the drawn scenarios — the worker
-// thread count — are deliberately NOT part of the spec document; they
-// belong to the submitting CLI/server request (`--jobs`, the job
-// envelope's "jobs" field).
+// thread count and the `progress` / `should_stop` runtime hooks — are
+// deliberately NOT part of the spec document; they belong to the
+// submitting CLI/server request (`--jobs`, the job envelope's "jobs"
+// field, the server's DELETE /runs/<id> cancellation token).
 #pragma once
 
 #include <string>

@@ -7,8 +7,12 @@
 #include "server/server.hpp"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <cstring>
 #include <iterator>
 #include <memory>
 #include <optional>
@@ -56,10 +60,42 @@ std::string wait_state(int port, std::uint64_t id) {
     if (r.status != 200) return "http_" + std::to_string(r.status);
     const json::Value doc = json::parse(r.body);
     const std::string& s = doc.find("state")->as_string();
-    if (s == "done" || s == "failed") return s;
+    if (s == "done" || s == "failed" || s == "cancelled") return s;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   return "timeout";
+}
+
+/// Connect to the loopback server and return the raw fd (-1 on failure).
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Send raw bytes (not necessarily a well-formed request) and read the
+/// response to EOF — for exercising the transport below http_request().
+std::string raw_roundtrip(int port, const std::string& bytes) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return "";
+  ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  std::string out;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
 }
 
 std::uint64_t submit_ok(int port, const std::string& body) {
@@ -276,6 +312,216 @@ TEST(Server, DrainingRefusesNewSubmissions) {
   EXPECT_EQ(r.status, 503);
   const json::Value health = json::parse(fetch(port, "/healthz"));
   EXPECT_EQ(health.find("status")->as_string(), "draining");
+}
+
+TEST(Server, DuplicateContentLengthRejected) {
+  // Two Content-Length headers — even agreeing ones — are the classic
+  // request-smuggling desync vector; the transport must 400 them before
+  // the handler ever sees a body.
+  SinkSet sinks;
+  Server server(Server::Options{0, 1, 2}, &sinks);
+  const int port = server.port();
+
+  const std::string smuggled[] = {
+      "POST /runs HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 3\r\n"
+      "\r\nhello",
+      "POST /runs HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n"
+      "\r\nhello",
+      "GET /healthz HTTP/1.1\r\ncontent-length: 0\r\nContent-Length: 0\r\n"
+      "\r\n",
+  };
+  for (const std::string& req : smuggled) {
+    const std::string resp = raw_roundtrip(port, req);
+    EXPECT_EQ(resp.rfind("HTTP/1.1 400", 0), 0u) << "accepted: " << req;
+  }
+  // A single Content-Length still works, whatever its case.
+  const std::string ok = raw_roundtrip(
+      port, "GET /healthz HTTP/1.1\r\ncOnTeNt-LeNgTh: 0\r\n\r\n");
+  EXPECT_EQ(ok.rfind("HTTP/1.1 200", 0), 0u);
+  // Nothing reached the job queue.
+  EXPECT_TRUE(json::parse(fetch(port, "/runs")).find("runs")->
+              as_array().empty());
+}
+
+TEST(Server, SlowClientDoesNotBlockGracefulDrain) {
+  // A client that sends half a request and stalls used to pin a connection
+  // worker in recv() forever, wedging stop()'s join. With the receive
+  // timeout, drain completes promptly.
+  SinkSet sinks;
+  auto server = std::make_unique<Server>(
+      Server::Options{0, 1, 2, "", /*recv_timeout_ms=*/100}, &sinks);
+  const int port = server->port();
+
+  const int stalled = connect_loopback(port);
+  ASSERT_GE(stalled, 0);
+  const char half[] = "POST /runs HTTP/1.1\r\nContent-Le";  // then: silence
+  ASSERT_GT(::send(stalled, half, sizeof half - 1, MSG_NOSIGNAL), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const auto start = std::chrono::steady_clock::now();
+  const HttpResponse quit = http_post(port, "/quitquitquit", "");
+  EXPECT_EQ(quit.status, 200);
+  server->wait();
+  server.reset();  // joins everything, including the stalled worker
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
+
+  // The stalled connection was answered 400, not abandoned silently.
+  std::string resp;
+  char chunk[256];
+  for (;;) {
+    const ssize_t n = ::recv(stalled, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    resp.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(stalled);
+  EXPECT_EQ(resp.rfind("HTTP/1.1 400", 0), 0u) << resp;
+}
+
+TEST(Server, StateVocabularyIsStableAcrossSurfaces) {
+  // The five job states are a wire contract; every surface spells them the
+  // same way and the from_string inverses round-trip exactly.
+  const std::pair<JobState, const char*> vocab[] = {
+      {JobState::kQueued, "queued"},       {JobState::kRunning, "running"},
+      {JobState::kDone, "done"},           {JobState::kCancelled, "cancelled"},
+      {JobState::kFailed, "failed"},
+  };
+  for (const auto& [state, text] : vocab) {
+    EXPECT_STREQ(to_string(state), text);
+    const std::optional<JobState> parsed = job_state_from_string(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, state);
+  }
+  EXPECT_FALSE(job_state_from_string("canceled").has_value());  // one l: no
+  EXPECT_FALSE(job_state_from_string("DONE").has_value());
+  EXPECT_FALSE(job_state_from_string("").has_value());
+  EXPECT_TRUE(job_kind_from_string("sweep").has_value());
+  EXPECT_TRUE(job_kind_from_string("campaign").has_value());
+  EXPECT_FALSE(job_kind_from_string("bake").has_value());
+
+  // POST /runs acknowledges with the same vocabulary ("queued").
+  SinkSet sinks;
+  Server server(Server::Options{0, 2, 2}, &sinks);
+  const HttpResponse r = http_post(server.port(), "/runs",
+                                   envelope("sweep", 1, kSweepSpec));
+  ASSERT_EQ(r.status, 202);
+  EXPECT_EQ(json::parse(r.body).find("state")->as_string(), "queued");
+  const std::uint64_t id = json::as_uint64(*json::parse(r.body).find("id"));
+  // And /runs/<id> only ever reports vocabulary states until terminal.
+  const std::string final_state = wait_state(server.port(), id);
+  EXPECT_TRUE(job_state_from_string(final_state).has_value()) << final_state;
+}
+
+TEST(Server, CancelQueuedJobRemovedOutright) {
+  // Budget 1: the first campaign occupies the whole budget, so the second
+  // submission sits queued — DELETE removes it without it ever running.
+  SinkSet sinks;
+  Server server(Server::Options{0, 1, 2}, &sinks);
+  const int port = server.port();
+
+  const std::uint64_t running_id =
+      submit_ok(port, envelope("campaign", 1, R"({"seed": "0x20260807",
+        "scenarios": 12, "audit_period": 64})"));
+  const std::uint64_t queued_id =
+      submit_ok(port, envelope("sweep", 1, kSweepSpec));
+
+  const HttpResponse del =
+      http_delete(port, "/runs/" + std::to_string(queued_id));
+  ASSERT_EQ(del.status, 200) << del.body;
+  EXPECT_EQ(json::parse(del.body).find("state")->as_string(), "cancelled");
+
+  // Idempotent: cancelling again is still a 200.
+  EXPECT_EQ(http_delete(port, "/runs/" + std::to_string(queued_id)).status,
+            200);
+  // The listing agrees, and the job never produced artifacts.
+  const json::Value info =
+      json::parse(fetch(port, "/runs/" + std::to_string(queued_id)));
+  EXPECT_EQ(info.find("state")->as_string(), "cancelled");
+  EXPECT_TRUE(info.find("artifacts")->as_array().empty());
+
+  // The survivor still completes; a finished run refuses cancellation.
+  ASSERT_EQ(wait_state(port, running_id), "done");
+  EXPECT_EQ(http_delete(port, "/runs/" + std::to_string(running_id)).status,
+            409);
+  // Unknown ids 404.
+  EXPECT_EQ(http_delete(port, "/runs/999").status, 404);
+  EXPECT_EQ(http_delete(port, "/nope").status, 404);
+}
+
+TEST(Server, CancelRunningCampaignFreesBudgetForNextJob) {
+  // A long campaign is cancelled mid-flight: DELETE returns once the
+  // engine acknowledges at a scenario boundary, the state is cancelled,
+  // and the freed budget admits the next FIFO job.
+  SinkSet sinks;
+  Server server(Server::Options{0, 1, 2}, &sinks);
+  const int port = server.port();
+
+  const std::uint64_t big =
+      submit_ok(port, envelope("campaign", 1, R"({"seed": "0xdead",
+        "scenarios": 100000, "audit_period": 64})"));
+  // Wait until it is demonstrably running (progress visible).
+  for (int i = 0; i < 2000; ++i) {
+    const json::Value info =
+        json::parse(fetch(port, "/runs/" + std::to_string(big)));
+    if (info.find("state")->as_string() == "running" &&
+        json::as_uint64(*info.find("done")) > 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const HttpResponse del = http_delete(port, "/runs/" + std::to_string(big));
+  ASSERT_EQ(del.status, 200) << del.body;
+  EXPECT_EQ(json::parse(del.body).find("state")->as_string(), "cancelled");
+
+  // Budget is free again: a small job admitted behind it completes.
+  const std::uint64_t next = submit_ok(port, envelope("sweep", 1, kSweepSpec));
+  EXPECT_EQ(wait_state(port, next), "done");
+
+  // The cancelled campaign kept its completed-prefix artifacts.
+  const json::Value info =
+      json::parse(fetch(port, "/runs/" + std::to_string(big)));
+  EXPECT_EQ(info.find("state")->as_string(), "cancelled");
+  EXPECT_FALSE(info.find("artifacts")->as_array().empty());
+  const std::uint64_t done = json::as_uint64(*info.find("done"));
+  EXPECT_LT(done, 100000u);
+
+  // /stats counts the cancellation.
+  const json::Value stats = json::parse(fetch(port, "/stats"));
+  EXPECT_EQ(json::as_uint64(*stats.find("counters")->find("jobs_cancelled")),
+            1u);
+}
+
+TEST(Server, EventsEndpointReplaysJobHistory) {
+  SinkSet sinks;
+  Server server(Server::Options{0, 2, 2}, &sinks);
+  const int port = server.port();
+
+  const std::uint64_t id = submit_ok(port, envelope("sweep", 1, kSweepSpec));
+  ASSERT_EQ(wait_state(port, id), "done");
+
+  const HttpResponse r =
+      http_get(port, "/runs/" + std::to_string(id) + "/events");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "application/x-ndjson");
+
+  std::vector<std::string> events;
+  std::istringstream lines(r.body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const json::Value doc = json::parse(line);  // every line is valid JSON
+    events.push_back(doc.find("event")->as_string());
+    EXPECT_EQ(json::as_uint64(*doc.find("job")), id);
+  }
+  // Full lifecycle, in order: submitted, started, ... finished.
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_EQ(events.front(), "job_submitted");
+  EXPECT_EQ(events[1], "job_started");
+  EXPECT_EQ(events.back(), "job_finished");
+
+  EXPECT_EQ(http_get(port, "/runs/999/events").status, 404);
 }
 
 TEST(JobQueueBudget, OverBudgetJobStillRunsAlone) {

@@ -1,0 +1,336 @@
+// Restart recovery and cancellation determinism: a daemon pointed at a
+// --state-dir must come back from an abrupt death serving the same bytes
+// it served before (terminal jobs) and re-running what it had accepted but
+// never published (byte-identical again, by the determinism contract); and
+// a cancelled campaign must summarize exactly like a shorter campaign that
+// was never cancelled at all.
+#include "server/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "server/server.hpp"
+#include "sweep/emit.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec_json.hpp"
+#include "verify/campaign.hpp"
+#include "verify/campaign_json.hpp"
+
+namespace htnoc::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kSweepSpec = R"({
+  "modes": ["none", "lob"],
+  "attacks": ["single"],
+  "profiles": ["blackscholes"],
+  "rates": [1.0],
+  "replicates": 2,
+  "seed": "0x5eed",
+  "cycles": 250
+})";
+
+constexpr const char* kCampaignSpec = R"({
+  "seed": "0x20260807",
+  "scenarios": 6,
+  "audit_period": 64
+})";
+
+std::string envelope(const std::string& kind, int jobs,
+                     const std::string& spec) {
+  return "{\"kind\":\"" + kind + "\",\"jobs\":" + std::to_string(jobs) +
+         ",\"spec\":" + spec + "}";
+}
+
+/// A fresh per-test state directory under gtest's temp root.
+fs::path fresh_state_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("htnoc_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string wait_state(int port, std::uint64_t id) {
+  for (int i = 0; i < 2000; ++i) {
+    const HttpResponse r = http_get(port, "/runs/" + std::to_string(id));
+    if (r.status != 200) return "http_" + std::to_string(r.status);
+    const std::string& s =
+        json::parse(r.body).find("state")->as_string();
+    if (s == "done" || s == "failed" || s == "cancelled") return s;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return "timeout";
+}
+
+std::uint64_t submit_ok(int port, const std::string& body) {
+  const HttpResponse r = http_post(port, "/runs", body);
+  EXPECT_EQ(r.status, 202) << r.body;
+  return json::as_uint64(*json::parse(r.body).find("id"));
+}
+
+std::string fetch(int port, const std::string& target) {
+  const HttpResponse r = http_get(port, target);
+  EXPECT_EQ(r.status, 200) << target << ": " << r.body;
+  return r.body;
+}
+
+/// Reference bytes: the spec through the engine + emitters directly.
+struct SweepReference {
+  std::string summary_csv;
+  std::string runs_csv;
+  std::string result_json;
+};
+
+SweepReference reference_sweep(const std::string& spec_text) {
+  const sweep::SweepSpec spec = sweep::parse_sweep_spec(spec_text);
+  const sweep::SweepResult result =
+      sweep::SweepRunner(sweep::SweepRunner::Options{}).run(spec);
+  SweepReference ref;
+  std::ostringstream s1;
+  sweep::write_summary_csv(s1, result);
+  ref.summary_csv = s1.str();
+  std::ostringstream s2;
+  sweep::write_runs_csv(s2, result);
+  ref.runs_csv = s2.str();
+  ref.result_json = sweep::to_json(result);
+  return ref;
+}
+
+TEST(StateStore, RoundTripsRecordsEventsAndArtifacts) {
+  const fs::path dir = fresh_state_dir("store_roundtrip");
+  StateStore store(dir.string());
+
+  JobInfo accepted;
+  accepted.id = 3;
+  accepted.kind = JobKind::kCampaign;
+  accepted.state = JobState::kQueued;
+  accepted.jobs = 2;
+  accepted.step_threads = 4;
+  store.save_accepted(accepted, "{\"spec\":true}");
+  store.append_event(3, "{\"event\":\"job_submitted\"}");
+  store.append_event(3, "{\"event\":\"job_started\"}");
+
+  JobInfo terminal = accepted;
+  terminal.id = 4;
+  terminal.state = JobState::kDone;
+  terminal.done = 6;
+  terminal.total = 6;
+  terminal.artifacts = {"summary.txt"};
+  store.save_accepted(terminal, "{\"spec\":false}");
+  store.save_terminal(terminal, {{"summary.txt", "all good\n"}});
+
+  const RecoveredState rec = store.recover();
+  EXPECT_TRUE(rec.warnings.empty());
+  ASSERT_EQ(rec.jobs.size(), 2u);
+  EXPECT_EQ(rec.jobs[0].info.id, 3u);
+  EXPECT_EQ(rec.jobs[0].info.state, JobState::kQueued);
+  EXPECT_EQ(rec.jobs[0].info.kind, JobKind::kCampaign);
+  EXPECT_EQ(rec.jobs[0].info.jobs, 2);
+  EXPECT_EQ(rec.jobs[0].info.step_threads, 4);
+  EXPECT_EQ(rec.jobs[0].spec, "{\"spec\":true}");
+  ASSERT_EQ(rec.jobs[0].events.size(), 2u);
+  EXPECT_EQ(rec.jobs[0].events[1], "{\"event\":\"job_started\"}");
+  EXPECT_EQ(rec.jobs[1].info.state, JobState::kDone);
+  ASSERT_EQ(rec.jobs[1].info.artifacts.size(), 1u);
+  EXPECT_EQ(store.read_artifact(4, "summary.txt"), "all good\n");
+
+  // Traversal-shaped names never touch the filesystem.
+  EXPECT_EQ(store.read_artifact(4, "../4/summary.txt"), std::nullopt);
+  EXPECT_EQ(store.read_artifact(4, ".."), std::nullopt);
+  EXPECT_EQ(store.read_artifact(4, "nope.txt"), std::nullopt);
+}
+
+TEST(StateStore, CorruptRecordsAreSkippedWithWarnings) {
+  const fs::path dir = fresh_state_dir("store_corrupt");
+  StateStore store(dir.string());
+
+  JobInfo good;
+  good.id = 1;
+  good.state = JobState::kQueued;
+  store.save_accepted(good, "{}");
+
+  // A torn record (crash mid-write leaves the .tmp, never the real file),
+  // a garbage record, and a record missing its spec.
+  fs::create_directories(dir / "jobs" / "2");
+  std::ofstream(dir / "jobs" / "2" / "job.json.tmp") << "{\"id\": 2";
+  fs::create_directories(dir / "jobs" / "3");
+  std::ofstream(dir / "jobs" / "3" / "job.json") << "not json at all";
+  fs::create_directories(dir / "jobs" / "4");
+  std::ofstream(dir / "jobs" / "4" / "job.json")
+      << R"({"id":4,"kind":"sweep","state":"queued","jobs":1,)"
+      << R"("step_threads":1,"done":0,"total":0,"error":"","artifacts":[]})";
+
+  const RecoveredState rec = store.recover();
+  ASSERT_EQ(rec.jobs.size(), 1u);  // only the good one survives
+  EXPECT_EQ(rec.jobs[0].info.id, 1u);
+  EXPECT_EQ(rec.warnings.size(), 3u);  // 2: no record; 3: garbage; 4: no spec
+}
+
+TEST(ServerRecovery, RestartServesIdenticalArtifactsFromDisk) {
+  const fs::path dir = fresh_state_dir("restart");
+  SinkSet sinks;
+
+  std::uint64_t sweep_id = 0;
+  std::uint64_t campaign_id = 0;
+  {
+    Server first(Server::Options{0, 2, 2, dir.string()}, &sinks);
+    sweep_id = submit_ok(first.port(), envelope("sweep", 1, kSweepSpec));
+    campaign_id =
+        submit_ok(first.port(), envelope("campaign", 1, kCampaignSpec));
+    ASSERT_EQ(wait_state(first.port(), sweep_id), "done");
+    ASSERT_EQ(wait_state(first.port(), campaign_id), "done");
+    first.shutdown();
+  }
+
+  // A second daemon on the same state dir serves the same runs — same
+  // states, same artifact bytes — without re-running anything.
+  Server second(Server::Options{0, 2, 2, dir.string()}, &sinks);
+  const int port = second.port();
+  const json::Value runs = json::parse(fetch(port, "/runs"));
+  EXPECT_EQ(runs.find("runs")->as_array().size(), 2u);
+
+  const SweepReference ref = reference_sweep(kSweepSpec);
+  const std::string base = "/runs/" + std::to_string(sweep_id);
+  EXPECT_EQ(fetch(port, base + "/summary.csv"), ref.summary_csv);
+  EXPECT_EQ(fetch(port, base + "/runs.csv"), ref.runs_csv);
+  EXPECT_EQ(fetch(port, base + "/result.json"), ref.result_json);
+
+  verify::CampaignSpec direct = verify::parse_campaign_spec(kCampaignSpec);
+  const verify::CampaignResult campaign = verify::FaultCampaign(direct).run();
+  EXPECT_EQ(fetch(port, "/runs/" + std::to_string(campaign_id) +
+                            "/summary.txt"),
+            campaign.summary_text());
+
+  // The replayed event history survived too, and new ids continue past
+  // the recovered ones instead of colliding.
+  const std::string events =
+      fetch(port, "/runs/" + std::to_string(sweep_id) + "/events");
+  EXPECT_NE(events.find("job_submitted"), std::string::npos);
+  EXPECT_NE(events.find("job_finished"), std::string::npos);
+  const std::uint64_t next_id =
+      submit_ok(port, envelope("sweep", 1, kSweepSpec));
+  EXPECT_GT(next_id, campaign_id);
+  EXPECT_EQ(wait_state(port, next_id), "done");
+
+  const json::Value stats = json::parse(fetch(port, "/stats"));
+  EXPECT_EQ(json::as_uint64(*stats.find("counters")->find("jobs_recovered")),
+            2u);
+}
+
+TEST(ServerRecovery, AcceptedButUnpublishedJobIsRequeuedAndRerun) {
+  const fs::path dir = fresh_state_dir("requeue");
+
+  // Simulate a daemon killed between acceptance and publication: the spec
+  // and a queued-state record are on disk, nothing else.
+  const sweep::SweepSpec parsed = sweep::parse_sweep_spec(kSweepSpec);
+  const std::string canonical =
+      json::to_string(sweep::sweep_spec_to_json(parsed));
+  {
+    StateStore store(dir.string());
+    JobInfo info;
+    info.id = 7;
+    info.kind = JobKind::kSweep;
+    info.state = JobState::kQueued;
+    info.jobs = 1;
+    info.step_threads = parsed.base.noc.step_threads;
+    store.save_accepted(info, canonical);
+  }
+
+  SinkSet sinks;
+  Server server(Server::Options{0, 2, 2, dir.string()}, &sinks);
+  const int port = server.port();
+  ASSERT_EQ(wait_state(port, 7), "done");
+
+  const SweepReference ref = reference_sweep(kSweepSpec);
+  EXPECT_EQ(fetch(port, "/runs/7/summary.csv"), ref.summary_csv);
+  EXPECT_EQ(fetch(port, "/runs/7/result.json"), ref.result_json);
+  // The re-run was recorded in the event replay.
+  EXPECT_NE(fetch(port, "/runs/7/events").find("job_recovered"),
+            std::string::npos);
+}
+
+TEST(CancelDeterminism, CancelledCampaignEqualsShorterCampaign) {
+  // Single-threaded campaign with a stop token raised after 3 scenarios:
+  // the claimed prefix is exactly [0, k), so the cancelled summary must be
+  // byte-identical to an uncancelled k-scenario campaign — and reproducible
+  // run over run.
+  auto cancelled_run = [] {
+    verify::CampaignSpec spec = verify::parse_campaign_spec(R"({
+      "seed": "0x5eed", "scenarios": 10, "audit_period": 64})");
+    spec.threads = 1;
+    auto completed = std::make_shared<std::atomic<std::uint64_t>>(0);
+    spec.progress = [completed](std::uint64_t done, std::uint64_t) {
+      completed->store(done, std::memory_order_relaxed);
+    };
+    spec.should_stop = [completed] {
+      return completed->load(std::memory_order_relaxed) >= 3;
+    };
+    return verify::FaultCampaign(spec).run();
+  };
+
+  const verify::CampaignResult first = cancelled_run();
+  const verify::CampaignResult second = cancelled_run();
+  EXPECT_TRUE(first.cancelled);
+  EXPECT_EQ(first.scenarios.size(), second.scenarios.size());
+  EXPECT_EQ(first.summary_text(), second.summary_text());
+  EXPECT_EQ(first.summary_markdown(), second.summary_markdown());
+
+  // Equivalence with the campaign that only ever asked for k scenarios.
+  const std::uint64_t k = first.scenarios.size();
+  ASSERT_GE(k, 3u);
+  ASSERT_LT(k, 10u);
+  verify::CampaignSpec shorter = verify::parse_campaign_spec(R"({
+    "seed": "0x5eed", "scenarios": 10, "audit_period": 64})");
+  shorter.threads = 1;
+  shorter.scenarios = k;
+  const verify::CampaignResult direct = verify::FaultCampaign(shorter).run();
+  EXPECT_FALSE(direct.cancelled);
+  EXPECT_EQ(first.summary_text(), direct.summary_text());
+  EXPECT_EQ(first.summary_markdown(), direct.summary_markdown());
+}
+
+TEST(CancelDeterminism, CancelledSweepHoldsClaimedPrefix) {
+  // Same property at the sweep layer: the cancelled result holds exactly
+  // the claimed prefix of the expansion order, and its emitters match a
+  // direct run truncated to the same prefix.
+  sweep::SweepSpec spec = sweep::parse_sweep_spec(R"({
+    "modes": ["none", "lob", "reroute"], "attacks": ["single"],
+    "profiles": ["blackscholes"], "rates": [1.0],
+    "replicates": 2, "seed": "0x5eed", "cycles": 120})");
+
+  std::atomic<std::uint64_t> completed{0};
+  sweep::SweepRunner::Options opts;
+  opts.num_threads = 1;
+  opts.progress = [&completed](std::size_t done, std::size_t) {
+    completed.store(done, std::memory_order_relaxed);
+  };
+  opts.should_stop = [&completed] {
+    return completed.load(std::memory_order_relaxed) >= 2;
+  };
+  const sweep::SweepResult result = sweep::SweepRunner(opts).run(spec);
+  EXPECT_TRUE(result.cancelled);
+  ASSERT_GE(result.runs.size(), 2u);
+  ASSERT_LT(result.runs.size(), 6u);
+
+  const sweep::SweepResult full =
+      sweep::SweepRunner(sweep::SweepRunner::Options{}).run(spec);
+  ASSERT_EQ(full.runs.size(), 6u);
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    EXPECT_EQ(result.runs[i].spec.label(), full.runs[i].spec.label()) << i;
+    EXPECT_EQ(result.runs[i].metrics(), full.runs[i].metrics()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace htnoc::server
