@@ -6,6 +6,7 @@
 #include "bench_common.hpp"
 #include "ecc/secded_reference.hpp"
 #include "noc/obfuscation.hpp"
+#include "verify/snapshot.hpp"
 
 namespace {
 
@@ -230,6 +231,89 @@ void BM_NetworkStepAudited(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NetworkStepAudited);
+
+// --- campaign warmup strategies ---
+//
+// The snapshot-forking fault campaign amortizes one long warmup across
+// every scenario. These two benchmarks price both strategies for a single
+// scenario (kWarmup cycles of steady-state traffic, then kScenario audited
+// cycles of scenario body): the rerun benchmark pays the warmup inside
+// every scenario, the fork benchmark restores the shared snapshot instead.
+// Their ratio is the campaign speedup and is hard-gated by
+// scripts/check_bench_regression.py; each exports a scenarios_per_sec
+// counter tracked in bench/baseline.json.
+constexpr Cycle kWarmupCycles = 1000;
+constexpr Cycle kScenarioCycles = 250;
+
+sim::SimConfig campaign_bench_config() {
+  sim::SimConfig sc;
+  sc.audit.enabled = true;
+  return sc;
+}
+
+void step_rig(sim::Simulator& simulator, traffic::TrafficGenerator& gen,
+              Cycle cycles) {
+  for (Cycle c = 0; c < cycles; ++c) {
+    gen.step();
+    simulator.step();
+  }
+}
+
+void BM_CampaignWarmupRerun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator(campaign_bench_config());
+    Network& net = simulator.network();
+    traffic::DeliveryDispatcher disp;
+    disp.install(net);
+    traffic::AppTrafficModel model(net.geometry(),
+                                   traffic::blackscholes_profile());
+    traffic::TrafficGenerator::Params gp;
+    gp.seed = 7;
+    traffic::TrafficGenerator gen(net, model, gp, disp);
+    step_rig(simulator, gen, kWarmupCycles + kScenarioCycles);
+    benchmark::DoNotOptimize(net.packets_delivered());
+  }
+  state.counters["scenarios_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignWarmupRerun);
+
+void BM_CampaignSnapshotFork(benchmark::State& state) {
+  // The blob is built once for the whole campaign (a pure function of the
+  // campaign seed), so its cost sits outside the per-scenario loop here
+  // exactly as it amortizes to ~zero across thousands of real scenarios.
+  std::vector<std::uint8_t> blob;
+  {
+    sim::Simulator simulator(campaign_bench_config());
+    Network& net = simulator.network();
+    traffic::DeliveryDispatcher disp;
+    disp.install(net);
+    traffic::AppTrafficModel model(net.geometry(),
+                                   traffic::blackscholes_profile());
+    traffic::TrafficGenerator::Params gp;
+    gp.seed = 7;
+    traffic::TrafficGenerator gen(net, model, gp, disp);
+    step_rig(simulator, gen, kWarmupCycles);
+    blob = verify::save_snapshot(simulator, {&gen});
+  }
+  for (auto _ : state) {
+    sim::Simulator simulator(campaign_bench_config());
+    Network& net = simulator.network();
+    traffic::DeliveryDispatcher disp;
+    disp.install(net);
+    traffic::AppTrafficModel model(net.geometry(),
+                                   traffic::blackscholes_profile());
+    traffic::TrafficGenerator::Params gp;
+    gp.seed = 7;
+    traffic::TrafficGenerator gen(net, model, gp, disp);
+    verify::load_snapshot(simulator, {&gen}, blob);
+    step_rig(simulator, gen, kScenarioCycles);
+    benchmark::DoNotOptimize(net.packets_delivered());
+  }
+  state.counters["scenarios_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignSnapshotFork);
 
 }  // namespace
 

@@ -51,6 +51,8 @@ GATED = [
     "BM_NetworkStepUnderAttack",
     "BM_NetworkStepUnderAttackTraced",
     "BM_NetworkStepAudited",
+    "BM_CampaignWarmupRerun",
+    "BM_CampaignSnapshotFork",
 ]
 
 # (numerator, denominator, max ratio, rationale)
@@ -63,6 +65,8 @@ HARD_RATIO_GATES = [
      "active-set stepping must win on an idle network"),
     ("BM_NetworkStepAudited", "BM_NetworkStepLoaded", 25.0,
      "per-cycle invariant audit may not explode the step cost"),
+    ("BM_CampaignSnapshotFork", "BM_CampaignWarmupRerun", 0.60,
+     "a snapshot-forked scenario must clearly beat re-running the warmup"),
 ]
 
 

@@ -80,6 +80,15 @@ class Rng {
     return Rng(next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL));
   }
 
+  /// Raw generator state, exposed for snapshot/restore: a stream restored
+  /// with set_state(state()) continues the exact draw sequence.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

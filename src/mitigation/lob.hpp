@@ -18,6 +18,10 @@
 #include "noc/obfuscation.hpp"
 #include "trace/sink.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc::mitigation {
 
 struct LObParams {
@@ -83,6 +87,8 @@ class LObController final : public htnoc::LObController {
   }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   [[nodiscard]] static std::uint32_t flow_key(RouterId src, RouterId dest) noexcept {
     return (static_cast<std::uint32_t>(dest) << 16) | src;
   }

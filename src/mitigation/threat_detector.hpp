@@ -26,6 +26,10 @@
 #include "noc/link.hpp"
 #include "trace/sink.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc::mitigation {
 
 enum class LinkThreatClass : std::uint8_t {
@@ -105,6 +109,8 @@ class RouterThreatDetector final : public ThreatDetector {
   void on_clean(const FaultObservation& obs) override;
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   struct HistoryEntry {
     std::uint64_t uid = 0;
     int fault_count = 0;

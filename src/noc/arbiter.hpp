@@ -13,6 +13,10 @@
 
 #include "common/expect.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc {
 
 /// Abstract N-way single-resource arbiter.
@@ -63,6 +67,8 @@ class RoundRobinArbiter final : public Arbiter {
   [[nodiscard]] std::string name() const override { return "round_robin"; }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   int next_ = 0;
 };
 
@@ -110,6 +116,8 @@ class MatrixArbiter final : public Arbiter {
   [[nodiscard]] std::string name() const override { return "matrix"; }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   std::vector<std::vector<bool>> prio_;
 };
 

@@ -15,6 +15,10 @@
 #include "common/types.hpp"
 #include "noc/flit.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc {
 
 /// Interface every on-link fault source implements. on_traverse may mutate
@@ -75,6 +79,8 @@ class TransientFaultInjector final : public LinkFaultInjector {
   }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   Params params_;
   Rng rng_;
   std::uint64_t faults_injected_ = 0;
@@ -114,6 +120,8 @@ class PermanentFaultInjector final : public LinkFaultInjector {
   }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   std::map<unsigned, bool> stuck_;
   std::uint64_t faults_injected_ = 0;
 };

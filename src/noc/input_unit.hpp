@@ -20,6 +20,10 @@
 #include "noc/link.hpp"
 #include "noc/obfuscation.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc {
 
 class InputUnit {
@@ -216,6 +220,8 @@ class InputUnit {
   }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   /// Insert a fully recovered flit into its VC buffer.
   void deliver(Cycle effective_arrival, Flit f);
   /// Record a clean wire word and resolve any scrambled phits waiting on it.

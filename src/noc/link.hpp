@@ -18,6 +18,10 @@
 #include "noc/protocol.hpp"
 #include "trace/sink.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc {
 
 class Link {
@@ -225,6 +229,8 @@ class Link {
   }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   struct InFlight {
     Cycle arrive;
     LinkPhit phit;

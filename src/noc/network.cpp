@@ -346,6 +346,7 @@ bool Network::would_disconnect(const LinkRef& l) const {
 void Network::use_xy_routing() {
   HTNOC_EXPECT(disabled_.empty());
   routing_ = topo_->make_default_routing();
+  routing_mode_ = RoutingMode::kDefault;
   for (auto& r : routers_) r->set_routing(routing_.get());
 }
 
@@ -363,11 +364,13 @@ void Network::use_west_first_routing() {
     return cfg_.vcs_per_port * cfg_.buffer_depth - credits + out.occupancy();
   };
   routing_ = std::make_unique<WestFirstRouting>(geom_, probe);
+  routing_mode_ = RoutingMode::kWestFirst;
   for (auto& r : routers_) r->set_routing(routing_.get());
 }
 
 void Network::use_updown_routing() {
   routing_ = std::make_unique<UpDownRouting>(geom_, disabled_);
+  routing_mode_ = RoutingMode::kUpDown;
   for (auto& r : routers_) r->set_routing(routing_.get());
 }
 

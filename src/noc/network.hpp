@@ -19,6 +19,10 @@
 #include "noc/updown.hpp"
 #include "topology/topology.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc {
 
 class StepPool;
@@ -201,6 +205,14 @@ class Network {
   [[nodiscard]] bool quiescent() const;
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
+  /// Which routing installer is active — snapshot/restore re-runs the same
+  /// installer on the restored `disabled_` set instead of serializing the
+  /// routing tables themselves (they are a pure function of topology +
+  /// disabled links).
+  enum class RoutingMode : std::uint8_t { kDefault, kWestFirst, kUpDown };
+
   [[nodiscard]] static std::string link_name(RouterId from, Direction d);
   /// Emit router blocked/unblocked transitions (kSaturation category). Runs
   /// after ++now_ so its view matches sample_utilization at the same cycle.
@@ -223,6 +235,7 @@ class Network {
   PacketId next_packet_id_ = 1;
 
   std::unique_ptr<RoutingFunction> routing_;
+  RoutingMode routing_mode_ = RoutingMode::kDefault;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   // Inter-router links indexed by link_index(LinkRef).

@@ -21,6 +21,10 @@
 #include "noc/output_unit.hpp"
 #include "noc/protocol.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc {
 
 class NetworkInterface {
@@ -145,6 +149,8 @@ class NetworkInterface {
   [[nodiscard]] const InputUnit& ejection_port() const noexcept { return in_; }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   /// Per-domain injection stream (index 0 also serves non-TDM operation).
   struct DomainStream {
     std::deque<Flit> queue;

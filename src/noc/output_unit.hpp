@@ -16,6 +16,10 @@
 #include "noc/link.hpp"
 #include "noc/obfuscation.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc {
 
 class OutputUnit {
@@ -267,6 +271,8 @@ class OutputUnit {
   [[nodiscard]] Link* link() const noexcept { return link_; }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   struct Slot {
     Flit flit;
     enum class State : std::uint8_t { kWaiting, kInFlight } state = State::kWaiting;

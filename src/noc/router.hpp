@@ -17,6 +17,10 @@
 #include "noc/output_unit.hpp"
 #include "noc/routing.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc {
 
 class Router {
@@ -123,6 +127,8 @@ class Router {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   void stage_rc(Cycle now);
   void stage_va(Cycle now);
   void stage_sa_st(Cycle now);

@@ -22,6 +22,10 @@
 #include "trojan/tasp.hpp"
 #include "verify/auditor.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc::sim {
 
 enum class MitigationMode : std::uint8_t { kNone, kLOb, kReroute };
@@ -128,6 +132,8 @@ class Simulator {
   }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   void apply_kill_switch_schedule();
   void process_reroute_events();
   [[nodiscard]] LinkRef link_feeding(RouterId receiver, int in_port) const;

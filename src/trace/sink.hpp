@@ -12,6 +12,10 @@
 #include "common/expect.hpp"
 #include "trace/events.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 // Compile-time kill switch: build with -DHTNOC_TRACE=0 to remove every
 // instrumentation branch from the binary.
 #ifndef HTNOC_TRACE
@@ -129,6 +133,8 @@ class TraceSink final {
   }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   static inline thread_local std::vector<Event>* stage_tls_ = nullptr;
 
   TraceConfig cfg_;

@@ -20,6 +20,10 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc::traffic {
 
 struct AppProfile {
@@ -64,6 +68,8 @@ class AppTrafficModel {
   void migrate_hotspot(RouterId from, RouterId to);
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   void rebuild_tables();
   [[nodiscard]] double hot_weight(RouterId r) const;
 

@@ -17,6 +17,10 @@
 #include "noc/network.hpp"
 #include "traffic/app_profile.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc::traffic {
 
 /// Fans one network delivery callback out to many listeners.
@@ -102,6 +106,8 @@ class TrafficGenerator {
   [[nodiscard]] std::size_t backlog_size() const;
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   void on_delivery(Cycle now, const PacketInfo& info, Cycle latency);
   void enqueue_packet(PacketInfo info);
   [[nodiscard]] PacketInfo make_request(NodeId src);

@@ -24,6 +24,10 @@
 #include "noc/wire.hpp"
 #include "trace/sink.hpp"
 
+namespace htnoc::verify {
+struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+}
+
 namespace htnoc::trojan {
 
 /// Which packet characteristics the target comparator is tuned to
@@ -124,6 +128,8 @@ class Tasp final : public LinkFaultInjector {
   [[nodiscard]] std::string name() const override { return "tasp"; }
 
  private:
+  friend struct htnoc::verify::StateCodec;
+
   [[nodiscard]] int flips_per_injection() const noexcept {
     switch (params_.pattern) {
       case PayloadPattern::kSingleCorrectable: return 1;

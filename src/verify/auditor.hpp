@@ -98,6 +98,8 @@ class NetworkInvariantAuditor final : public FlitAuditObserver {
   [[nodiscard]] std::string report() const;
 
  private:
+  friend struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
+
   struct LedgerEntry {
     enum class State : std::uint8_t { kResident, kDelivered, kPurged };
     PacketId packet = kInvalidPacket;

@@ -18,6 +18,7 @@
 #include "topology/topology.hpp"
 #include "traffic/app_profile.hpp"
 #include "traffic/generator.hpp"
+#include "verify/snapshot.hpp"
 
 namespace htnoc::verify {
 
@@ -25,6 +26,9 @@ std::string format_repro(const ReproSpec& r) {
   std::ostringstream os;
   os << "htnoc-campaign-repro seed=0x" << std::hex << r.seed << std::dec
      << " index=" << r.index;
+  if (r.warmup > 0) {
+    os << " warmup=" << r.warmup;
+  }
   return os.str();
 }
 
@@ -43,6 +47,10 @@ std::optional<ReproSpec> parse_repro(const std::string& line) {
   try {
     r.seed = std::stoull(line.substr(seed_pos + 5), nullptr, 0);
     r.index = std::stoull(line.substr(index_pos + 6), nullptr, 0);
+    const auto warmup_pos = line.find("warmup=");
+    if (warmup_pos != std::string::npos) {
+      r.warmup = std::stoull(line.substr(warmup_pos + 7), nullptr, 0);
+    }
   } catch (const std::exception&) {
     return std::nullopt;
   }
@@ -269,11 +277,149 @@ Scenario draw_scenario(const CampaignSpec& spec, std::uint64_t index) {
   return s;
 }
 
-ScenarioResult run_scenario_impl(const CampaignSpec& spec,
-                                 std::uint64_t index) {
+/// Restricted draw for snapshot-forking campaigns (warmup_cycles > 0): the
+/// substrate is pinned to the warmup snapshot's default fabric, so none of
+/// the structural knobs (topology, concentration, buffers, retransmission,
+/// TDM, ECC) are drawn — but attacks, mitigation, background faults and the
+/// mid-run event schedule still randomize, with every scheduled cycle
+/// shifted past the warmup window (the restored network resumes at cycle
+/// `warmup_cycles`, and kill switches / storms / migration all key off the
+/// absolute network clock).
+Scenario draw_warmup_scenario(const CampaignSpec& spec, std::uint64_t index) {
+  const std::uint64_t run_seed = sweep::derive_run_seed(spec.seed, index, 0);
+  Rng rng(run_seed);
+  const Cycle warm = spec.warmup_cycles;
+  Scenario s;
+  sim::SimConfig& sc = s.config;
+
+  sc.seed = sweep::mix_seed(run_seed, 1);
+  sc.noc.seed = sweep::mix_seed(run_seed, 2);
+
+  const double moded = rng.next_double();
+  sc.mode = moded < 0.30   ? sim::MitigationMode::kNone
+            : moded < 0.65 ? sim::MitigationMode::kLOb
+                           : sim::MitigationMode::kReroute;
+  sc.reroute_latency = rng.next_in(20, 400);
+
+  const std::vector<LinkRef> links = mesh_links(sc.noc);
+  const std::uint64_t num_attacks = rng.next_below(4);
+  for (std::uint64_t a = 0; a < num_attacks; ++a) {
+    sim::AttackSpec atk;
+    atk.link = links[rng.next_below(links.size())];
+    atk.tasp = draw_tasp(rng, sc.noc);
+    atk.enable_killsw_at = warm + rng.next_in(50, 400);
+    sc.attacks.push_back(atk);
+  }
+  if (num_attacks > 0 && rng.next_bool(0.4)) {
+    for (std::size_t a = 0; a < sc.attacks.size(); ++a) {
+      const Cycle off = sc.attacks[a].enable_killsw_at + rng.next_in(50, 200);
+      s.toggles.push_back({off, a, false});
+      s.toggles.push_back({off + rng.next_in(50, 200), a, true});
+    }
+  }
+
+  double transient = 0.0;
+  if (rng.next_bool(0.5)) {
+    transient = std::pow(10.0, -(2.0 + 2.0 * rng.next_double()));
+    sc.transient_phit_fault_prob = transient;
+  }
+  std::uint64_t permanent_wires = 0;
+  if (rng.next_bool(0.15)) {
+    permanent_wires = rng.next_in(1, 3);
+    std::map<unsigned, bool> stuck;
+    while (stuck.size() < permanent_wires) {
+      stuck[static_cast<unsigned>(rng.next_below(72))] = rng.next_bool(0.5);
+    }
+    sc.permanent_faults.emplace_back(links[rng.next_below(links.size())],
+                                     std::move(stuck));
+  }
+
+  std::string lob_force = "-";
+  if (sc.mode == sim::MitigationMode::kLOb && rng.next_bool(0.4)) {
+    constexpr ObfMethod kMethods[] = {ObfMethod::kInvert, ObfMethod::kShuffle,
+                                      ObfMethod::kScramble};
+    constexpr ObfGranularity kGrans[] = {ObfGranularity::kHeader,
+                                         ObfGranularity::kFlit,
+                                         ObfGranularity::kPayload};
+    ObfMethod m = kMethods[rng.next_below(std::size(kMethods))];
+    ObfGranularity g = kGrans[rng.next_below(std::size(kGrans))];
+    if (m == ObfMethod::kScramble) g = ObfGranularity::kFlit;
+    sc.lob = mitigation::forced_lob_params(m, g);
+    lob_force = to_string(m) + "/" + to_string(g);
+  }
+
+  // Traffic continues from the snapshot's blackscholes generator; the
+  // profile is not drawn (the restored model state would override it).
+  s.profile = "blackscholes";
+
+  s.cycles = rng.next_in(300, 1500);
+
+  if (rng.next_bool(0.3)) {
+    const std::uint64_t storms = rng.next_in(1, 20);
+    for (std::uint64_t i = 0; i < storms; ++i) {
+      s.purge_storms.push_back(warm + rng.next_in(50, s.cycles - 1));
+    }
+    std::sort(s.purge_storms.begin(), s.purge_storms.end());
+  }
+
+  if (rng.next_bool(0.15)) {
+    s.migrate_at = warm + rng.next_in(100, 300);
+    s.migrate_to = static_cast<RouterId>(
+        rng.next_below(static_cast<std::uint64_t>(sc.noc.num_routers())));
+  }
+
+  sc.audit = spec.audit;
+  sc.audit.enabled = true;
+  sc.noc.step_threads = spec.step_threads;
+
+  std::ostringstream d;
+  d << "warmup=" << warm << " mode=" << sim::to_string(sc.mode)
+    << " attacks=" << num_attacks << " toggles=" << s.toggles.size()
+    << " transient=" << std::setprecision(3) << transient
+    << " perm=" << permanent_wires << " lob=" << lob_force
+    << " storms=" << s.purge_storms.size()
+    << " migrate=" << (s.migrate_at != 0 ? 1 : 0) << " cycles=" << s.cycles;
+  s.descriptor = d.str();
+  return s;
+}
+
+/// Build the campaign's shared warmup snapshot: a clean default fabric (no
+/// attacks, no faults, no mitigation) carrying `warmup_cycles` of
+/// blackscholes traffic, audited from cycle 0 so restored scenarios inherit
+/// a live ledger. Depends only on (seed, warmup_cycles, audit config) — one
+/// blob serves every scenario on every shard.
+std::vector<std::uint8_t> build_warmup_blob(const CampaignSpec& spec) {
+  sim::SimConfig wc;
+  wc.seed = sweep::mix_seed(spec.seed, 11);
+  wc.noc.seed = sweep::mix_seed(spec.seed, 12);
+  wc.audit = spec.audit;
+  wc.audit.enabled = true;
+
+  sim::Simulator simulator(std::move(wc));
+  Network& net = simulator.network();
+  traffic::DeliveryDispatcher disp;
+  disp.install(net);
+  traffic::AppTrafficModel model(net.geometry(),
+                                 traffic::blackscholes_profile());
+  traffic::TrafficGenerator::Params gp;
+  gp.seed = sweep::mix_seed(spec.seed, 13);
+  gp.domain = TdmDomain::kD1;
+  traffic::TrafficGenerator gen(net, model, gp, disp);
+
+  for (Cycle c = 0; c < spec.warmup_cycles; ++c) {
+    gen.step();
+    simulator.step();
+  }
+  return save_snapshot(simulator, {&gen});
+}
+
+ScenarioResult run_scenario_impl(const CampaignSpec& spec, std::uint64_t index,
+                                 const std::vector<std::uint8_t>* warmup) {
   ScenarioResult res;
   res.index = index;
-  Scenario sn = draw_scenario(spec, index);
+  const bool warmed = spec.warmup_cycles > 0;
+  Scenario sn = warmed ? draw_warmup_scenario(spec, index)
+                       : draw_scenario(spec, index);
   res.descriptor = sn.descriptor;
   const std::uint64_t run_seed = sweep::derive_run_seed(spec.seed, index, 0);
 
@@ -284,12 +430,21 @@ ScenarioResult run_scenario_impl(const CampaignSpec& spec,
   disp.install(net);
 
   traffic::AppProfile profile = traffic::profile_by_name(sn.profile);
-  profile.injection_rate *= sn.rate_scale;
+  if (!warmed) profile.injection_rate *= sn.rate_scale;
   traffic::AppTrafficModel model(net.geometry(), profile);
   traffic::TrafficGenerator::Params gp;
-  gp.seed = sweep::mix_seed(run_seed, 3);
+  gp.seed = warmed ? sweep::mix_seed(spec.seed, 13)
+                   : sweep::mix_seed(run_seed, 3);
   gp.domain = TdmDomain::kD1;
   traffic::TrafficGenerator gen(net, model, gp, disp);
+
+  if (warmed) {
+    // Fork the shared warmed-up fabric into this scenario's simulator: the
+    // blob's clean links prefix-match under the scenario's freshly attached
+    // trojans/fault injectors, and its empty mitigation sections leave the
+    // scenario's detectors and L-Ob controllers fresh.
+    load_snapshot(simulator, {&gen}, *warmup);
+  }
 
   std::unique_ptr<traffic::AppTrafficModel> bg_model;
   std::unique_ptr<traffic::TrafficGenerator> bg;
@@ -314,7 +469,10 @@ ScenarioResult run_scenario_impl(const CampaignSpec& spec,
   const RouterId migrate_from =
       profile.hotspots.empty() ? RouterId{0} : profile.hotspots.front().first;
 
-  for (Cycle c = 0; c < sn.cycles; ++c) {
+  // A warmed scenario resumes at the snapshot's cycle and plays its drawn
+  // cycle budget on top; every scheduled event was drawn in absolute cycles.
+  const Cycle start = warmed ? spec.warmup_cycles : 0;
+  for (Cycle c = start; c < start + sn.cycles; ++c) {
     for (const Scenario::KillToggle& t : sn.toggles) {
       if (t.at == c) simulator.tasp(t.trojan).set_kill_switch(t.on);
     }
@@ -351,10 +509,13 @@ ScenarioResult run_scenario_impl(const CampaignSpec& spec,
 
 }  // namespace
 
-ScenarioResult FaultCampaign::run_scenario(const CampaignSpec& spec,
-                                           std::uint64_t index) {
+namespace {
+
+ScenarioResult run_scenario_guarded(const CampaignSpec& spec,
+                                    std::uint64_t index,
+                                    const std::vector<std::uint8_t>* warmup) {
   try {
-    return run_scenario_impl(spec, index);
+    return run_scenario_impl(spec, index, warmup);
   } catch (const std::exception& e) {
     ScenarioResult res;
     res.index = index;
@@ -364,21 +525,50 @@ ScenarioResult FaultCampaign::run_scenario(const CampaignSpec& spec,
     // scenario looked like; draw_scenario is deterministic and cannot throw
     // for an index the campaign already drew once.
     try {
-      res.descriptor = draw_scenario(spec, index).descriptor;
+      res.descriptor = (spec.warmup_cycles > 0
+                            ? draw_warmup_scenario(spec, index)
+                            : draw_scenario(spec, index))
+                           .descriptor;
     } catch (const std::exception&) {
     }
     return res;
   }
 }
 
+}  // namespace
+
+ScenarioResult FaultCampaign::run_scenario(const CampaignSpec& spec,
+                                           std::uint64_t index) {
+  // The repro path rebuilds the warmup snapshot from scratch — the blob is
+  // a pure function of (seed, warmup_cycles, audit), so a replayed failure
+  // resumes from the exact bytes the campaign forked.
+  std::vector<std::uint8_t> warmup;
+  if (spec.warmup_cycles > 0) warmup = build_warmup_blob(spec);
+  return run_scenario_guarded(spec, index,
+                              spec.warmup_cycles > 0 ? &warmup : nullptr);
+}
+
 CampaignResult FaultCampaign::run() const {
+  HTNOC_EXPECT(spec_.shard_count >= 1);
+  HTNOC_EXPECT(spec_.shard_index < spec_.shard_count);
   CampaignResult out;
   out.spec = spec_;
-  out.scenarios.resize(static_cast<std::size_t>(spec_.scenarios));
+  // Strided partition: this shard owns global indices shard_index,
+  // shard_index + shard_count, ... — `local` of them.
+  const std::uint64_t local =
+      spec_.scenarios / spec_.shard_count +
+      (spec_.shard_index < spec_.scenarios % spec_.shard_count ? 1 : 0);
+  out.scenarios.resize(static_cast<std::size_t>(local));
   const int nthreads = sweep::SweepRunner::resolve_threads(
-      spec_.threads, static_cast<std::size_t>(spec_.scenarios),
-      spec_.step_threads);
+      spec_.threads, static_cast<std::size_t>(local), spec_.step_threads);
   out.threads_used = nthreads;
+
+  // One warmup snapshot serves the whole campaign; workers restore from it
+  // concurrently (load_snapshot only reads the blob).
+  std::vector<std::uint8_t> warmup;
+  if (spec_.warmup_cycles > 0) warmup = build_warmup_blob(spec_);
+  const std::vector<std::uint8_t>* warmup_ptr =
+      spec_.warmup_cycles > 0 ? &warmup : nullptr;
 
   std::atomic<std::uint64_t> cursor{0};
   std::atomic<std::uint64_t> done{0};
@@ -391,12 +581,14 @@ CampaignResult FaultCampaign::run() const {
         stopped.store(true, std::memory_order_relaxed);
         return;
       }
-      const std::uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= spec_.scenarios) return;
-      out.scenarios[static_cast<std::size_t>(i)] = run_scenario(spec_, i);
+      const std::uint64_t k = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (k >= local) return;
+      const std::uint64_t global = spec_.shard_index + k * spec_.shard_count;
+      out.scenarios[static_cast<std::size_t>(k)] =
+          run_scenario_guarded(spec_, global, warmup_ptr);
       if (spec_.progress) {
         spec_.progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
-                       spec_.scenarios);
+                       local);
       }
     }
   };
@@ -414,9 +606,8 @@ CampaignResult FaultCampaign::run() const {
     // (seed, index), so the summary equals that of a `cursor`-scenario
     // campaign with the same seed (locked by tests/test_server_recovery).
     out.cancelled = true;
-    out.scenarios.resize(static_cast<std::size_t>(
-        std::min<std::uint64_t>(cursor.load(std::memory_order_relaxed),
-                                spec_.scenarios)));
+    out.scenarios.resize(static_cast<std::size_t>(std::min<std::uint64_t>(
+        cursor.load(std::memory_order_relaxed), local)));
   }
   return out;
 }
@@ -445,7 +636,7 @@ std::string FaultCampaign::equivalence_report(CampaignSpec spec,
       continue;
     }
     os << "first divergence at scenario " << i << " ("
-       << format_repro({spec.seed, a.index}) << ")\n"
+       << format_repro({spec.seed, a.index, spec.warmup_cycles}) << ")\n"
        << "  " << a.descriptor << "\n"
        << "  serial:   ok=" << a.ok << " delivered=" << a.delivered
        << " purged=" << a.purged << " audits=" << a.audits
@@ -478,14 +669,20 @@ std::string CampaignResult::summary_text() const {
   }
   std::ostringstream os;
   os << "htnoc fault campaign seed=0x" << std::hex << spec.seed << std::dec
-     << " scenarios=" << scenarios.size() << "\n";
+     << " scenarios=" << scenarios.size();
+  // The shard token only appears on shard summaries, so an unsharded run's
+  // bytes are untouched (and are what merge_shards reconstructs).
+  if (spec.shard_count > 1) {
+    os << " shard=" << spec.shard_index << "/" << spec.shard_count;
+  }
+  os << "\n";
   os << "failures=" << failures() << " delivered=" << delivered
      << " purged=" << purged << " audits=" << audits
      << " flits_tracked=" << flits << "\n";
   for (const ScenarioResult& s : scenarios) {
     if (s.ok) continue;
-    os << "FAIL " << format_repro({spec.seed, s.index}) << " " << s.descriptor
-       << "\n";
+    os << "FAIL " << format_repro({spec.seed, s.index, spec.warmup_cycles})
+       << " " << s.descriptor << "\n";
     os << "  " << first_line(s.error) << "\n";
   }
   return os.str();
@@ -516,8 +713,9 @@ std::string CampaignResult::summary_markdown() const {
         os << "| … | | " << (failures() - listed) << " more | |\n";
         break;
       }
-      os << "| " << s.index << " | `" << format_repro({spec.seed, s.index})
-         << "` | " << s.descriptor << " | "
+      os << "| " << s.index << " | `"
+         << format_repro({spec.seed, s.index, spec.warmup_cycles}) << "` | "
+         << s.descriptor << " | "
          << first_line(s.error.find('\n') != std::string::npos
                            ? s.error.substr(s.error.find('\n') + 1)
                            : s.error)

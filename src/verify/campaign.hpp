@@ -37,6 +37,25 @@ struct CampaignSpec {
   /// expected to produce a byte-identical summary for any step_threads —
   /// the property equivalence_report() checks.
   int step_threads = 1;
+  /// Deterministic sharding: this process runs only the global scenario
+  /// indices congruent to `shard_index` mod `shard_count` (a strided
+  /// partition, so every shard samples the whole index range). Scenario
+  /// draws depend only on (seed, global index) — sharding moves work between
+  /// processes without perturbing a single RNG draw, and the shard
+  /// summaries merge (verify/shard_merge.hpp) into bytes identical to the
+  /// unsharded campaign's summary_text().
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  /// Snapshot-forking warmup. 0 (the default) leaves the classic campaign
+  /// untouched. When > 0, every scenario resumes from one shared snapshot
+  /// of a clean default fabric warmed up for this many cycles under
+  /// blackscholes traffic (computed once per campaign from `seed` alone,
+  /// then restored into each scenario's freshly built — and freshly
+  /// attacked — simulator). Warmed scenarios draw from a restricted space:
+  /// the substrate is pinned to the snapshot's fabric, but attacks, faults,
+  /// mitigation modes and mid-run events still randomize, now against a
+  /// network already full of in-flight traffic.
+  Cycle warmup_cycles = 0;
   /// Fabric families each scenario may draw from. Empty (the default) means
   /// every scenario runs the paper's 4x4 concentrated mesh AND the draw
   /// sequence stays exactly what it was before this knob existed, so the
@@ -64,13 +83,17 @@ struct CampaignSpec {
   std::function<bool()> should_stop = nullptr;
 };
 
-/// Everything needed to replay one failing scenario exactly.
+/// Everything needed to replay one failing scenario exactly. A scenario
+/// from a snapshot-forking campaign draws from a restricted space, so its
+/// repro line must carry the campaign's warmup_cycles too.
 struct ReproSpec {
   std::uint64_t seed = 0;
   std::uint64_t index = 0;
+  Cycle warmup = 0;
 };
 
-/// One line: "htnoc-campaign-repro seed=0x<hex> index=<dec>".
+/// One line: "htnoc-campaign-repro seed=0x<hex> index=<dec>", plus
+/// " warmup=<dec>" when the campaign forked from a warmup snapshot.
 [[nodiscard]] std::string format_repro(const ReproSpec& r);
 /// Parse a format_repro() line (leading/trailing text tolerated per field).
 [[nodiscard]] std::optional<ReproSpec> parse_repro(const std::string& line);

@@ -57,6 +57,12 @@ CampaignSpec campaign_spec_from_json(const json::Value& doc) {
           static_cast<int>(get_u64_range(val, "step_threads", 1, 256));
     } else if (key == "audit_period") {
       spec.audit.period = get_u64_range(val, "audit_period", 1, 1'000'000);
+    } else if (key == "shard_index") {
+      spec.shard_index = get_u64(val, "shard_index");
+    } else if (key == "shard_count") {
+      spec.shard_count = get_u64_range(val, "shard_count", 1, 65'536);
+    } else if (key == "warmup_cycles") {
+      spec.warmup_cycles = get_u64_range(val, "warmup_cycles", 0, 10'000'000);
     } else if (key == "topologies") {
       const json::Array* arr = nullptr;
       try {
@@ -83,6 +89,12 @@ CampaignSpec campaign_spec_from_json(const json::Value& doc) {
       bad(key, "unknown key in campaign spec");
     }
   }
+  // Cross-field check after the loop: key order in the document is free.
+  if (spec.shard_index >= spec.shard_count) {
+    bad("shard_index", "value " + std::to_string(spec.shard_index) +
+                           " must be < shard_count (" +
+                           std::to_string(spec.shard_count) + ")");
+  }
   return spec;
 }
 
@@ -97,6 +109,12 @@ json::Value campaign_spec_to_json(const CampaignSpec& spec) {
   o.emplace_back("step_threads", Value(spec.step_threads));
   o.emplace_back("audit_period",
                  Value(static_cast<double>(spec.audit.period)));
+  o.emplace_back("shard_index",
+                 Value(static_cast<double>(spec.shard_index)));
+  o.emplace_back("shard_count",
+                 Value(static_cast<double>(spec.shard_count)));
+  o.emplace_back("warmup_cycles",
+                 Value(static_cast<double>(spec.warmup_cycles)));
   json::Array topos;
   for (const TopologyKind k : spec.topologies) {
     topos.emplace_back(to_string(k));

@@ -1,0 +1,97 @@
+// Merging sharded fault-campaign runs back into one verdict.
+//
+// A campaign split over N processes (CampaignSpec::shard_index/shard_count)
+// produces N shard summaries. summarize_shard() distills a shard's
+// CampaignResult into the portable ShardSummary document (JSON round-trip
+// below), and merge_shards() recombines the N documents — validating that
+// they really are the complete, compatible shard set of one campaign — into
+// a MergedCampaign whose summary_text() is byte-identical to the
+// summary_text() of the same campaign run unsharded in a single process.
+// That byte equality is the CI contract: the sharded-soak workflow `cmp`s
+// the merged summary against a single-process run on every PR.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "verify/campaign.hpp"
+
+namespace htnoc::verify {
+
+/// Shard summaries passed to merge_shards() are inconsistent: wrong count,
+/// mixed campaigns, duplicate/missing shard indices, or a cancelled shard.
+class MergeError : public std::runtime_error {
+ public:
+  explicit MergeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One failing scenario, as carried across the shard boundary. `error` is
+/// the first line of the scenario's error text (what summary_text prints
+/// under the FAIL line); `violation` is the line after it — the first
+/// concrete violation — which drives failure deduplication.
+struct ShardFailure {
+  std::uint64_t index = 0;  ///< Global scenario index.
+  std::string descriptor;
+  std::string error;
+  std::string violation;
+};
+
+/// The portable distillation of one shard's CampaignResult.
+struct ShardSummary {
+  std::uint64_t seed = 0;
+  std::uint64_t scenarios = 0;  ///< Whole-campaign total, not this shard's.
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  std::uint64_t scenarios_run = 0;  ///< This shard's local count.
+  Cycle warmup_cycles = 0;
+  bool cancelled = false;
+  std::uint64_t delivered = 0;
+  std::uint64_t purged = 0;
+  std::uint64_t audits = 0;
+  std::uint64_t flits_tracked = 0;
+  std::vector<ShardFailure> failures;  ///< Ascending global index.
+};
+
+[[nodiscard]] ShardSummary summarize_shard(const CampaignResult& result);
+
+[[nodiscard]] json::Value shard_summary_to_json(const ShardSummary& s);
+/// Throws MergeError on malformed documents.
+[[nodiscard]] ShardSummary shard_summary_from_json(const json::Value& doc);
+[[nodiscard]] ShardSummary parse_shard_summary(const std::string& text);
+
+/// The recombined campaign.
+struct MergedCampaign {
+  std::uint64_t seed = 0;
+  std::uint64_t scenarios = 0;
+  Cycle warmup_cycles = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t purged = 0;
+  std::uint64_t audits = 0;
+  std::uint64_t flits_tracked = 0;
+  std::vector<ShardFailure> failures;  ///< Ascending global index.
+
+  /// Byte-identical to CampaignResult::summary_text() of the same campaign
+  /// run unsharded.
+  [[nodiscard]] std::string summary_text() const;
+  /// Markdown for CI job summaries: totals plus the deduplicated failure
+  /// table (one row per distinct violation signature, with a repro spec for
+  /// its lowest-index representative).
+  [[nodiscard]] std::string summary_markdown() const;
+};
+
+/// Merge a complete shard set (any order). Throws MergeError unless the
+/// summaries share one (seed, scenarios, shard_count), cover shard indices
+/// 0..N-1 exactly once, none was cancelled, and the local counts sum to the
+/// campaign total.
+[[nodiscard]] MergedCampaign merge_shards(
+    const std::vector<ShardSummary>& shards);
+
+/// Deduplication key for a failure: its first violation line with every
+/// digit run collapsed to '#', so the same invariant breach at different
+/// cycles/packets/routers maps to one signature.
+[[nodiscard]] std::string violation_signature(const ShardFailure& f);
+
+}  // namespace htnoc::verify
