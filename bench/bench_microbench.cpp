@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "common/rng.hpp"
 #include "ecc/secded_reference.hpp"
 #include "noc/obfuscation.hpp"
 #include "verify/snapshot.hpp"
@@ -231,6 +232,82 @@ void BM_NetworkStepAudited(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NetworkStepAudited);
+
+// --- large-fabric step benchmarks (the SoA hot-path gate) ---
+//
+// The default-config benchmarks above run the paper's 4x4 concentrated
+// mesh; these two run the fabric sizes the data-oriented step loop is
+// gated on (docs/PERFORMANCE.md). Traffic is injected by hand at a fixed
+// 1/32 cores-per-cycle rate — the same drive as bench_topology_scaling —
+// so the measurement is the step loop, not the traffic model.
+
+void drive_loaded_fabric(benchmark::State& state, int k,
+                         bool attacked) {
+  sim::SimConfig sc;
+  sc.noc.topology = TopologyKind::kMesh;
+  sc.noc.mesh_width = k;
+  sc.noc.mesh_height = k;
+  sc.noc.concentration = 1;
+  sc.noc.seed = 0xBEEF;
+  sc.seed = 0xF00D;
+  if (attacked) {
+    sc.mode = sim::MitigationMode::kLOb;
+    // The k x k analogue of bench::paper_attack: a TASP on the column-0
+    // northbound feeder into router 0 (router k is one row below router 0).
+    sim::AttackSpec a;
+    a.link = {static_cast<RouterId>(k), Direction::kNorth};
+    a.tasp.kind = trojan::TargetKind::kDest;
+    a.tasp.target_dest = 0;
+    a.enable_killsw_at = 0;
+    sc.attacks.push_back(a);
+  }
+  sim::Simulator simulator(std::move(sc));
+  Network& net = simulator.network();
+  const int cores = net.geometry().num_cores();
+  const int per_cycle = cores / 32 > 0 ? cores / 32 : 1;
+
+  Rng rng(0x5EED);
+  const auto inject = [&] {
+    for (int i = 0; i < per_cycle; ++i) {
+      PacketInfo info;
+      info.id = net.next_packet_id();
+      info.src_core = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(cores)));
+      info.dest_core = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(cores)));
+      info.src_router = net.geometry().router_of_core(info.src_core);
+      info.dest_router = net.geometry().router_of_core(info.dest_core);
+      info.length = static_cast<int>(rng.next_in(1, 4));
+      info.inject_cycle = net.now();
+      const std::vector<std::uint64_t> payload(
+          static_cast<std::size_t>(info.length), 0xDA7Aull);
+      (void)net.try_inject(info, payload);
+    }
+  };
+
+  // Warm-up fills the fabric so the measured region is steady-state load,
+  // not the empty-network ramp.
+  for (int c = 0; c < 100; ++c) {
+    inject();
+    simulator.step();
+  }
+  for (auto _ : state) {
+    inject();
+    simulator.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["delivered"] = static_cast<double>(net.packets_delivered());
+}
+
+void BM_NetworkStepLoaded16x16(benchmark::State& state) {
+  drive_loaded_fabric(state, 16, /*attacked=*/false);
+}
+BENCHMARK(BM_NetworkStepLoaded16x16)->Unit(benchmark::kMicrosecond);
+
+void BM_NetworkStepUnderAttack64x64(benchmark::State& state) {
+  drive_loaded_fabric(state, 64, /*attacked=*/true);
+}
+BENCHMARK(BM_NetworkStepUnderAttack64x64)->Unit(benchmark::kMicrosecond);
 
 // --- campaign warmup strategies ---
 //

@@ -48,8 +48,10 @@ GATED = [
     "BM_NetworkStepIdle",
     "BM_NetworkStepIdleFullStepping",
     "BM_NetworkStepLoaded",
+    "BM_NetworkStepLoaded16x16",
     "BM_NetworkStepUnderAttack",
     "BM_NetworkStepUnderAttackTraced",
+    "BM_NetworkStepUnderAttack64x64",
     "BM_NetworkStepAudited",
     "BM_CampaignWarmupRerun",
     "BM_CampaignSnapshotFork",
@@ -69,16 +71,37 @@ HARD_RATIO_GATES = [
      "a snapshot-forked scenario must clearly beat re-running the warmup"),
 ]
 
+# (benchmark, max normalized median, rationale) — absolute ceilings against
+# frozen pre-change constants, for invariants that compare the current
+# implementation with one that no longer exists in the tree. The constant is
+# the old implementation's normalized median measured on the same anchor
+# (machine-independent); the ceiling bakes in the required improvement.
+HARD_NORMALIZED_CEILINGS = [
+    ("BM_NetworkStepLoaded16x16", 6064 * 0.85,
+     "the SoA flit-pool datapath must hold a >=15% loaded-step improvement "
+     "over the pre-pool deque/map implementation (pre-SoA normalized median "
+     "6064; docs/PERFORMANCE.md section 6)"),
+]
+
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
 
 def load_medians(report_path):
-    """Median real_time (ns) per benchmark from a repetitions run."""
+    """Median real_time per benchmark from a repetitions run, in ns.
+
+    Benchmarks declare their display unit (`->Unit(kMicrosecond)` etc.);
+    everything is converted to nanoseconds here so normalization mixes
+    units correctly.
+    """
     with open(report_path) as f:
         report = json.load(f)
     medians = {}
     for entry in report.get("benchmarks", []):
         if entry.get("run_type") == "aggregate" and \
                 entry.get("aggregate_name") == "median":
-            medians[entry["run_name"]] = float(entry["real_time"])
+            scale = TIME_UNIT_NS[entry.get("time_unit", "ns")]
+            medians[entry["run_name"]] = float(entry["real_time"]) * scale
     if not medians:
         sys.exit(f"error: no median aggregates in {report_path}; run the "
                  "benchmark with --benchmark_repetitions=5")
@@ -153,6 +176,18 @@ def main():
         if not ok:
             failures.append(f"hard gate {num}/{den} = {ratio:.3f} > "
                             f"{max_ratio}: {why}")
+
+    for name, ceiling, why in HARD_NORMALIZED_CEILINGS:
+        if name not in normalized:
+            failures.append(f"hard ceiling {name}: benchmark missing")
+            continue
+        cur = normalized[name]
+        ok = cur <= ceiling
+        print(f"hard ceiling: {name} = {cur:.1f} "
+              f"(max {ceiling:.1f}) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(f"hard ceiling {name} = {cur:.1f} > "
+                            f"{ceiling:.1f}: {why}")
 
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)

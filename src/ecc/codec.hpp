@@ -103,6 +103,38 @@ class CodecDispatch {
     return secded_->decode(received);
   }
 
+  /// Batched lane forms: resolve the scheme once for `n` contiguous lanes.
+  /// Bit-identical per lane to the scalar calls (the SECDED batch shares
+  /// the scalar outcome resolver); used by the router's per-cycle gather of
+  /// all ports' staged codewords (docs/PERFORMANCE.md).
+  void encode_batch(const std::uint64_t* data, Codeword72* out,
+                    std::size_t n) const noexcept {
+    switch (scheme_) {
+      case EccScheme::kParity:
+        for (std::size_t i = 0; i < n; ++i) out[i] = parity_encode(data[i]);
+        return;
+      case EccScheme::kNone:
+        for (std::size_t i = 0; i < n; ++i) out[i] = none_encode(data[i]);
+        return;
+      case EccScheme::kSecded: break;
+    }
+    secded_->encode_batch(data, out, n);
+  }
+
+  void decode_batch(const Codeword72* received, DecodeResult* out,
+                    std::size_t n) const noexcept {
+    switch (scheme_) {
+      case EccScheme::kParity:
+        for (std::size_t i = 0; i < n; ++i) out[i] = parity_decode(received[i]);
+        return;
+      case EccScheme::kNone:
+        for (std::size_t i = 0; i < n; ++i) out[i] = none_decode(received[i]);
+        return;
+      case EccScheme::kSecded: break;
+    }
+    secded_->decode_batch(received, out, n);
+  }
+
   /// Read the data bits without checking (what an on-link observer taps).
   [[nodiscard]] std::uint64_t extract_data(const Codeword72& cw) const noexcept {
     switch (scheme_) {

@@ -15,12 +15,15 @@ struct ScopedClear {
 };
 }  // namespace
 
-void InputUnit::process_staged(Cycle now) {
+void InputUnit::process_staged(Cycle now,
+                               const ecc::DecodeResult* predecoded) {
   if (link_ == nullptr || staged_arrivals_.empty()) return;
   ScopedClear<LinkPhit> clear{staged_arrivals_};
+  std::size_t lane = 0;
   for (LinkPhit& phit : staged_arrivals_) {
     ++stats_.flits_received;
-    const ecc::DecodeResult res = codec_.decode(phit.codeword);
+    const ecc::DecodeResult res =
+        predecoded != nullptr ? predecoded[lane++] : codec_.decode(phit.codeword);
 
     FaultObservation obs;
     obs.now = now;
@@ -181,6 +184,34 @@ void InputUnit::note_clean_wire(Cycle now, PacketId packet, int seq,
   }
 }
 
+void InputUnit::stream_insert(PacketStream& s, const Flit& f, Cycle arrival) {
+  const pool::FlitHandle h = arena_.alloc(f, arrival);
+  if (s.flit_count == 0) {
+    s.head = s.tail = h;
+    s.front_seq = f.seq;
+  } else if (f.seq < s.front_seq) {
+    arena_.set_next(h, s.head);
+    s.head = h;
+    s.front_seq = f.seq;
+  } else {
+    // Walk to the last node with seq < f.seq; duplicates are protocol
+    // violations (same invariant the sorted-deque insert asserted).
+    HTNOC_INVARIANT(arena_.flit(s.head).seq != f.seq);
+    pool::FlitHandle prev = s.head;
+    for (pool::FlitHandle nxt = arena_.next(prev); !nxt.null();
+         nxt = arena_.next(prev)) {
+      if (arena_.flit(nxt).seq >= f.seq) break;
+      prev = nxt;
+    }
+    const pool::FlitHandle nxt = arena_.next(prev);
+    HTNOC_INVARIANT(nxt.null() || arena_.flit(nxt).seq != f.seq);
+    arena_.set_next(h, nxt);
+    arena_.set_next(prev, h);
+    if (nxt.null()) s.tail = h;
+  }
+  ++s.flit_count;
+}
+
 void InputUnit::deliver(Cycle effective_arrival, Flit f) {
   HTNOC_EXPECT(f.vc < cfg_.vcs_per_port);
   VcBuf& b = vcs_[static_cast<std::size_t>(f.vc)];
@@ -195,21 +226,11 @@ void InputUnit::deliver(Cycle effective_arrival, Flit f) {
     }
   }
   if (stream == nullptr) {
-    b.streams.emplace_back();
-    stream = &b.streams.back();
+    stream = &b.streams.emplace_back();
     stream->packet = f.packet;
   }
 
-  // Sorted insertion by sequence number; duplicates are protocol violations.
-  auto pos = std::find_if(stream->flits.begin(), stream->flits.end(),
-                          [&](const BufferedFlit& bf) {
-                            return bf.flit.seq >= f.seq;
-                          });
-  HTNOC_INVARIANT(pos == stream->flits.end() || pos->flit.seq != f.seq);
-  BufferedFlit bf;
-  bf.flit = std::move(f);
-  bf.arrival = effective_arrival;
-  stream->flits.insert(pos, std::move(bf));
+  stream_insert(*stream, f, effective_arrival);
   ++b.occupancy;
 }
 
@@ -217,24 +238,28 @@ InputUnit::PurgeResult InputUnit::purge_packet(Cycle now, PacketId p) {
   PurgeResult res;
   for (int vc = 0; vc < cfg_.vcs_per_port; ++vc) {
     VcBuf& b = vcs_[static_cast<std::size_t>(vc)];
-    for (auto sit = b.streams.begin(); sit != b.streams.end();) {
-      if (sit->packet != p) {
-        ++sit;
+    for (std::size_t si = 0; si < b.streams.size();) {
+      PacketStream& s = b.streams[si];
+      if (s.packet != p) {
+        ++si;
         continue;
       }
-      for (const BufferedFlit& bf : sit->flits) {
-        res.buffered_uids.push_back(bf.flit.flit_uid());
+      for (pool::FlitHandle h = s.head; !h.null();) {
+        const pool::FlitHandle nxt = arena_.next(h);
+        res.buffered_uids.push_back(arena_.flit(h).flit_uid());
         ++res.flits_purged;
         --b.occupancy;
         if (link_ != nullptr) {
           link_->send_credit(now, CreditMsg{static_cast<VcId>(vc)});
         }
+        arena_.release(h);
+        h = nxt;
       }
-      if (sit->state == PacketStream::State::kActive) {
-        res.held_out_port = sit->out_port;
-        res.held_out_vc = sit->out_vc;
+      if (s.state == PacketStream::State::kActive) {
+        res.held_out_port = s.out_port;
+        res.held_out_vc = s.out_vc;
       }
-      sit = b.streams.erase(sit);
+      b.streams.erase_at(si);
     }
   }
   // Scramble station: entries of the packet itself, and entries stranded by
@@ -265,8 +290,13 @@ Flit InputUnit::pop_front_flit(Cycle now, int vc) {
   PacketStream& s = b.streams.front();
   HTNOC_EXPECT(s.next_flit_present());
 
-  Flit f = std::move(s.flits.front().flit);
-  s.flits.pop_front();
+  const pool::FlitHandle h = s.head;
+  Flit f = std::move(arena_.flit(h));
+  s.head = arena_.next(h);
+  s.front_seq = s.head.null() ? -1 : arena_.flit(s.head).seq;
+  if (s.head.null()) s.tail = pool::FlitHandle{};
+  --s.flit_count;
+  arena_.release(h);
   ++s.next_seq;
   --b.occupancy;
 
@@ -285,7 +315,7 @@ Flit InputUnit::pop_front_flit(Cycle now, int vc) {
 
   if (f.is_tail()) {
     HTNOC_INVARIANT(s.next_seq == f.length);
-    HTNOC_INVARIANT(s.flits.empty());
+    HTNOC_INVARIANT(s.flit_count == 0);
     b.streams.pop_front();
   }
   return f;

@@ -6,10 +6,15 @@
 // (a NACKed flit is overtaken by its successors, paper Fig. 7), each VC
 // buffer holds per-packet streams with flits kept sorted by sequence
 // number; only the in-order next flit of the front stream is forwardable.
+//
+// Storage is data-oriented (docs/PERFORMANCE.md): every buffered flit lives
+// in this port's FlitArena and streams thread through it as seq-sorted
+// intrusive lists of generation-checked handles, so stepping never
+// allocates and the stream metadata the router's RC/VA/SA stages scan every
+// cycle is a small contiguous ring per VC.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -19,6 +24,7 @@
 #include "noc/hooks.hpp"
 #include "noc/link.hpp"
 #include "noc/obfuscation.hpp"
+#include "noc/pool.hpp"
 
 namespace htnoc::verify {
 struct StateCodec;  // snapshot/restore (src/verify/snapshot.cpp)
@@ -28,12 +34,11 @@ namespace htnoc {
 
 class InputUnit {
  public:
-  struct BufferedFlit {
-    Flit flit;
-    Cycle arrival = 0;  ///< Effective arrival (includes de-obfuscation penalty).
-  };
-
-  /// All buffered flits of one packet within one VC.
+  /// All buffered flits of one packet within one VC. The flits themselves
+  /// sit in the port's FlitArena; the stream holds the head/tail of a
+  /// seq-sorted intrusive list plus mirrored head-of-list facts
+  /// (`front_seq`) so the allocator stages can test forwardability without
+  /// touching the arena.
   struct PacketStream {
     enum class State : std::uint8_t {
       kNeedRoute,  ///< Head flit not yet routed.
@@ -42,8 +47,11 @@ class InputUnit {
     };
 
     PacketId packet = kInvalidPacket;
-    std::deque<BufferedFlit> flits;  // sorted ascending by seq
-    int next_seq = 0;                ///< Next sequence number to forward.
+    pool::FlitHandle head;  ///< First buffered flit (lowest seq), or null.
+    pool::FlitHandle tail;  ///< Last buffered flit (highest seq), or null.
+    int flit_count = 0;
+    int front_seq = -1;  ///< Seq of the head flit; -1 when empty.
+    int next_seq = 0;    ///< Next sequence number to forward.
     State state = State::kNeedRoute;
     int out_port = -1;
     bool phase_down_next = false;  ///< up*/down* phase after the routed hop.
@@ -53,15 +61,15 @@ class InputUnit {
 
     /// True when the in-order next flit is buffered at the front.
     [[nodiscard]] bool next_flit_present() const {
-      return !flits.empty() && flits.front().flit.seq == next_seq;
+      return flit_count > 0 && front_seq == next_seq;
     }
     [[nodiscard]] bool head_present() const {
-      return !flits.empty() && flits.front().flit.seq == 0 && next_seq == 0;
+      return flit_count > 0 && front_seq == 0 && next_seq == 0;
     }
   };
 
   struct VcBuf {
-    std::deque<PacketStream> streams;
+    pool::Ring<PacketStream> streams;
     int occupancy = 0;  ///< Buffered flits, including scramble-station holds.
   };
 
@@ -96,15 +104,20 @@ class InputUnit {
 
   /// Drain phase of the two-phase step: pop this cycle's due phits off the
   /// link into unit-local staging. Pure pops — no decoding, no sends, no
-  /// trace events — so concurrent shards never write a deque another shard
+  /// trace events — so concurrent shards never write a queue another shard
   /// reads (see Network::step).
   void drain_link(Cycle now) {
     if (link_ != nullptr) link_->drain_arrivals(now, staged_arrivals_);
   }
 
   /// Compute phase: decode, ack/nack, de-obfuscate and buffer the staged
-  /// phits. All link interactions here are sends (single writer).
-  void process_staged(Cycle now);
+  /// phits. All link interactions here are sends (single writer). When the
+  /// router batch-decoded this port's staged codewords already (the SECDED
+  /// lane batching in Router::compute), `predecoded` points at one
+  /// DecodeResult per staged phit, in staging order; null means decode
+  /// inline per phit (NI path, standalone units).
+  void process_staged(Cycle now,
+                      const ecc::DecodeResult* predecoded = nullptr);
 
   /// Pull this cycle's phit arrivals off the link: decode, ack/nack,
   /// de-obfuscate, buffer. Serial convenience wrapper (drain + compute) for
@@ -114,10 +127,31 @@ class InputUnit {
     process_staged(now);
   }
 
+  /// Staged phits awaiting the compute phase (the router's batched-decode
+  /// gather reads the codewords out in staging order).
+  [[nodiscard]] std::size_t staged_count() const noexcept {
+    return staged_arrivals_.size();
+  }
+  void append_staged_codewords(std::vector<Codeword72>& out) const {
+    for (const LinkPhit& p : staged_arrivals_) out.push_back(p.codeword);
+  }
+
   [[nodiscard]] int num_vcs() const { return cfg_.vcs_per_port; }
   [[nodiscard]] VcBuf& vcbuf(int vc) { return vcs_[static_cast<std::size_t>(vc)]; }
   [[nodiscard]] const VcBuf& vcbuf(int vc) const {
     return vcs_[static_cast<std::size_t>(vc)];
+  }
+
+  /// Head flit of the front stream of `vc` (RC/VA/SA stages). The front
+  /// stream must be non-empty.
+  [[nodiscard]] const Flit& front_flit(int vc) const {
+    const PacketStream& s = vcs_[static_cast<std::size_t>(vc)].streams.front();
+    return arena_.flit(s.head);
+  }
+  /// Effective arrival cycle of that head flit (BW-stage gate).
+  [[nodiscard]] Cycle front_arrival(int vc) const {
+    const PacketStream& s = vcs_[static_cast<std::size_t>(vc)].streams.front();
+    return arena_.arrival(s.head);
   }
 
   /// Total buffered flits across VCs (the paper's input-port utilization).
@@ -134,7 +168,7 @@ class InputUnit {
     if (b.streams.empty()) return false;
     const PacketStream& s = b.streams.front();
     return s.next_flit_present() &&
-           s.flits.front().arrival + static_cast<Cycle>(cfg_.stage_bw_rc) <= now;
+           arena_.arrival(s.head) + static_cast<Cycle>(cfg_.stage_bw_rc) <= now;
   }
 
   /// Pop the in-order next flit of the front stream of `vc` (ST stage).
@@ -146,6 +180,7 @@ class InputUnit {
   [[nodiscard]] RouterId router() const noexcept { return router_; }
   [[nodiscard]] int port() const noexcept { return port_; }
   [[nodiscard]] Link* link() const noexcept { return link_; }
+  [[nodiscard]] const pool::FlitArena& arena() const noexcept { return arena_; }
 
   /// Result of purging one packet from this input (link-disable recovery).
   struct PurgeResult {
@@ -178,8 +213,8 @@ class InputUnit {
   [[nodiscard]] bool has_buffered_uid(std::uint64_t uid) const {
     for (const auto& v : vcs_) {
       for (const auto& s : v.streams) {
-        for (const auto& bf : s.flits) {
-          if (bf.flit.flit_uid() == uid) return true;
+        for (pool::FlitHandle h = s.head; !h.null(); h = arena_.next(h)) {
+          if (arena_.flit(h).flit_uid() == uid) return true;
         }
       }
     }
@@ -190,14 +225,17 @@ class InputUnit {
   }
 
   /// Audit census: append every buffered flit (VC streams + scramble
-  /// station), labelled with the caller-supplied identity.
+  /// station), labelled with the caller-supplied identity. Iteration order
+  /// — VCs ascending, streams FIFO, flits seq-ascending — is part of the
+  /// census-digest contract and matches the pre-pool deque layout.
   void collect_resident(std::vector<ResidentFlit>& out, std::uint16_t node,
                         std::int8_t port) const {
     for (const auto& v : vcs_) {
       for (const auto& s : v.streams) {
-        for (const auto& bf : s.flits) {
-          out.push_back({bf.flit.flit_uid(), bf.flit.packet,
-                         FlitSite::kInputBuffer, node, port});
+        for (pool::FlitHandle h = s.head; !h.null(); h = arena_.next(h)) {
+          const Flit& f = arena_.flit(h);
+          out.push_back(
+              {f.flit_uid(), f.packet, FlitSite::kInputBuffer, node, port});
         }
       }
     }
@@ -210,7 +248,7 @@ class InputUnit {
   [[nodiscard]] bool has_packet(PacketId p) const {
     for (const auto& v : vcs_) {
       for (const auto& s : v.streams) {
-        if (s.packet == p && !s.flits.empty()) return true;
+        if (s.packet == p && s.flit_count > 0) return true;
       }
     }
     for (const auto& e : station_) {
@@ -226,6 +264,8 @@ class InputUnit {
   void deliver(Cycle effective_arrival, Flit f);
   /// Record a clean wire word and resolve any scrambled phits waiting on it.
   void note_clean_wire(Cycle now, PacketId packet, int seq, std::uint64_t wire);
+  /// Seq-sorted insertion into a stream's arena list.
+  void stream_insert(PacketStream& s, const Flit& f, Cycle arrival);
 
   struct StationEntry {
     LinkPhit phit;
@@ -249,10 +289,11 @@ class InputUnit {
   trace::Tap tap_;
   trace::Scope trace_scope_ = trace::Scope::kRouter;
   std::uint16_t trace_node_ = 0;
+  pool::FlitArena arena_;  ///< Owns every VC-buffered flit of this port.
   std::vector<VcBuf> vcs_;
   std::vector<LinkPhit> staged_arrivals_;  ///< Drained, not yet processed.
   std::vector<StationEntry> station_;
-  std::deque<CachedWire> wire_cache_;
+  pool::Ring<CachedWire> wire_cache_;
   Stats stats_;
 };
 

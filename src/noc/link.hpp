@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +13,7 @@
 #include "common/types.hpp"
 #include "noc/fault_model.hpp"
 #include "noc/flit.hpp"
+#include "noc/pool.hpp"
 #include "noc/hooks.hpp"
 #include "noc/protocol.hpp"
 #include "trace/sink.hpp"
@@ -172,12 +172,12 @@ class Link {
   /// flit uids removed.
   std::vector<std::uint64_t> purge_packet(PacketId p) {
     std::vector<std::uint64_t> uids;
-    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
-      if (it->phit.flit.packet == p) {
-        uids.push_back(it->phit.flit.flit_uid());
-        it = in_flight_.erase(it);
+    for (std::size_t i = 0; i < in_flight_.size();) {
+      if (in_flight_[i].phit.flit.packet == p) {
+        uids.push_back(in_flight_[i].phit.flit.flit_uid());
+        in_flight_.erase_at(i);
       } else {
-        ++it;
+        ++i;
       }
     }
     return uids;
@@ -248,9 +248,11 @@ class Link {
   int latency_;
   bool disabled_ = false;
   std::int64_t last_send_cycle_ = -1;
-  std::deque<InFlight> in_flight_;
-  std::deque<PendingCredit> credits_;
-  std::deque<PendingAck> acks_;
+  // Contiguous rings (src/noc/pool.hpp): FIFO in steady state, allocation-
+  // free once warmed; serialized with the same layout the deques had.
+  pool::Ring<InFlight> in_flight_;
+  pool::Ring<PendingCredit> credits_;
+  pool::Ring<PendingAck> acks_;
   std::vector<std::shared_ptr<LinkFaultInjector>> injectors_;
   Stats stats_;
   trace::Tap tap_;

@@ -172,15 +172,15 @@ int NetworkInterface::purge_injection(
   (void)now;
   int purged = 0;
   for (auto& s : streams_) {
-    for (auto it = s.queue.begin(); it != s.queue.end();) {
-      if (it->packet == p) {
+    for (std::size_t i = 0; i < s.queue.size();) {
+      if (s.queue[i].packet == p) {
         if (removed_uids != nullptr) {
-          removed_uids->push_back(it->flit_uid());
+          removed_uids->push_back(s.queue[i].flit_uid());
         }
-        it = s.queue.erase(it);
+        s.queue.erase_at(i);
         ++purged;
       } else {
-        ++it;
+        ++i;
       }
     }
     if (s.packet == p && s.out_vc >= 0) {

@@ -12,13 +12,13 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "common/config.hpp"
 #include "noc/input_unit.hpp"
 #include "noc/output_unit.hpp"
+#include "noc/pool.hpp"
 #include "noc/protocol.hpp"
 
 namespace htnoc::verify {
@@ -153,7 +153,7 @@ class NetworkInterface {
 
   /// Per-domain injection stream (index 0 also serves non-TDM operation).
   struct DomainStream {
-    std::deque<Flit> queue;
+    pool::Ring<Flit> queue;  ///< Contiguous source queue (src/noc/pool.hpp).
     int out_vc = -1;                      ///< VC held by the streaming packet.
     PacketId packet = kInvalidPacket;     ///< Packet holding that VC.
   };

@@ -17,73 +17,75 @@ int OutputUnit::purge_packet(PacketId p,
   // (verify: kPurgeLeak).
   bool leaked_one = false;
 #endif
-  for (auto it = slots_.begin(); it != slots_.end();) {
-    if (it->flit.packet != p) {
-      ++it;
+  for (std::size_t i = 0; i < meta_.size();) {
+    if (meta_[i].packet != p) {
+      ++i;
       continue;
     }
 #ifdef HTNOC_MUTATION_PURGE_SLOT_LEAK
     if (!leaked_one) {
       leaked_one = true;
-      ++it;
+      ++i;
       continue;
     }
 #endif
+    const std::uint64_t uid = payload_[i].flit.flit_uid();
     if (removed_uids != nullptr) {
-      removed_uids->push_back(it->flit.flit_uid());
+      removed_uids->push_back(uid);
     }
     // A waiting slot's flit exists only here; an in-flight one is either on
     // the link / NACK-pending (credit restored directly) or buffered at the
     // receiver (credit returns via the reverse channel during its purge).
     const bool credit_via_receiver =
-        it->state == Slot::State::kInFlight &&
-        std::binary_search(buffered_uids.begin(), buffered_uids.end(),
-                           it->flit.flit_uid());
+        meta_[i].state == SlotState::kInFlight &&
+        std::binary_search(buffered_uids.begin(), buffered_uids.end(), uid);
     if (!credit_via_receiver) {
-      auto& c = credits_[static_cast<std::size_t>(it->flit.vc)];
+      auto& c = credits_[static_cast<std::size_t>(meta_[i].vc)];
       HTNOC_INVARIANT(c < cfg_.buffer_depth);
       ++c;
     }
-    it = slots_.erase(it);
+    erase_slot(i);
     ++purged;
   }
   return purged;
 }
 
-int OutputUnit::find_slot(PacketId packet, int seq, Slot::State state) {
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    const Slot& s = slots_[i];
-    if (s.flit.packet == packet && s.flit.seq == seq && s.state == state) {
+int OutputUnit::find_slot(PacketId packet, int seq, SlotState state) {
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    const SlotMeta& m = meta_[i];
+    if (m.packet == packet && m.seq == seq && m.state == state) {
       return static_cast<int>(i);
     }
   }
   return -1;
 }
 
-void OutputUnit::step_lt(Cycle now) {
-  if (link_ == nullptr || !link_->can_send(now)) return;
+bool OutputUnit::plan_lt(Cycle now) {
+  planned_slot_ = -1;
+  if (link_ == nullptr || !link_->can_send(now)) return false;
 
   // Oldest eligible waiting slot wins; retransmissions are naturally the
   // oldest entries, giving them the priority the protocol needs.
   int chosen = -1;
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    const Slot& s = slots_[i];
-    if (s.state != Slot::State::kWaiting || s.eligible > now) continue;
-    if (cfg_.tdm_enabled && !tdm_slot_allows(s.flit.domain, now)) continue;
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    const SlotMeta& m = meta_[i];
+    if (m.state != SlotState::kWaiting || m.eligible > now) continue;
+    if (cfg_.tdm_enabled && !tdm_slot_allows(m.domain, now)) continue;
     chosen = static_cast<int>(i);
     break;
   }
-  if (chosen < 0) return;
-  Slot& s = slots_[static_cast<std::size_t>(chosen)];
+  if (chosen < 0) return false;
+  SlotMeta& m = meta_[static_cast<std::size_t>(chosen)];
+  const Flit& flit = payload_[static_cast<std::size_t>(chosen)].flit;
 
   // A scramble partner must be another waiting slot behind this one.
   int partner_idx = -1;
-  if (!s.forced_plain) {
-    for (std::size_t j = static_cast<std::size_t>(chosen) + 1; j < slots_.size();
+  if (!m.forced_plain) {
+    for (std::size_t j = static_cast<std::size_t>(chosen) + 1; j < meta_.size();
          ++j) {
-      const Slot& p = slots_[j];
-      if (p.state == Slot::State::kWaiting && !p.forced_plain &&
-          !(cfg_.tdm_enabled && p.flit.domain != s.flit.domain)) {
+      const SlotMeta& pm = meta_[j];
+      if (pm.state == SlotState::kWaiting && !pm.forced_plain &&
+          !(cfg_.tdm_enabled && pm.domain != m.domain)) {
         partner_idx = static_cast<int>(j);
         break;
       }
@@ -91,59 +93,73 @@ void OutputUnit::step_lt(Cycle now) {
   }
 
   ObfuscationTag tag;
-  if (lob_ != nullptr && !s.forced_plain) {
-    tag = lob_->plan(now, s.flit, s.attempt, s.escalate, partner_idx >= 0);
+  if (lob_ != nullptr && !m.forced_plain) {
+    tag = lob_->plan(now, flit, m.attempt, m.escalate, partner_idx >= 0);
   }
 
   if (tag.method == ObfMethod::kReorder) {
     // Scheduling-only method: hold this flit so later flits go first,
     // breaking transmission-order-keyed triggers. No link traversal yet.
-    s.eligible = now + kReorderHold;
+    m.eligible = now + kReorderHold;
     ++stats_.reorder_holds;
-    return;
+    return false;
   }
 
-  std::uint64_t word = s.flit.wire;
+  std::uint64_t word = flit.wire;
   if (tag.method == ObfMethod::kScramble) {
     HTNOC_EXPECT(partner_idx >= 0);
-    Slot& p = slots_[static_cast<std::size_t>(partner_idx)];
-    tag.partner_packet = p.flit.packet;
-    tag.partner_seq = p.flit.seq;
+    SlotMeta& pm = meta_[static_cast<std::size_t>(partner_idx)];
+    const Flit& pf = payload_[static_cast<std::size_t>(partner_idx)].flit;
+    tag.partner_packet = pm.packet;
+    tag.partner_seq = pm.seq;
     // The partner must cross the link un-obfuscated so the receiver can
     // undo the XOR (paper Fig. 7: flit #4 is sent plain after (2+4)).
-    p.forced_plain = true;
-    word = obf::scramble(word, p.flit.wire, tag.granularity);
+    pm.forced_plain = true;
+    word = obf::scramble(word, pf.wire, tag.granularity);
   } else if (tag.method != ObfMethod::kNone) {
     word = obf::apply(word, tag);
   }
 
+  planned_slot_ = chosen;
+  planned_word_ = word;
+  planned_tag_ = tag;
+  return true;
+}
+
+void OutputUnit::commit_lt(Cycle now, Codeword72 cw) {
+  HTNOC_EXPECT(planned_slot_ >= 0);
+  SlotMeta& m = meta_[static_cast<std::size_t>(planned_slot_)];
+  SlotPayload& p = payload_[static_cast<std::size_t>(planned_slot_)];
+  planned_slot_ = -1;
+  const ObfuscationTag tag = planned_tag_;
+
   LinkPhit phit;
-  phit.flit = s.flit;
-  phit.codeword = codec_.encode(word);
+  phit.flit = p.flit;
+  phit.codeword = cw;
   phit.obf = tag;
-  phit.attempt = s.attempt;
+  phit.attempt = m.attempt;
   link_->send(now, std::move(phit));
 
-  if (s.attempt > 0 && tap_.on(trace::Category::kRetransmission)) {
+  if (m.attempt > 0 && tap_.on(trace::Category::kRetransmission)) {
     trace::Event e =
         trace::make_event(trace::EventType::kRetransmission, now, trace_scope_,
                           trace_node_, trace_port_);
-    e.packet = s.flit.packet;
-    e.seq = static_cast<std::uint32_t>(s.flit.seq);
-    e.vc = static_cast<std::uint8_t>(s.flit.vc);
-    e.aux = static_cast<std::uint8_t>(s.attempt > 255 ? 255 : s.attempt);
-    e.arg = s.flit.wire;
+    e.packet = m.packet;
+    e.seq = static_cast<std::uint32_t>(m.seq);
+    e.vc = static_cast<std::uint8_t>(m.vc);
+    e.aux = static_cast<std::uint8_t>(m.attempt > 255 ? 255 : m.attempt);
+    e.arg = p.flit.wire;
     tap_.emit(e);
   }
 
-  s.state = Slot::State::kInFlight;
-  s.last_tag = tag;
+  m.state = SlotState::kInFlight;
+  p.last_tag = tag;
   // A scramble-partner reservation only covers this transmission; if it gets
   // NACKed, the retransmission is free to obfuscate (the receiver caches the
   // de-obfuscated wire word for the pending unscramble either way).
-  s.forced_plain = false;
+  m.forced_plain = false;
   ++stats_.transmissions;
-  if (s.attempt > 0) ++stats_.retransmissions;
+  if (m.attempt > 0) ++stats_.retransmissions;
   if (tag.active()) ++stats_.obfuscated_sends;
 }
 
@@ -178,24 +194,30 @@ void OutputUnit::process_staged_control(Cycle now) {
     last_credit_gain_[static_cast<std::size_t>(c.vc)] = now;
   }
   for (const AckMsg& a : staged_acks_) {
-    const int idx = find_slot(a.packet, a.seq, Slot::State::kInFlight);
+    const int idx = find_slot(a.packet, a.seq, SlotState::kInFlight);
     // Unmatched responses are possible only after a purge removed the slot
     // while its ACK/NACK was in flight; drop them.
     if (idx < 0) continue;
-    Slot& s = slots_[static_cast<std::size_t>(idx)];
-    HTNOC_INVARIANT(s.attempt == a.attempt);
+    SlotMeta& m = meta_[static_cast<std::size_t>(idx)];
+    HTNOC_INVARIANT(m.attempt == a.attempt);
     if (a.ok) {
-      if (lob_ != nullptr) lob_->on_ack(now, s.flit, s.last_tag);
+      if (lob_ != nullptr) {
+        lob_->on_ack(now, payload_[static_cast<std::size_t>(idx)].flit,
+                     payload_[static_cast<std::size_t>(idx)].last_tag);
+      }
       ++stats_.acks;
       stats_.last_successful_lt = now;
-      slots_.erase(slots_.begin() + idx);
+      erase_slot(static_cast<std::size_t>(idx));
     } else {
-      if (lob_ != nullptr) lob_->on_nack(now, s.flit, s.last_tag);
+      if (lob_ != nullptr) {
+        lob_->on_nack(now, payload_[static_cast<std::size_t>(idx)].flit,
+                      payload_[static_cast<std::size_t>(idx)].last_tag);
+      }
       ++stats_.nacks;
-      s.state = Slot::State::kWaiting;
-      s.eligible = now + 1;
-      ++s.attempt;
-      s.escalate = s.escalate || a.escalate_obfuscation;
+      m.state = SlotState::kWaiting;
+      m.eligible = now + 1;
+      ++m.attempt;
+      m.escalate = m.escalate || a.escalate_obfuscation;
     }
   }
 }

@@ -2,6 +2,12 @@
 // allocation state, the retransmission buffer (paper Fig. 5, output-buffer
 // variant), the L-Ob obfuscation attachment point, ECC encoding and link
 // transmission (ST -> LT boundary).
+//
+// The retransmission buffer is stored struct-of-arrays (docs/PERFORMANCE.md):
+// the per-cycle scans — slot selection, TDM quota counting, the blocked()
+// saturation probe, ACK matching — read a compact SlotMeta lane, while the
+// full Flit and obfuscation tag live in a parallel payload lane touched only
+// when a slot actually transmits or retires.
 #pragma once
 
 #include <cstdint>
@@ -83,7 +89,7 @@ class OutputUnit {
   // --- retransmission buffer (ST writes, LT reads) ---
 
   [[nodiscard]] bool has_free_slot() const {
-    return static_cast<int>(slots_.size()) < total_capacity();
+    return static_cast<int>(meta_.size()) < total_capacity();
   }
 
   /// Whether a flit heading to `vc` in `domain` may enter the
@@ -97,15 +103,15 @@ class OutputUnit {
   [[nodiscard]] bool can_accept(int vc, TdmDomain domain) const {
     if (cfg_.retrans_scheme == RetransmissionScheme::kPerVcBuffer) {
       int used = 0;
-      for (const Slot& s : slots_) {
-        if (s.flit.vc == vc) ++used;
+      for (const SlotMeta& m : meta_) {
+        if (m.vc == vc) ++used;
       }
       return used < cfg_.retrans_per_vc_depth;
     }
     if (!cfg_.tdm_enabled) return has_free_slot();
     int used = 0;
-    for (const Slot& s : slots_) {
-      if (s.flit.domain == domain) ++used;
+    for (const SlotMeta& m : meta_) {
+      if (m.domain == domain) ++used;
     }
     // Odd depths give the spare slot to D1.
     const int quota =
@@ -118,7 +124,7 @@ class OutputUnit {
                ? cfg_.retrans_per_vc_depth * cfg_.vcs_per_port
                : cfg_.retrans_depth;
   }
-  [[nodiscard]] int occupancy() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] int occupancy() const { return static_cast<int>(meta_.size()); }
   [[nodiscard]] int capacity() const { return total_capacity(); }
 
   /// Accept a flit from the crossbar (ST). Consumes one downstream credit
@@ -135,17 +141,39 @@ class OutputUnit {
     if (flit.is_head()) {
       flit.wire = deposit_bits(flit.wire, wire::kVcPos, wire::kVcWidth, flit.vc);
     }
-    Slot s;
-    s.flit = std::move(flit);
-    s.state = Slot::State::kWaiting;
-    s.eligible = lt_eligible;
-    s.entered = now;
-    slots_.push_back(std::move(s));
+    SlotMeta m;
+    m.packet = flit.packet;
+    m.seq = flit.seq;
+    m.vc = flit.vc;
+    m.domain = flit.domain;
+    m.state = SlotState::kWaiting;
+    m.eligible = lt_eligible;
+    m.entered = now;
+    meta_.push_back(m);
+    payload_.push_back({std::move(flit), ObfuscationTag{}});
     ++stats_.flits_accepted;
   }
 
-  /// LT stage: try to start one link traversal this cycle.
-  void step_lt(Cycle now);
+  /// LT stage, plan half: pick this cycle's slot, run the obfuscation
+  /// planner and produce the pre-ECC wire word. Returns true when a
+  /// transmission is planned; the caller MUST then encode planned_word()
+  /// and call commit_lt with the codeword (the router batches the encodes
+  /// of all its ports into one SECDED lane pass). Planning performs no link
+  /// sends and emits no trace events, so planning all ports before
+  /// committing any is order-equivalent to the old per-port step_lt loop.
+  [[nodiscard]] bool plan_lt(Cycle now);
+  [[nodiscard]] std::uint64_t planned_word() const noexcept {
+    return planned_word_;
+  }
+  /// LT stage, commit half: transmit the planned slot with its encoded
+  /// codeword (trace events, link send, state flip).
+  void commit_lt(Cycle now, Codeword72 cw);
+
+  /// LT stage: try to start one link traversal this cycle. Standalone
+  /// (non-batched) form: plan, self-encode, commit.
+  void step_lt(Cycle now) {
+    if (plan_lt(now)) commit_lt(now, codec_.encode(planned_word_));
+  }
 
   /// Drain phase of the two-phase step: pop this cycle's due credits and
   /// ACK/NACKs off the reverse channel into unit-local staging (pure pops;
@@ -182,8 +210,8 @@ class OutputUnit {
   }
 
   [[nodiscard]] bool has_packet(PacketId p) const {
-    for (const Slot& s : slots_) {
-      if (s.flit.packet == p) return true;
+    for (const SlotMeta& m : meta_) {
+      if (m.packet == p) return true;
     }
     return false;
   }
@@ -191,8 +219,8 @@ class OutputUnit {
   /// Slots currently holding flits bound for downstream VC `vc`.
   [[nodiscard]] int slots_with_vc(int vc) const {
     int n = 0;
-    for (const Slot& s : slots_) {
-      if (s.flit.vc == vc) ++n;
+    for (const SlotMeta& m : meta_) {
+      if (m.vc == vc) ++n;
     }
     return n;
   }
@@ -202,9 +230,9 @@ class OutputUnit {
   /// simultaneously here and buffered at the receiver (ACK in flight).
   [[nodiscard]] std::vector<std::uint64_t> inflight_uids(int vc) const {
     std::vector<std::uint64_t> uids;
-    for (const Slot& s : slots_) {
-      if (s.state == Slot::State::kInFlight && s.flit.vc == vc) {
-        uids.push_back(s.flit.flit_uid());
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      if (meta_[i].state == SlotState::kInFlight && meta_[i].vc == vc) {
+        uids.push_back(payload_[i].flit.flit_uid());
       }
     }
     return uids;
@@ -214,24 +242,24 @@ class OutputUnit {
   /// the caller-supplied identity.
   void collect_resident(std::vector<ResidentFlit>& out, std::uint16_t node,
                         std::int8_t port) const {
-    for (const Slot& s : slots_) {
-      out.push_back({s.flit.flit_uid(), s.flit.packet, FlitSite::kRetransSlot,
-                     node, port});
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      out.push_back({payload_[i].flit.flit_uid(), meta_[i].packet,
+                     FlitSite::kRetransSlot, node, port});
     }
   }
 
   /// Distinct packets with at least one slot here (purge planning).
   [[nodiscard]] std::vector<PacketId> packets_in_slots() const {
     std::vector<PacketId> ids;
-    for (const Slot& s : slots_) {
+    for (const SlotMeta& m : meta_) {
       bool found = false;
       for (const PacketId id : ids) {
-        if (id == s.flit.packet) {
+        if (id == m.packet) {
           found = true;
           break;
         }
       }
-      if (!found) ids.push_back(s.flit.packet);
+      if (!found) ids.push_back(m.packet);
     }
     return ids;
   }
@@ -250,8 +278,8 @@ class OutputUnit {
     return false;
 #else
     if (link_ == nullptr) return false;
-    for (const Slot& s : slots_) {
-      if (now >= s.entered + stall_window) return true;
+    for (const SlotMeta& m : meta_) {
+      if (now >= m.entered + stall_window) return true;
     }
     for (int vc = 0; vc < cfg_.vcs_per_port; ++vc) {
       // Per VC: gains on a healthy VC must not mask a starved sibling (a
@@ -273,18 +301,33 @@ class OutputUnit {
  private:
   friend struct htnoc::verify::StateCodec;
 
-  struct Slot {
-    Flit flit;
-    enum class State : std::uint8_t { kWaiting, kInFlight } state = State::kWaiting;
+  enum class SlotState : std::uint8_t { kWaiting, kInFlight };
+
+  /// Scan-hot half of a retransmission slot; mirrors the identity fields of
+  /// the payload flit (packet/seq/vc/domain) so selection, quota and ACK
+  /// matching never touch the payload lane.
+  struct SlotMeta {
+    PacketId packet = kInvalidPacket;
+    int seq = 0;
     Cycle eligible = 0;
     Cycle entered = 0;  ///< Cycle the flit was accepted (staleness tracking).
     int attempt = 0;
+    SlotState state = SlotState::kWaiting;
+    VcId vc = 0;
+    TdmDomain domain = TdmDomain::kD1;
     bool escalate = false;        ///< Accumulated NACK advice.
     bool forced_plain = false;    ///< Reserved as a scramble partner; send plain.
+  };
+  struct SlotPayload {
+    Flit flit;
     ObfuscationTag last_tag;
   };
 
-  [[nodiscard]] int find_slot(PacketId packet, int seq, Slot::State state);
+  [[nodiscard]] int find_slot(PacketId packet, int seq, SlotState state);
+  void erase_slot(std::size_t i) {
+    meta_.erase(meta_.begin() + static_cast<std::ptrdiff_t>(i));
+    payload_.erase(payload_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
 
   const NocConfig& cfg_;
   ecc::CodecDispatch codec_;  ///< Scheme resolved once; no per-phit vcall.
@@ -300,7 +343,14 @@ class OutputUnit {
   std::vector<Cycle> last_credit_gain_;  // per VC, indexed like credits_
   std::vector<CreditMsg> staged_credits_;  ///< Drained, not yet applied.
   std::vector<AckMsg> staged_acks_;        ///< Drained, not yet applied.
-  std::vector<Slot> slots_;  // FIFO by entry; retransmissions are oldest first
+  // FIFO by entry (retransmissions are oldest first); parallel lanes.
+  std::vector<SlotMeta> meta_;
+  std::vector<SlotPayload> payload_;
+  // Plan/commit hand-off (transient within one compute() call; never
+  // serialized — a snapshot can only happen between cycles).
+  int planned_slot_ = -1;
+  std::uint64_t planned_word_ = 0;
+  ObfuscationTag planned_tag_;
   Stats stats_;
 };
 

@@ -132,6 +132,8 @@ class Router {
   void stage_rc(Cycle now);
   void stage_va(Cycle now);
   void stage_sa_st(Cycle now);
+  void batched_bw(Cycle now);
+  void batched_lt(Cycle now);
 
   [[nodiscard]] int va_arbiter_index(int out_port, int out_vc) const {
     return out_port * cfg_.vcs_per_port + out_vc;
@@ -153,6 +155,23 @@ class Router {
   std::vector<std::unique_ptr<Arbiter>> sa_input_arbiters_;
   // SA stage 2: one arbiter per output port over input ports.
   std::vector<std::unique_ptr<Arbiter>> sa_output_arbiters_;
+
+  // --- persistent per-cycle scratch (docs/PERFORMANCE.md) ---
+  // The allocator stages and the batched ECC lanes reuse these arenas every
+  // cycle instead of re-allocating request bitmaps and lane buffers (the
+  // pre-pool code built ~800 request vectors per 4x4-fabric cycle). All are
+  // transient within one compute() call and never serialized.
+  ecc::CodecDispatch codec_;             ///< Router-level batch codec.
+  std::vector<Codeword72> lane_cw_;      ///< Gathered staged codewords.
+  std::vector<ecc::DecodeResult> lane_res_;  ///< Batch-decoded results.
+  std::vector<std::uint64_t> lane_words_;    ///< Planned LT words to encode.
+  std::vector<int> lane_ports_;              ///< Output port per planned word.
+  std::vector<std::vector<bool>> va_requests_;  ///< Per-arbiter bitmaps.
+  std::vector<bool> va_any_;                    ///< Arbiters touched this cycle.
+  std::vector<int> va_touched_;                 ///< Touched-arbiter list.
+  std::vector<int> sa_winner_vc_;               ///< SA stage-1 winners.
+  std::vector<bool> sa_vc_req_;                 ///< SA stage-1 request bitmap.
+  std::vector<bool> sa_port_req_;               ///< SA stage-2 request bitmap.
 
   Stats stats_;
 };

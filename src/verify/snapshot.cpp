@@ -377,14 +377,47 @@ struct StateCodec {
           "input unit has staged arrivals; snapshots only at cycle "
           "boundaries");
     }
+    // Streams serialize their arena-resident flits as count + (flit,
+    // arrival) pairs in list (seq-ascending) order — byte-identical to the
+    // pre-pool per-stream deque layout. On load the arena is rebuilt from
+    // scratch: reset once per input unit, then flits re-allocated in walk
+    // order (ascending slots, LIFO free list), so a restored run's handle
+    // assignment is a pure function of the restored logical state.
+    if constexpr (Ar::kLoading) in.arena_.reset();
     fixed_size(ar, in.vcs_.size(), "input VC count");
     for (auto& vb : in.vcs_) {
-      io_seq(ar, vb.streams, [](Ar& a, auto& s) {
+      io_seq(ar, vb.streams, [&in](Ar& a, auto& s) {
         a.u64(s.packet);
-        io_seq(a, s.flits, [](Ar& aa, auto& bf) {
-          StateCodec::io(aa, bf.flit);
-          aa.u64(bf.arrival);
-        });
+        std::uint64_t nflits = static_cast<std::uint64_t>(s.flit_count);
+        a.u64(nflits);
+        if constexpr (Ar::kLoading) {
+          pool::FlitHandle prev{};
+          s.head = s.tail = pool::FlitHandle{};
+          s.flit_count = 0;
+          s.front_seq = -1;
+          for (std::uint64_t i = 0; i < nflits; ++i) {
+            Flit f;
+            StateCodec::io(a, f);
+            std::uint64_t arrival = 0;
+            a.u64(arrival);
+            const pool::FlitHandle h = in.arena_.alloc(f, arrival);
+            if (prev.null()) {
+              s.head = h;
+              s.front_seq = f.seq;
+            } else {
+              in.arena_.set_next(prev, h);
+            }
+            s.tail = h;
+            prev = h;
+            ++s.flit_count;
+          }
+        } else {
+          for (pool::FlitHandle h = s.head; !h.null(); h = in.arena_.next(h)) {
+            StateCodec::io(a, in.arena_.flit(h));
+            std::uint64_t arrival = in.arena_.arrival(h);
+            a.u64(arrival);
+          }
+        }
         io_int(a, s.next_seq);
         io_enum8(a, s.state);
         io_int(a, s.out_port);
@@ -424,16 +457,35 @@ struct StateCodec {
     for (auto& c : out.credits_) io_int(ar, c);
     fixed_size(ar, out.last_credit_gain_.size(), "credit-gain timestamps");
     for (auto& c : out.last_credit_gain_) ar.u64(c);
-    io_seq(ar, out.slots_, [](Ar& a, auto& s) {
-      StateCodec::io(a, s.flit);
-      io_enum8(a, s.state);
-      a.u64(s.eligible);
-      a.u64(s.entered);
-      io_int(a, s.attempt);
-      a.b(s.escalate);
-      a.b(s.forced_plain);
-      StateCodec::io(a, s.last_tag);
-    });
+    // The SoA slot lanes serialize interleaved per slot, byte-identical to
+    // the old AoS Slot layout. Meta fields mirrored from the flit
+    // (packet/seq/vc/domain) are reconstructed on load, not stored twice.
+    std::uint64_t nslots = out.meta_.size();
+    ar.u64(nslots);
+    if constexpr (Ar::kLoading) {
+      out.meta_.assign(static_cast<std::size_t>(nslots),
+                       OutputUnit::SlotMeta{});
+      out.payload_.assign(static_cast<std::size_t>(nslots),
+                          OutputUnit::SlotPayload{});
+    }
+    for (std::size_t i = 0; i < nslots; ++i) {
+      auto& m = out.meta_[i];
+      auto& p = out.payload_[i];
+      StateCodec::io(ar, p.flit);
+      io_enum8(ar, m.state);
+      ar.u64(m.eligible);
+      ar.u64(m.entered);
+      io_int(ar, m.attempt);
+      ar.b(m.escalate);
+      ar.b(m.forced_plain);
+      StateCodec::io(ar, p.last_tag);
+      if constexpr (Ar::kLoading) {
+        m.packet = p.flit.packet;
+        m.seq = p.flit.seq;
+        m.vc = p.flit.vc;
+        m.domain = p.flit.domain;
+      }
+    }
     ar.u64(out.stats_.flits_accepted);
     ar.u64(out.stats_.transmissions);
     ar.u64(out.stats_.retransmissions);
